@@ -1,0 +1,408 @@
+// Benchmarks regenerating the paper's evaluation, one per table and
+// figure, plus microbenchmarks for each substrate. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Table 1 benches measure the full comparator (LLVM-port analyses + the
+// solver-based oracle) per analysis row. Table 2 benches measure the
+// fact-driven optimizer under both fact sources. The §3.1 bench measures
+// corpus harvesting, and the Figure 2 bench the known-bits lattice
+// operations the separability argument relies on.
+package dfcheck_test
+
+import (
+	"testing"
+
+	"dfcheck/internal/apint"
+	"dfcheck/internal/bitblast"
+	"dfcheck/internal/compare"
+	"dfcheck/internal/constrange"
+	"dfcheck/internal/eval"
+	"dfcheck/internal/harvest"
+	"dfcheck/internal/ir"
+	"dfcheck/internal/knownbits"
+	"dfcheck/internal/llvmport"
+	"dfcheck/internal/opt"
+	"dfcheck/internal/oracle"
+	"dfcheck/internal/sat"
+	"dfcheck/internal/solver"
+)
+
+// benchCorpus is a small deterministic corpus at solver-friendly widths.
+func benchCorpus(n int) []harvest.Expr {
+	return harvest.Generate(harvest.Config{
+		Seed:     42,
+		NumExprs: n,
+		MaxInsts: 5,
+		Widths:   []harvest.WidthWeight{{Width: 8, Weight: 3}, {Width: 4, Weight: 1}},
+	})
+}
+
+// --- §3.1: corpus harvesting statistics ---
+
+func BenchmarkHarvestCorpusStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		corpus := harvest.Generate(harvest.Config{Seed: int64(i), NumExprs: 200, MaxInsts: 20})
+		_ = harvest.ComputeStats(corpus)
+	}
+}
+
+// --- Table 1: one bench per analysis row ---
+
+func benchTable1(b *testing.B, analysis harvest.Analysis, run func(e solver.Engine, f *ir.Function)) {
+	corpus := benchCorpus(20)
+	an := &llvmport.Analyzer{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range corpus {
+			fa := an.Analyze(e.F)
+			_ = fa
+			run(solver.NewSAT(e.F, 0), e.F)
+		}
+	}
+	b.ReportMetric(float64(len(corpus)), "exprs/op")
+	_ = analysis
+}
+
+func BenchmarkTable1_KnownBits(b *testing.B) {
+	benchTable1(b, harvest.KnownBits, func(e solver.Engine, f *ir.Function) {
+		oracle.KnownBits(e, f)
+	})
+}
+
+func BenchmarkTable1_SignBits(b *testing.B) {
+	benchTable1(b, harvest.SignBits, func(e solver.Engine, f *ir.Function) {
+		oracle.SignBits(e, f)
+	})
+}
+
+func BenchmarkTable1_NonZero(b *testing.B) {
+	benchTable1(b, harvest.NonZero, func(e solver.Engine, f *ir.Function) {
+		oracle.NonZero(e, f)
+	})
+}
+
+func BenchmarkTable1_Negative(b *testing.B) {
+	benchTable1(b, harvest.Negative, func(e solver.Engine, f *ir.Function) {
+		oracle.Negative(e, f)
+	})
+}
+
+func BenchmarkTable1_NonNegative(b *testing.B) {
+	benchTable1(b, harvest.NonNegative, func(e solver.Engine, f *ir.Function) {
+		oracle.NonNegative(e, f)
+	})
+}
+
+func BenchmarkTable1_PowerOfTwo(b *testing.B) {
+	benchTable1(b, harvest.PowerOfTwo, func(e solver.Engine, f *ir.Function) {
+		oracle.PowerOfTwo(e, f)
+	})
+}
+
+func BenchmarkTable1_IntegerRange(b *testing.B) {
+	benchTable1(b, harvest.IntegerRange, func(e solver.Engine, f *ir.Function) {
+		oracle.IntegerRange(e, f)
+	})
+}
+
+func BenchmarkTable1_DemandedBits(b *testing.B) {
+	benchTable1(b, harvest.DemandedBits, func(e solver.Engine, f *ir.Function) {
+		oracle.DemandedBits(e, f)
+	})
+}
+
+func BenchmarkTable1_FullComparator(b *testing.B) {
+	corpus := benchCorpus(5)
+	c := &compare.Comparator{Analyzer: &llvmport.Analyzer{}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Run(corpus)
+	}
+}
+
+// --- Table 2: one bench per benchmark kernel, baseline and precise ---
+
+func benchTable2Baseline(b *testing.B, idx int) {
+	k := opt.Kernels[idx]
+	envs := k.Workload(100)
+	m := opt.AMD()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := k.F()
+		optimized := opt.Optimize(f, opt.NewBaselineSource(f))
+		if _, _, err := m.RunWorkload(optimized, envs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchTable2Precise(b *testing.B, idx int) {
+	k := opt.Kernels[idx]
+	envs := k.Workload(100)
+	m := opt.AMD()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := k.F()
+		optimized := opt.Optimize(f, opt.NewOracleSource(f, 0))
+		if _, _, err := m.RunWorkload(optimized, envs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2_Bzip2Compress_Baseline(b *testing.B) { benchTable2Baseline(b, 0) }
+func BenchmarkTable2_Bzip2Compress_Precise(b *testing.B)  { benchTable2Precise(b, 0) }
+
+func BenchmarkTable2_Bzip2Decompress_Baseline(b *testing.B) { benchTable2Baseline(b, 1) }
+func BenchmarkTable2_Bzip2Decompress_Precise(b *testing.B)  { benchTable2Precise(b, 1) }
+
+func BenchmarkTable2_GzipCompress_Baseline(b *testing.B) { benchTable2Baseline(b, 2) }
+func BenchmarkTable2_GzipCompress_Precise(b *testing.B)  { benchTable2Precise(b, 2) }
+
+func BenchmarkTable2_GzipDecompress_Baseline(b *testing.B) { benchTable2Baseline(b, 3) }
+func BenchmarkTable2_GzipDecompress_Precise(b *testing.B)  { benchTable2Precise(b, 3) }
+
+func BenchmarkTable2_Stockfish_Baseline(b *testing.B) { benchTable2Baseline(b, 4) }
+func BenchmarkTable2_Stockfish_Precise(b *testing.B)  { benchTable2Precise(b, 4) }
+
+func BenchmarkTable2_SQLite_Baseline(b *testing.B) { benchTable2Baseline(b, 5) }
+func BenchmarkTable2_SQLite_Precise(b *testing.B)  { benchTable2Precise(b, 5) }
+
+// --- Figure 2: the known-bits lattice operations ---
+
+func BenchmarkFigure2_KnownBitsLattice(b *testing.B) {
+	facts := make([]knownbits.Bits, 64)
+	for i := range facts {
+		facts[i] = knownbits.Make(apint.New(16, uint64(i*37)&0xF0F0), apint.New(16, uint64(i*53)&0x0F0F))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := knownbits.Unknown(16)
+		for _, f := range facts {
+			acc = acc.Join(f)
+			_ = f.AtLeastAsPreciseAs(acc)
+		}
+	}
+}
+
+// --- §4.7: soundness-bug detection end to end ---
+
+func BenchmarkSoundnessDetection(b *testing.B) {
+	trigger := ir.MustParse(harvest.SoundnessTriggers[2].Source) // srem known-bits at i8
+	c := &compare.Comparator{Analyzer: &llvmport.Analyzer{Bugs: llvmport.BugConfig{SRemKnownBits: true}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		found := false
+		for _, r := range c.CompareExpr(trigger) {
+			if r.Outcome == compare.LLVMMorePrecise {
+				found = true
+			}
+		}
+		if !found {
+			b.Fatal("bug not detected")
+		}
+	}
+}
+
+// --- Substrate microbenchmarks ---
+
+func BenchmarkSATPigeonhole(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sat.New()
+		n := 6
+		vars := make([][]sat.Var, n+1)
+		for p := range vars {
+			vars[p] = make([]sat.Var, n)
+			for h := range vars[p] {
+				vars[p][h] = s.NewVar()
+			}
+		}
+		for p := 0; p <= n; p++ {
+			lits := make([]sat.Lit, n)
+			for h := 0; h < n; h++ {
+				lits[h] = sat.PosLit(vars[p][h])
+			}
+			s.AddClause(lits...)
+		}
+		for h := 0; h < n; h++ {
+			for p1 := 0; p1 <= n; p1++ {
+				for p2 := p1 + 1; p2 <= n; p2++ {
+					s.AddClause(sat.NegLit(vars[p1][h]), sat.NegLit(vars[p2][h]))
+				}
+			}
+		}
+		if got := s.Solve(); got != sat.Unsat {
+			b.Fatalf("PHP(%d) = %v", n, got)
+		}
+	}
+}
+
+func BenchmarkBitblastMul16(b *testing.B) {
+	f := ir.MustParse("%x:i16 = var\n%y:i16 = var\n%0:i16 = mul %x, %y\ninfer %0")
+	for i := 0; i < b.N; i++ {
+		s := sat.New()
+		bl := bitblast.Blast(s, f)
+		_ = bl
+	}
+}
+
+func BenchmarkOracleKnownBits32(b *testing.B) {
+	f := ir.MustParse("%x:i32 = var\n%0:i32 = shl 32:i32, %x\ninfer %0")
+	for i := 0; i < b.N; i++ {
+		res := oracle.KnownBits(solver.NewSAT(f, 0), f)
+		if res.Exhausted {
+			b.Fatal("exhausted")
+		}
+	}
+}
+
+func BenchmarkLLVMPortAnalyze(b *testing.B) {
+	corpus := benchCorpus(50)
+	var an llvmport.Analyzer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range corpus {
+			fa := an.Analyze(e.F)
+			_ = fa.KnownBits()
+			_ = fa.Range()
+			_ = fa.NumSignBits()
+			_ = fa.DemandedBits()
+		}
+	}
+}
+
+func BenchmarkEvalInterpreter(b *testing.B) {
+	k := opt.Kernels[0]
+	f := k.F()
+	envs := k.Workload(1)
+	env, err := eval.EnvFromNames(f, envs[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := eval.Eval(f, env); !ok {
+			b.Fatal("unexpected UB")
+		}
+	}
+}
+
+func BenchmarkConstRangeTransfers(b *testing.B) {
+	x := constrange.New(apint.New(32, 10), apint.New(32, 5000))
+	y := constrange.New(apint.New(32, 3), apint.New(32, 77))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Add(y)
+		_ = x.Sub(y)
+		_ = x.Mul(y)
+		_ = x.UDiv(y)
+		_ = x.URem(y)
+		_ = x.SRem(y)
+		_ = x.And(y)
+		_ = x.Or(y)
+		_ = x.Shl(y)
+		_ = x.LShr(y)
+		_ = x.AShr(y)
+	}
+}
+
+func BenchmarkAPIntOps(b *testing.B) {
+	x := apint.New(64, 0xDEADBEEFCAFE1234)
+	y := apint.New(64, 0x1234567890ABCDEF)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Add(y).Mul(y).Xor(x).RotL(13).NumSignBits()
+	}
+}
+
+// --- Ablation: hull-seeded Algorithm 3 vs the paper's literal version ---
+
+func BenchmarkAblation_RangeHullSeeded(b *testing.B) {
+	f := ir.MustParse("%x:i8 = var\n%0:i8 = udiv 128:i8, %x\ninfer %0")
+	for i := 0; i < b.N; i++ {
+		res := oracle.IntegerRange(solver.NewSAT(f, 0), f)
+		if res.Exhausted {
+			b.Fatal("exhausted")
+		}
+	}
+}
+
+func BenchmarkAblation_RangeNaive(b *testing.B) {
+	f := ir.MustParse("%x:i8 = var\n%0:i8 = udiv 128:i8, %x\ninfer %0")
+	for i := 0; i < b.N; i++ {
+		res := oracle.IntegerRangeNaive(solver.NewSAT(f, 0), f)
+		if res.Exhausted {
+			b.Fatal("exhausted")
+		}
+	}
+}
+
+// --- Ablation: SAT engine vs exhaustive enumeration oracle backend ---
+
+func BenchmarkAblation_KnownBitsSATEngine(b *testing.B) {
+	f := ir.MustParse("%x:i8 = var\n%y:i8 = var\n%0:i8 = mul %x, %y\n%1:i8 = and %0, 12:i8\ninfer %1")
+	for i := 0; i < b.N; i++ {
+		oracle.KnownBits(solver.NewSAT(f, 0), f)
+	}
+}
+
+func BenchmarkAblation_KnownBitsEnumEngine(b *testing.B) {
+	f := ir.MustParse("%x:i8 = var\n%y:i8 = var\n%0:i8 = mul %x, %y\n%1:i8 = and %0, 12:i8\ninfer %1")
+	for i := 0; i < b.N; i++ {
+		oracle.KnownBits(solver.NewEnum(f), f)
+	}
+}
+
+// --- Ablation: incremental vs fresh-solver query paths ---
+
+func BenchmarkAblation_DemandedBitsIncremental(b *testing.B) {
+	f := ir.MustParse("%x:i16 = var\n%0:i16 = udiv %x, 1000:i16\ninfer %0")
+	for i := 0; i < b.N; i++ {
+		e := solver.NewSAT(f, 0)
+		res := oracle.DemandedBits(e, f)
+		if res.Exhausted {
+			b.Fatal("exhausted")
+		}
+	}
+}
+
+func BenchmarkAblation_DemandedBitsFresh(b *testing.B) {
+	f := ir.MustParse("%x:i16 = var\n%0:i16 = udiv %x, 1000:i16\ninfer %0")
+	for i := 0; i < b.N; i++ {
+		e := solver.NewSAT(f, 0)
+		e.Fresh = true
+		res := oracle.DemandedBits(e, f)
+		if res.Exhausted {
+			b.Fatal("exhausted")
+		}
+	}
+}
+
+// --- Classic (LLVM 8) vs Modern compiler under test ---
+
+func BenchmarkCompilerClassic(b *testing.B) {
+	corpus := benchCorpus(50)
+	an := &llvmport.Analyzer{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range corpus {
+			fa := an.Analyze(e.F)
+			_ = fa.KnownBits()
+			_ = fa.Range()
+		}
+	}
+}
+
+func BenchmarkCompilerModern(b *testing.B) {
+	corpus := benchCorpus(50)
+	an := &llvmport.Analyzer{Modern: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range corpus {
+			fa := an.Analyze(e.F)
+			_ = fa.KnownBits()
+			_ = fa.Range()
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// dfcheck-fuzz runs the paper's testing loop continuously: generate a
+// batch of random expressions, compare the compiler-under-test's dataflow
+// facts against the maximally precise oracle, report any soundness
+// findings ("llvm is stronger"), and keep going with the next seed. This
+// is the workflow the authors ran over Csmith- and Yarpgen-generated
+// programs after exhausting SPEC (§4.7).
+//
+//	dfcheck-fuzz -batches 20 -n 50
+//	dfcheck-fuzz -bug3          # verify the loop catches an injected bug
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"dfcheck/internal/compare"
+	"dfcheck/internal/harvest"
+	"dfcheck/internal/ir"
+	"dfcheck/internal/llvmport"
+)
+
+func main() {
+	var (
+		batches  = flag.Int("batches", 10, "number of corpus batches to run (0 = run forever)")
+		n        = flag.Int("n", 50, "expressions per batch")
+		seed     = flag.Int64("seed", time.Now().UnixNano()&0xFFFFFF, "starting seed")
+		maxInsts = flag.Int("max-insts", 6, "max instructions per expression")
+		maxWidth = flag.Uint("max-width", 16, "largest base width")
+		budget   = flag.Int64("solver-budget", 0, "per-query conflict budget")
+		bug1     = flag.Bool("bug1", false, "inject the r124183 isKnownNonZero bug")
+		bug2     = flag.Bool("bug2", false, "inject the PR23011 srem sign-bits bug")
+		bug3     = flag.Bool("bug3", false, "inject the PR12541 srem known-bits bug")
+		modern   = flag.Bool("modern", false, "use the post-LLVM-8 compiler (the §4.8 improvements applied)")
+		workers  = flag.Int("j", runtime.NumCPU(), "expressions compared concurrently")
+		exprCap  = flag.Duration("expr-timeout", 5*time.Minute, "total oracle time per expression (0 disables)")
+		canaries = flag.Bool("canaries", false, "seed every batch with the §4.7 trigger expressions (verifies the loop catches injected bugs)")
+		mutants  = flag.Int("mutants", 1, "mutated variants added per generated expression (Csmith-style seed mutation)")
+	)
+	flag.Parse()
+
+	widths := []harvest.WidthWeight{{Width: 4, Weight: 1}, {Width: 8, Weight: 3}}
+	if *maxWidth >= 13 {
+		widths = append(widths, harvest.WidthWeight{Width: 13, Weight: 1})
+	}
+	if *maxWidth >= 16 {
+		widths = append(widths, harvest.WidthWeight{Width: 16, Weight: 2})
+	}
+
+	c := &compare.Comparator{
+		Analyzer: &llvmport.Analyzer{
+			Bugs:   llvmport.BugConfig{NonZeroAdd: *bug1, SRemSignBits: *bug2, SRemKnownBits: *bug3},
+			Modern: *modern,
+		},
+		Budget:      *budget,
+		Workers:     *workers,
+		ExprTimeout: *exprCap,
+	}
+
+	var totalExprs, totalFindings int
+	start := time.Now()
+	for batch := 0; *batches == 0 || batch < *batches; batch++ {
+		corpus := harvest.Generate(harvest.Config{
+			Seed:         *seed + int64(batch),
+			NumExprs:     *n,
+			MaxInsts:     *maxInsts,
+			Widths:       widths,
+			MaxCastWidth: *maxWidth,
+		})
+		if *mutants > 0 {
+			mrng := rand.New(rand.NewSource(*seed + int64(batch)*7919))
+			base := corpus
+			for _, e := range base {
+				for m := 0; m < *mutants; m++ {
+					corpus = append(corpus, harvest.Expr{
+						Name: fmt.Sprintf("%s-mut%d", e.Name, m),
+						F:    harvest.Mutate(e.F, mrng),
+						Freq: 1,
+					})
+				}
+			}
+		}
+		if *canaries {
+			for _, tr := range harvest.SoundnessTriggers {
+				corpus = append(corpus, harvest.Expr{Name: "canary-" + tr.Name, F: ir.MustParse(tr.Source), Freq: 1})
+			}
+		}
+		rep := c.Run(corpus)
+		totalExprs += len(corpus)
+		totalFindings += len(rep.Findings)
+		for _, f := range rep.Findings {
+			fmt.Printf("=== SOUNDNESS FINDING (batch %d, %s) ===\n%s\n", batch, f.ExprName, f)
+		}
+		var exhausted int
+		for _, row := range rep.Rows {
+			exhausted += row.Exhausted
+		}
+		fmt.Printf("batch %4d seed %8d: %4d exprs, %2d findings, %3d exhausted, %6.1f exprs/min\n",
+			batch, *seed+int64(batch), len(corpus), len(rep.Findings), exhausted,
+			float64(totalExprs)/time.Since(start).Minutes())
+	}
+
+	fmt.Printf("\ntotal: %d expressions, %d soundness findings\n", totalExprs, totalFindings)
+	if totalFindings > 0 {
+		os.Exit(1)
+	}
+}

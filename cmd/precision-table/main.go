@@ -1,0 +1,123 @@
+// precision-table regenerates the paper's Table 1: it harvests a corpus
+// of expressions (a deterministic generator stands in for the SPEC CPU
+// 2017 harvest, plus the paper's own fragments), runs the LLVM-port
+// analyses and the solver-based oracle over every expression, and prints
+// the same-precision / souper-more-precise / llvm-more-precise /
+// resource-exhaustion breakdown per analysis with average CPU time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dfcheck/internal/compare"
+	"dfcheck/internal/harvest"
+	"dfcheck/internal/llvmport"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 300, "number of generated expressions")
+		seed     = flag.Int64("seed", 2020, "generator seed")
+		maxInsts = flag.Int("max-insts", 8, "max instructions per expression")
+		maxWidth = flag.Uint("max-width", 16, "largest base bit width (keep small: the oracle bit-blasts every query)")
+		budget   = flag.Int64("solver-budget", 0, "per-query conflict budget (0 = default)")
+		fragsToo = flag.Bool("paper-fragments", true, "include the paper's §4.2–4.5 fragments in the corpus")
+		bug1     = flag.Bool("bug1", false, "re-introduce the r124183 isKnownNonZero bug")
+		bug2     = flag.Bool("bug2", false, "re-introduce the PR23011 srem sign-bits bug")
+		bug3     = flag.Bool("bug3", false, "re-introduce the PR12541 srem known-bits bug")
+		modern   = flag.Bool("modern", false, "use the post-LLVM-8 compiler (the §4.8 improvements applied)")
+		loadFile = flag.String("corpus", "", "load the corpus from this file instead of generating (see -save-corpus)")
+		saveFile = flag.String("save-corpus", "", "write the corpus to this file before running (the artifact's dump.rdb analog)")
+		asJSON   = flag.Bool("json", false, "emit the report as JSON instead of the table")
+		workers  = flag.Int("j", runtime.NumCPU(), "expressions compared concurrently")
+		exprCap  = flag.Duration("expr-timeout", 5*time.Minute, "total oracle time per expression (the paper's 5-minute cap; 0 disables)")
+	)
+	flag.Parse()
+
+	widths := []harvest.WidthWeight{{Width: 4, Weight: 10}, {Width: 8, Weight: 45}}
+	if *maxWidth >= 13 {
+		widths = append(widths, harvest.WidthWeight{Width: 13, Weight: 15})
+	}
+	if *maxWidth >= 16 {
+		widths = append(widths, harvest.WidthWeight{Width: 16, Weight: 30})
+	}
+	var corpus []harvest.Expr
+	if *loadFile != "" {
+		data, err := os.Open(*loadFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "precision-table:", err)
+			os.Exit(1)
+		}
+		corpus, err = harvest.ReadCorpus(data)
+		data.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "precision-table:", err)
+			os.Exit(1)
+		}
+	} else {
+		corpus = harvest.Generate(harvest.Config{
+			Seed:         *seed,
+			NumExprs:     *n,
+			MaxInsts:     *maxInsts,
+			Widths:       widths,
+			MaxCastWidth: *maxWidth,
+		})
+		if *fragsToo {
+			for _, fr := range harvest.PaperFragments {
+				corpus = append(corpus, harvest.Expr{Name: "paper-" + fr.Name, F: fr.TestF(), Freq: 1})
+			}
+		}
+	}
+	if *saveFile != "" {
+		out, err := os.Create(*saveFile)
+		if err == nil {
+			err = harvest.WriteCorpus(out, corpus)
+			if cerr := out.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "precision-table:", err)
+			os.Exit(1)
+		}
+	}
+
+	if !*asJSON {
+		stats := harvest.ComputeStats(corpus)
+		fmt.Println("Corpus (stand-in for the SPEC CPU 2017 harvest, §3.1):")
+		fmt.Print(stats)
+		fmt.Println()
+	}
+
+	c := &compare.Comparator{
+		Analyzer: &llvmport.Analyzer{
+			Bugs:   llvmport.BugConfig{NonZeroAdd: *bug1, SRemSignBits: *bug2, SRemKnownBits: *bug3},
+			Modern: *modern,
+		},
+		Budget:      *budget,
+		Workers:     *workers,
+		ExprTimeout: *exprCap,
+	}
+	rep := c.Run(corpus)
+	if *asJSON {
+		data, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "precision-table:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Println("Table 1: comparing the precision of the LLVM-port dataflow analyses")
+		fmt.Println("and the solver-based maximally precise algorithms.")
+		fmt.Println()
+		fmt.Print(rep.Table())
+	}
+
+	if len(rep.Findings) > 0 {
+		os.Exit(1) // soundness bugs found
+	}
+}

@@ -1,0 +1,10 @@
+// Package dfcheck reproduces "Testing Static Analyses for Precision and
+// Soundness" (Taneja, Liu, Regehr; CGO 2020): solver-based algorithms that
+// compute sound and maximally precise dataflow facts, used as a test
+// oracle against a port of LLVM's static analyses.
+//
+// The public surface lives in the command-line tools (cmd/...) and the
+// examples (examples/...); the library packages are under internal/. See
+// README.md for the architecture and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package dfcheck

@@ -1,0 +1,63 @@
+// Imprecisions walks every code fragment from the paper's §4.2–4.5 — the
+// LLVM imprecision examples — and reproduces both sides of each one: the
+// maximally precise fact from the solver-based oracle and the imprecise
+// fact from the LLVM-port analyses, checked against the values the paper
+// prints.
+//
+//	go run ./examples/imprecisions
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dfcheck/internal/compare"
+	"dfcheck/internal/core"
+	"dfcheck/internal/harvest"
+)
+
+func main() {
+	mismatches := 0
+	for _, fr := range harvest.PaperFragments {
+		fmt.Printf("=== §%s %s (%s) ===\n", fr.Section, fr.Name, fr.Analysis)
+		f := fr.TestF()
+		fmt.Print(f)
+
+		results := core.Check(f, core.Options{})
+		for _, r := range results {
+			if r.Analysis != fr.Analysis {
+				continue
+			}
+			fmt.Printf("Precise %s: %s\n", r.Analysis, r.OracleFact)
+			fmt.Printf("LLVM    %s: %s\n", r.Analysis, r.LLVMFact)
+			okOracle := factMatches(r.OracleFact, fr.Precise)
+			okLLVM := factMatches(r.LLVMFact, fr.LLVM)
+			switch {
+			case r.Outcome == compare.ResourceExhausted:
+				fmt.Println("-> resource exhaustion (sound, possibly imprecise)")
+			case okOracle && okLLVM:
+				fmt.Println("-> matches the paper's report")
+			default:
+				fmt.Printf("-> MISMATCH: paper says precise=%s llvm=%s\n", fr.Precise, fr.LLVM)
+				mismatches++
+			}
+		}
+		fmt.Println()
+	}
+	if mismatches > 0 {
+		fmt.Fprintf(os.Stderr, "%d fragments deviate from the paper\n", mismatches)
+		os.Exit(1)
+	}
+	fmt.Println("All fragments reproduce the paper's reported facts.")
+}
+
+// factMatches maps the paper's yes/no notation onto the tool's booleans.
+func factMatches(got, paper string) bool {
+	switch paper {
+	case "yes":
+		return got == "true"
+	case "no":
+		return got == "false"
+	}
+	return got == paper
+}

@@ -1,0 +1,63 @@
+// Soundnessbugs walks the paper's §4.7: three historical LLVM soundness
+// bugs are re-introduced into the compiler under test one at a time, and
+// the comparator catches each one because the buggy compiler claims a
+// fact that is "more precise" than the maximally precise oracle result —
+// an impossibility for a sound analysis.
+//
+//	go run ./examples/soundnessbugs
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dfcheck/internal/compare"
+	"dfcheck/internal/core"
+	"dfcheck/internal/harvest"
+	"dfcheck/internal/ir"
+	"dfcheck/internal/llvmport"
+)
+
+func main() {
+	ok := true
+	for _, tr := range harvest.SoundnessTriggers {
+		var bugs llvmport.BugConfig
+		var desc string
+		switch tr.Bug {
+		case 1:
+			bugs.NonZeroAdd = true
+			desc = "isKnownNonZero believes a sum of two non-negative values is non-zero\n" +
+				"(introduced in r124183, fixed in r124184 and r124188)"
+		case 2:
+			bugs.SRemSignBits = true
+			desc = "ComputeNumSignBits over-counts for srem with a non-power-of-two constant\n" +
+				"(the miscompilation of PR23011, fixed in r233225)"
+		case 3:
+			bugs.SRemKnownBits = true
+			desc = "computeKnownBits copies the dividend's trailing zeros through srem\n" +
+				"(the wrong-code bug of PR12541, fixed in r155818)"
+		}
+		fmt.Printf("=== Soundness bug %d ===\n%s\n\n", tr.Bug, desc)
+		f := ir.MustParse(tr.Source)
+		fmt.Print(f)
+
+		results := core.Check(f, core.Options{Bugs: bugs})
+		for _, r := range results {
+			if r.Analysis != tr.Analysis {
+				continue
+			}
+			fmt.Printf("\n%s from our tool: %s\n", r.Analysis, r.OracleFact)
+			fmt.Printf("%s from llvm: %s\n", r.Analysis, r.LLVMFact)
+			if r.Outcome == compare.LLVMMorePrecise {
+				fmt.Println("llvm is stronger   <- the impossible outcome that signals a soundness bug")
+			} else {
+				fmt.Printf("unexpected outcome: %s\n", r.Outcome)
+				ok = false
+			}
+		}
+		fmt.Println()
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module dfcheck
+
+go 1.22

@@ -1,0 +1,534 @@
+// Package apint implements fixed-width two's-complement integers of 1 to 64
+// bits, modeled on LLVM's APInt. Values are immutable: every operation
+// returns a new value. The representation invariant is that the stored
+// uint64 never has bits set above the width.
+//
+// apint is the arithmetic substrate for the IR interpreter, the abstract
+// domains (known bits, constant ranges), and the bit-blaster's constant
+// folding, so its semantics must agree exactly across all of them. Division
+// and remainder by zero panic here; callers that need total semantics (the
+// interpreter's UB tracking, the solver's side conditions) check first.
+package apint
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+)
+
+// MaxWidth is the largest supported bit width.
+const MaxWidth = 64
+
+// Int is a fixed-width two's-complement integer.
+type Int struct {
+	width uint
+	val   uint64 // invariant: val&^mask(width) == 0
+}
+
+func mask(w uint) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << w) - 1
+}
+
+func checkWidth(w uint) {
+	if w == 0 || w > MaxWidth {
+		panic(fmt.Sprintf("apint: invalid width %d", w))
+	}
+}
+
+// New returns an Int of the given width holding v truncated to that width.
+func New(w uint, v uint64) Int {
+	checkWidth(w)
+	return Int{width: w, val: v & mask(w)}
+}
+
+// NewSigned returns an Int of the given width holding the two's-complement
+// encoding of v truncated to that width.
+func NewSigned(w uint, v int64) Int {
+	return New(w, uint64(v))
+}
+
+// Zero returns the zero value of the given width.
+func Zero(w uint) Int { return New(w, 0) }
+
+// One returns 1 at the given width.
+func One(w uint) Int { return New(w, 1) }
+
+// AllOnes returns the value with every bit set (-1) at the given width.
+func AllOnes(w uint) Int { return New(w, ^uint64(0)) }
+
+// MaxUnsigned returns the largest unsigned value at the given width.
+func MaxUnsigned(w uint) Int { return AllOnes(w) }
+
+// MaxSigned returns the largest signed value (0111...1) at the given width.
+func MaxSigned(w uint) Int {
+	checkWidth(w)
+	return Int{width: w, val: mask(w) >> 1}
+}
+
+// MinSigned returns the smallest signed value (1000...0) at the given width.
+func MinSigned(w uint) Int {
+	checkWidth(w)
+	return Int{width: w, val: uint64(1) << (w - 1)}
+}
+
+// SignBitValue returns the value with only the sign bit set, identical to
+// MinSigned but named for bit-mask use.
+func SignBitValue(w uint) Int { return MinSigned(w) }
+
+// Width returns the bit width.
+func (a Int) Width() uint { return a.width }
+
+// Uint64 returns the raw (zero-extended) value.
+func (a Int) Uint64() uint64 { return a.val }
+
+// Int64 returns the sign-extended value.
+func (a Int) Int64() int64 {
+	if a.width == 64 {
+		return int64(a.val)
+	}
+	shift := 64 - a.width
+	return int64(a.val<<shift) >> shift
+}
+
+// IsZero reports whether the value is zero.
+func (a Int) IsZero() bool { return a.val == 0 }
+
+// IsOne reports whether the value is one.
+func (a Int) IsOne() bool { return a.val == 1 }
+
+// IsAllOnes reports whether every bit is set.
+func (a Int) IsAllOnes() bool { return a.val == mask(a.width) }
+
+// IsMaxSigned reports whether the value is the largest signed value.
+func (a Int) IsMaxSigned() bool { return a.val == MaxSigned(a.width).val }
+
+// IsMinSigned reports whether the value is the smallest signed value.
+func (a Int) IsMinSigned() bool { return a.val == MinSigned(a.width).val }
+
+// IsNegative reports whether the sign bit is set.
+func (a Int) IsNegative() bool { return a.val>>(a.width-1) == 1 }
+
+// IsNonNegative reports whether the sign bit is clear.
+func (a Int) IsNonNegative() bool { return !a.IsNegative() }
+
+// IsStrictlyPositive reports whether the value is > 0 in signed order.
+func (a Int) IsStrictlyPositive() bool { return !a.IsZero() && a.IsNonNegative() }
+
+// IsPowerOfTwo reports whether exactly one bit is set.
+func (a Int) IsPowerOfTwo() bool { return a.val != 0 && a.val&(a.val-1) == 0 }
+
+// Bit returns bit i (0 = least significant).
+func (a Int) Bit(i uint) bool {
+	if i >= a.width {
+		panic(fmt.Sprintf("apint: bit %d out of range for width %d", i, a.width))
+	}
+	return a.val>>i&1 == 1
+}
+
+// SetBit returns a copy with bit i set.
+func (a Int) SetBit(i uint) Int {
+	if i >= a.width {
+		panic(fmt.Sprintf("apint: bit %d out of range for width %d", i, a.width))
+	}
+	return Int{width: a.width, val: a.val | uint64(1)<<i}
+}
+
+// ClearBit returns a copy with bit i cleared.
+func (a Int) ClearBit(i uint) Int {
+	if i >= a.width {
+		panic(fmt.Sprintf("apint: bit %d out of range for width %d", i, a.width))
+	}
+	return Int{width: a.width, val: a.val &^ (uint64(1) << i)}
+}
+
+// FlipBit returns a copy with bit i inverted.
+func (a Int) FlipBit(i uint) Int {
+	if i >= a.width {
+		panic(fmt.Sprintf("apint: bit %d out of range for width %d", i, a.width))
+	}
+	return Int{width: a.width, val: a.val ^ uint64(1)<<i}
+}
+
+func (a Int) sameWidth(b Int, op string) {
+	if a.width != b.width {
+		panic(fmt.Sprintf("apint: %s width mismatch %d vs %d", op, a.width, b.width))
+	}
+}
+
+// Add returns a+b mod 2^w.
+func (a Int) Add(b Int) Int {
+	a.sameWidth(b, "add")
+	return New(a.width, a.val+b.val)
+}
+
+// Sub returns a-b mod 2^w.
+func (a Int) Sub(b Int) Int {
+	a.sameWidth(b, "sub")
+	return New(a.width, a.val-b.val)
+}
+
+// Neg returns -a mod 2^w.
+func (a Int) Neg() Int { return New(a.width, -a.val) }
+
+// Mul returns a*b mod 2^w.
+func (a Int) Mul(b Int) Int {
+	a.sameWidth(b, "mul")
+	return New(a.width, a.val*b.val)
+}
+
+// UDiv returns the unsigned quotient a/b. Panics if b is zero.
+func (a Int) UDiv(b Int) Int {
+	a.sameWidth(b, "udiv")
+	if b.val == 0 {
+		panic("apint: unsigned division by zero")
+	}
+	return New(a.width, a.val/b.val)
+}
+
+// URem returns the unsigned remainder a%b. Panics if b is zero.
+func (a Int) URem(b Int) Int {
+	a.sameWidth(b, "urem")
+	if b.val == 0 {
+		panic("apint: unsigned remainder by zero")
+	}
+	return New(a.width, a.val%b.val)
+}
+
+// SDiv returns the signed quotient truncated toward zero. Panics if b is
+// zero. MinSigned/-1 wraps to MinSigned (matching two's-complement hardware;
+// LLVM calls that case UB and the interpreter flags it separately).
+func (a Int) SDiv(b Int) Int {
+	a.sameWidth(b, "sdiv")
+	if b.val == 0 {
+		panic("apint: signed division by zero")
+	}
+	if a.IsMinSigned() && b.IsAllOnes() {
+		return a
+	}
+	return NewSigned(a.width, a.Int64()/b.Int64())
+}
+
+// SRem returns the signed remainder (sign follows the dividend). Panics if b
+// is zero. MinSigned%-1 is 0.
+func (a Int) SRem(b Int) Int {
+	a.sameWidth(b, "srem")
+	if b.val == 0 {
+		panic("apint: signed remainder by zero")
+	}
+	if a.IsMinSigned() && b.IsAllOnes() {
+		return Zero(a.width)
+	}
+	return NewSigned(a.width, a.Int64()%b.Int64())
+}
+
+// And returns the bitwise conjunction.
+func (a Int) And(b Int) Int {
+	a.sameWidth(b, "and")
+	return Int{width: a.width, val: a.val & b.val}
+}
+
+// Or returns the bitwise disjunction.
+func (a Int) Or(b Int) Int {
+	a.sameWidth(b, "or")
+	return Int{width: a.width, val: a.val | b.val}
+}
+
+// Xor returns the bitwise exclusive or.
+func (a Int) Xor(b Int) Int {
+	a.sameWidth(b, "xor")
+	return Int{width: a.width, val: a.val ^ b.val}
+}
+
+// Not returns the bitwise complement.
+func (a Int) Not() Int { return Int{width: a.width, val: ^a.val & mask(a.width)} }
+
+// Shl returns a << s. Shift amounts >= width yield zero (callers that model
+// LLVM poison must check separately).
+func (a Int) Shl(s uint) Int {
+	if s >= a.width {
+		return Zero(a.width)
+	}
+	return New(a.width, a.val<<s)
+}
+
+// LShr returns the logical right shift a >> s, zero for s >= width.
+func (a Int) LShr(s uint) Int {
+	if s >= a.width {
+		return Zero(a.width)
+	}
+	return Int{width: a.width, val: a.val >> s}
+}
+
+// AShr returns the arithmetic right shift; s >= width yields all sign bits.
+func (a Int) AShr(s uint) Int {
+	if s >= a.width {
+		if a.IsNegative() {
+			return AllOnes(a.width)
+		}
+		return Zero(a.width)
+	}
+	return NewSigned(a.width, a.Int64()>>s)
+}
+
+// RotL rotates left by s (mod width).
+func (a Int) RotL(s uint) Int {
+	s %= a.width
+	if s == 0 {
+		return a
+	}
+	return Int{width: a.width, val: (a.val<<s | a.val>>(a.width-s)) & mask(a.width)}
+}
+
+// RotR rotates right by s (mod width).
+func (a Int) RotR(s uint) Int {
+	return a.RotL(a.width - s%a.width)
+}
+
+// Trunc truncates to a smaller (or equal) width.
+func (a Int) Trunc(w uint) Int {
+	checkWidth(w)
+	if w > a.width {
+		panic(fmt.Sprintf("apint: trunc from %d to larger width %d", a.width, w))
+	}
+	return New(w, a.val)
+}
+
+// ZExt zero-extends to a larger (or equal) width.
+func (a Int) ZExt(w uint) Int {
+	checkWidth(w)
+	if w < a.width {
+		panic(fmt.Sprintf("apint: zext from %d to smaller width %d", a.width, w))
+	}
+	return Int{width: w, val: a.val}
+}
+
+// SExt sign-extends to a larger (or equal) width.
+func (a Int) SExt(w uint) Int {
+	checkWidth(w)
+	if w < a.width {
+		panic(fmt.Sprintf("apint: sext from %d to smaller width %d", a.width, w))
+	}
+	return New(w, uint64(a.Int64()))
+}
+
+// Eq reports a == b.
+func (a Int) Eq(b Int) bool { a.sameWidth(b, "eq"); return a.val == b.val }
+
+// Ne reports a != b.
+func (a Int) Ne(b Int) bool { return !a.Eq(b) }
+
+// ULT reports a < b unsigned.
+func (a Int) ULT(b Int) bool { a.sameWidth(b, "ult"); return a.val < b.val }
+
+// ULE reports a <= b unsigned.
+func (a Int) ULE(b Int) bool { a.sameWidth(b, "ule"); return a.val <= b.val }
+
+// UGT reports a > b unsigned.
+func (a Int) UGT(b Int) bool { return b.ULT(a) }
+
+// UGE reports a >= b unsigned.
+func (a Int) UGE(b Int) bool { return b.ULE(a) }
+
+// SLT reports a < b signed.
+func (a Int) SLT(b Int) bool { a.sameWidth(b, "slt"); return a.Int64() < b.Int64() }
+
+// SLE reports a <= b signed.
+func (a Int) SLE(b Int) bool { a.sameWidth(b, "sle"); return a.Int64() <= b.Int64() }
+
+// SGT reports a > b signed.
+func (a Int) SGT(b Int) bool { return b.SLT(a) }
+
+// SGE reports a >= b signed.
+func (a Int) SGE(b Int) bool { return b.SLE(a) }
+
+// UMin returns the unsigned minimum of a and b.
+func (a Int) UMin(b Int) Int {
+	if a.ULT(b) {
+		return a
+	}
+	return b
+}
+
+// UMax returns the unsigned maximum of a and b.
+func (a Int) UMax(b Int) Int {
+	if a.UGT(b) {
+		return a
+	}
+	return b
+}
+
+// SMin returns the signed minimum of a and b.
+func (a Int) SMin(b Int) Int {
+	if a.SLT(b) {
+		return a
+	}
+	return b
+}
+
+// SMax returns the signed maximum of a and b.
+func (a Int) SMax(b Int) Int {
+	if a.SGT(b) {
+		return a
+	}
+	return b
+}
+
+// PopCount returns the number of set bits.
+func (a Int) PopCount() uint { return uint(bits.OnesCount64(a.val)) }
+
+// CountLeadingZeros returns the number of zero bits above the highest set
+// bit, within the value's width.
+func (a Int) CountLeadingZeros() uint {
+	return uint(bits.LeadingZeros64(a.val)) - (64 - a.width)
+}
+
+// CountTrailingZeros returns the number of zero bits below the lowest set
+// bit; equal to the width when the value is zero.
+func (a Int) CountTrailingZeros() uint {
+	if a.val == 0 {
+		return a.width
+	}
+	return uint(bits.TrailingZeros64(a.val))
+}
+
+// CountLeadingOnes returns the number of consecutive set high-order bits.
+func (a Int) CountLeadingOnes() uint { return a.Not().CountLeadingZeros() }
+
+// NumSignBits returns the number of leading bits equal to the sign bit;
+// always at least 1.
+func (a Int) NumSignBits() uint {
+	if a.IsNegative() {
+		return a.CountLeadingOnes()
+	}
+	n := a.CountLeadingZeros()
+	if n == 0 {
+		// Unreachable: a non-negative value has its top bit clear.
+		panic("apint: non-negative value with no leading zeros")
+	}
+	return n
+}
+
+// ByteSwap reverses byte order. Panics unless the width is a multiple of 8.
+func (a Int) ByteSwap() Int {
+	if a.width%8 != 0 {
+		panic(fmt.Sprintf("apint: bswap of non-byte width %d", a.width))
+	}
+	return Int{width: a.width, val: bits.ReverseBytes64(a.val) >> (64 - a.width)}
+}
+
+// ReverseBits reverses bit order.
+func (a Int) ReverseBits() Int {
+	return Int{width: a.width, val: bits.Reverse64(a.val) >> (64 - a.width)}
+}
+
+// AbsValue returns |a| mod 2^w (MinSigned maps to itself).
+func (a Int) AbsValue() Int {
+	if a.IsNegative() {
+		return a.Neg()
+	}
+	return a
+}
+
+// UAddOverflow reports whether a+b overflows unsigned.
+func (a Int) UAddOverflow(b Int) bool {
+	a.sameWidth(b, "uadd.ov")
+	return a.Add(b).ULT(a)
+}
+
+// SAddOverflow reports whether a+b overflows signed.
+func (a Int) SAddOverflow(b Int) bool {
+	a.sameWidth(b, "sadd.ov")
+	s := a.Add(b)
+	// Overflow iff the operands share a sign that differs from the result's.
+	return a.IsNegative() == b.IsNegative() && s.IsNegative() != a.IsNegative()
+}
+
+// USubOverflow reports whether a-b underflows unsigned.
+func (a Int) USubOverflow(b Int) bool {
+	a.sameWidth(b, "usub.ov")
+	return a.ULT(b)
+}
+
+// SSubOverflow reports whether a-b overflows signed.
+func (a Int) SSubOverflow(b Int) bool {
+	a.sameWidth(b, "ssub.ov")
+	d := a.Sub(b)
+	return a.IsNegative() != b.IsNegative() && d.IsNegative() != a.IsNegative()
+}
+
+// UMulOverflow reports whether a*b overflows unsigned.
+func (a Int) UMulOverflow(b Int) bool {
+	a.sameWidth(b, "umul.ov")
+	hi, lo := bits.Mul64(a.val, b.val)
+	return hi != 0 || lo&^mask(a.width) != 0
+}
+
+// SMulOverflow reports whether a*b overflows signed.
+func (a Int) SMulOverflow(b Int) bool {
+	a.sameWidth(b, "smul.ov")
+	x, y := a.Int64(), b.Int64()
+	if a.width <= 32 {
+		// The exact product fits in int64.
+		p := x * y
+		return p != NewSigned(a.width, p).Int64()
+	}
+	if x == 0 || y == 0 {
+		return false
+	}
+	// First decide whether x*y overflows int64 itself; if it does, its
+	// magnitude is at least 2^63 >= 2^(width-1), so it overflows at any
+	// supported width too.
+	p := x * y
+	if x == -1 {
+		if y == int64(-1)<<63 {
+			return true
+		}
+	} else if p/x != y {
+		return true
+	}
+	return p != NewSigned(a.width, p).Int64()
+}
+
+// UShlOverflow reports whether a<<s loses set bits (unsigned overflow).
+func (a Int) UShlOverflow(s uint) bool {
+	if s >= a.width {
+		return !a.IsZero()
+	}
+	return a.Shl(s).LShr(s).Ne(a)
+}
+
+// SShlOverflow reports whether a<<s changes value when interpreted signed.
+func (a Int) SShlOverflow(s uint) bool {
+	if s >= a.width {
+		return !a.IsZero()
+	}
+	return a.Shl(s).AShr(s).Ne(a)
+}
+
+// String renders the value as an unsigned decimal with width suffix,
+// matching Souper constant syntax (e.g. "255:i8").
+func (a Int) String() string {
+	return strconv.FormatUint(a.val, 10) + ":i" + strconv.FormatUint(uint64(a.width), 10)
+}
+
+// SignedString renders the value as a signed decimal.
+func (a Int) SignedString() string {
+	return strconv.FormatInt(a.Int64(), 10)
+}
+
+// BitString renders the value as a width-length binary string, most
+// significant bit first (the notation used in the paper's examples).
+func (a Int) BitString() string {
+	buf := make([]byte, a.width)
+	for i := uint(0); i < a.width; i++ {
+		if a.Bit(a.width - 1 - i) {
+			buf[i] = '1'
+		} else {
+			buf[i] = '0'
+		}
+	}
+	return string(buf)
+}

@@ -1,0 +1,512 @@
+package apint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructors(t *testing.T) {
+	if got := New(8, 300).Uint64(); got != 44 {
+		t.Errorf("New(8,300) = %d, want 44", got)
+	}
+	if got := NewSigned(8, -1).Uint64(); got != 255 {
+		t.Errorf("NewSigned(8,-1) = %d, want 255", got)
+	}
+	if got := AllOnes(4).Uint64(); got != 15 {
+		t.Errorf("AllOnes(4) = %d, want 15", got)
+	}
+	if got := MaxSigned(8).Int64(); got != 127 {
+		t.Errorf("MaxSigned(8) = %d, want 127", got)
+	}
+	if got := MinSigned(8).Int64(); got != -128 {
+		t.Errorf("MinSigned(8) = %d, want -128", got)
+	}
+	if got := MaxUnsigned(64).Uint64(); got != math.MaxUint64 {
+		t.Errorf("MaxUnsigned(64) = %d", got)
+	}
+}
+
+func TestInvalidWidthPanics(t *testing.T) {
+	for _, w := range []uint{0, 65, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, 0) did not panic", w)
+				}
+			}()
+			New(w, 0)
+		}()
+	}
+}
+
+func TestInt64SignExtension(t *testing.T) {
+	cases := []struct {
+		w    uint
+		v    uint64
+		want int64
+	}{
+		{1, 1, -1},
+		{1, 0, 0},
+		{4, 8, -8},
+		{4, 7, 7},
+		{8, 128, -128},
+		{8, 255, -1},
+		{32, 0x80000000, math.MinInt32},
+		{64, 0xFFFFFFFFFFFFFFFF, -1},
+	}
+	for _, c := range cases {
+		if got := New(c.w, c.v).Int64(); got != c.want {
+			t.Errorf("New(%d,%d).Int64() = %d, want %d", c.w, c.v, got, c.want)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !Zero(8).IsZero() || One(8).IsZero() {
+		t.Error("IsZero wrong")
+	}
+	if !New(8, 128).IsNegative() || New(8, 127).IsNegative() {
+		t.Error("IsNegative wrong")
+	}
+	if !New(8, 64).IsPowerOfTwo() || New(8, 0).IsPowerOfTwo() || New(8, 3).IsPowerOfTwo() {
+		t.Error("IsPowerOfTwo wrong")
+	}
+	if !New(8, 1).IsStrictlyPositive() || Zero(8).IsStrictlyPositive() || New(8, 200).IsStrictlyPositive() {
+		t.Error("IsStrictlyPositive wrong")
+	}
+	if !MinSigned(16).IsMinSigned() || !MaxSigned(16).IsMaxSigned() {
+		t.Error("min/max signed predicates wrong")
+	}
+}
+
+func TestBitOps(t *testing.T) {
+	a := Zero(8)
+	a = a.SetBit(3)
+	if a.Uint64() != 8 || !a.Bit(3) || a.Bit(2) {
+		t.Errorf("SetBit/Bit wrong: %v", a)
+	}
+	a = a.FlipBit(3).FlipBit(0)
+	if a.Uint64() != 1 {
+		t.Errorf("FlipBit wrong: %v", a)
+	}
+	a = a.ClearBit(0)
+	if !a.IsZero() {
+		t.Errorf("ClearBit wrong: %v", a)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Bit out of range did not panic")
+			}
+		}()
+		Zero(8).Bit(8)
+	}()
+}
+
+func TestArithmeticWrapping(t *testing.T) {
+	if got := New(8, 255).Add(One(8)); !got.IsZero() {
+		t.Errorf("255+1 at i8 = %v, want 0", got)
+	}
+	if got := Zero(8).Sub(One(8)); !got.IsAllOnes() {
+		t.Errorf("0-1 at i8 = %v, want 255", got)
+	}
+	if got := New(8, 16).Mul(New(8, 16)); !got.IsZero() {
+		t.Errorf("16*16 at i8 = %v, want 0", got)
+	}
+	if got := New(8, 200).Neg().Uint64(); got != 56 {
+		t.Errorf("-200 at i8 = %d, want 56", got)
+	}
+}
+
+func TestDivRem(t *testing.T) {
+	if got := New(8, 200).UDiv(New(8, 7)).Uint64(); got != 28 {
+		t.Errorf("200/7 = %d, want 28", got)
+	}
+	if got := New(8, 200).URem(New(8, 7)).Uint64(); got != 4 {
+		t.Errorf("200%%7 = %d, want 4", got)
+	}
+	if got := NewSigned(8, -7).SDiv(NewSigned(8, 2)).Int64(); got != -3 {
+		t.Errorf("-7 sdiv 2 = %d, want -3 (truncate toward zero)", got)
+	}
+	if got := NewSigned(8, -7).SRem(NewSigned(8, 2)).Int64(); got != -1 {
+		t.Errorf("-7 srem 2 = %d, want -1", got)
+	}
+	if got := NewSigned(8, 7).SRem(NewSigned(8, -2)).Int64(); got != 1 {
+		t.Errorf("7 srem -2 = %d, want 1", got)
+	}
+	if got := MinSigned(8).SDiv(AllOnes(8)); !got.IsMinSigned() {
+		t.Errorf("MinSigned sdiv -1 = %v, want MinSigned wrap", got)
+	}
+	if got := MinSigned(8).SRem(AllOnes(8)); !got.IsZero() {
+		t.Errorf("MinSigned srem -1 = %v, want 0", got)
+	}
+	for _, f := range []func(){
+		func() { One(8).UDiv(Zero(8)) },
+		func() { One(8).URem(Zero(8)) },
+		func() { One(8).SDiv(Zero(8)) },
+		func() { One(8).SRem(Zero(8)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("division by zero did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestShifts(t *testing.T) {
+	if got := New(8, 32).Shl(2).Uint64(); got != 128 {
+		t.Errorf("32<<2 = %d, want 128", got)
+	}
+	if got := New(8, 32).Shl(3).Uint64(); got != 0 {
+		t.Errorf("32<<3 at i8 = %d, want 0 (wrapped)", got)
+	}
+	if got := New(8, 32).Shl(8); !got.IsZero() {
+		t.Errorf("shl by width = %v, want 0", got)
+	}
+	if got := New(8, 0x80).LShr(7).Uint64(); got != 1 {
+		t.Errorf("0x80 lshr 7 = %d, want 1", got)
+	}
+	if got := New(8, 0x80).AShr(7); !got.IsAllOnes() {
+		t.Errorf("0x80 ashr 7 = %v, want all ones", got)
+	}
+	if got := New(8, 0x40).AShr(3).Uint64(); got != 8 {
+		t.Errorf("0x40 ashr 3 = %d, want 8", got)
+	}
+	if got := New(8, 0x80).AShr(100); !got.IsAllOnes() {
+		t.Errorf("negative ashr >= width = %v, want all ones", got)
+	}
+	if got := New(8, 0x40).AShr(100); !got.IsZero() {
+		t.Errorf("positive ashr >= width = %v, want zero", got)
+	}
+}
+
+func TestRotates(t *testing.T) {
+	if got := New(8, 0b10000001).RotL(1).Uint64(); got != 0b00000011 {
+		t.Errorf("rotl = %b", got)
+	}
+	if got := New(8, 0b10000001).RotR(1).Uint64(); got != 0b11000000 {
+		t.Errorf("rotr = %b", got)
+	}
+	if got := New(8, 0xAB).RotL(8); got.Uint64() != 0xAB {
+		t.Errorf("rotl by width = %x, want identity", got.Uint64())
+	}
+	if got := New(5, 0b10001).RotL(1).Uint64(); got != 0b00011 {
+		t.Errorf("rotl width 5 = %b", got)
+	}
+}
+
+func TestCasts(t *testing.T) {
+	if got := New(32, 0x1234).Trunc(8).Uint64(); got != 0x34 {
+		t.Errorf("trunc = %x", got)
+	}
+	if got := New(4, 0xF).ZExt(8).Uint64(); got != 0xF {
+		t.Errorf("zext = %x", got)
+	}
+	if got := New(4, 0xF).SExt(8).Uint64(); got != 0xFF {
+		t.Errorf("sext = %x", got)
+	}
+	if got := New(4, 0x7).SExt(8).Uint64(); got != 0x7 {
+		t.Errorf("sext positive = %x", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("trunc to larger width did not panic")
+			}
+		}()
+		New(8, 0).Trunc(16)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zext to smaller width did not panic")
+			}
+		}()
+		New(8, 0).ZExt(4)
+	}()
+}
+
+func TestComparisons(t *testing.T) {
+	a, b := New(8, 200), New(8, 100) // signed: -56 vs 100
+	if !a.UGT(b) || !b.ULT(a) || !a.UGE(b) || !b.ULE(a) {
+		t.Error("unsigned comparisons wrong")
+	}
+	if !a.SLT(b) || !b.SGT(a) || !a.SLE(b) || !b.SGE(a) {
+		t.Error("signed comparisons wrong")
+	}
+	if !a.Eq(a) || a.Eq(b) || !a.Ne(b) {
+		t.Error("eq/ne wrong")
+	}
+	if got := a.UMax(b); got.Ne(a) {
+		t.Error("umax wrong")
+	}
+	if got := a.SMax(b); got.Ne(b) {
+		t.Error("smax wrong")
+	}
+	if got := a.UMin(b); got.Ne(b) {
+		t.Error("umin wrong")
+	}
+	if got := a.SMin(b); got.Ne(a) {
+		t.Error("smin wrong")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	a := New(8, 0b00110100)
+	if got := a.PopCount(); got != 3 {
+		t.Errorf("popcount = %d, want 3", got)
+	}
+	if got := a.CountLeadingZeros(); got != 2 {
+		t.Errorf("clz = %d, want 2", got)
+	}
+	if got := a.CountTrailingZeros(); got != 2 {
+		t.Errorf("ctz = %d, want 2", got)
+	}
+	if got := Zero(8).CountTrailingZeros(); got != 8 {
+		t.Errorf("ctz(0) = %d, want 8", got)
+	}
+	if got := Zero(8).CountLeadingZeros(); got != 8 {
+		t.Errorf("clz(0) = %d, want 8", got)
+	}
+	if got := New(8, 0b11100000).CountLeadingOnes(); got != 3 {
+		t.Errorf("clo = %d, want 3", got)
+	}
+}
+
+func TestNumSignBits(t *testing.T) {
+	cases := []struct {
+		w    uint
+		v    int64
+		want uint
+	}{
+		{8, 0, 8},
+		{8, -1, 8},
+		{8, 1, 7},
+		{8, -2, 7},
+		{8, 127, 1},
+		{8, -128, 1},
+		{32, 5, 29},
+		{16, -3, 14},
+		{1, 0, 1},
+		{1, -1, 1},
+	}
+	for _, c := range cases {
+		if got := NewSigned(c.w, c.v).NumSignBits(); got != c.want {
+			t.Errorf("NumSignBits(%d:i%d) = %d, want %d", c.v, c.w, got, c.want)
+		}
+	}
+}
+
+func TestByteSwapAndReverse(t *testing.T) {
+	if got := New(32, 0x12345678).ByteSwap().Uint64(); got != 0x78563412 {
+		t.Errorf("bswap = %x", got)
+	}
+	if got := New(16, 0x1234).ByteSwap().Uint64(); got != 0x3412 {
+		t.Errorf("bswap16 = %x", got)
+	}
+	if got := New(8, 0b10000010).ReverseBits().Uint64(); got != 0b01000001 {
+		t.Errorf("bitreverse = %b", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bswap of non-byte width did not panic")
+			}
+		}()
+		New(4, 0).ByteSwap()
+	}()
+}
+
+func TestAbsValue(t *testing.T) {
+	if got := NewSigned(8, -5).AbsValue().Int64(); got != 5 {
+		t.Errorf("abs(-5) = %d", got)
+	}
+	if got := NewSigned(8, 5).AbsValue().Int64(); got != 5 {
+		t.Errorf("abs(5) = %d", got)
+	}
+	if got := MinSigned(8).AbsValue(); !got.IsMinSigned() {
+		t.Errorf("abs(MinSigned) = %v, want MinSigned", got)
+	}
+}
+
+func TestOverflowPredicates(t *testing.T) {
+	if !New(8, 200).UAddOverflow(New(8, 100)) || New(8, 100).UAddOverflow(New(8, 100)) {
+		t.Error("UAddOverflow wrong")
+	}
+	if !New(8, 100).SAddOverflow(New(8, 100)) || New(8, 100).SAddOverflow(New(8, 27)) {
+		t.Error("SAddOverflow wrong")
+	}
+	if !NewSigned(8, -100).SAddOverflow(NewSigned(8, -100)) {
+		t.Error("SAddOverflow negative wrong")
+	}
+	if !New(8, 1).USubOverflow(New(8, 2)) || New(8, 2).USubOverflow(New(8, 2)) {
+		t.Error("USubOverflow wrong")
+	}
+	if !MinSigned(8).SSubOverflow(One(8)) || MaxSigned(8).SSubOverflow(One(8)) {
+		t.Error("SSubOverflow wrong")
+	}
+	if !New(8, 16).UMulOverflow(New(8, 16)) || New(8, 15).UMulOverflow(New(8, 17)) {
+		t.Error("UMulOverflow wrong")
+	}
+	if !New(8, 16).SMulOverflow(New(8, 8)) || NewSigned(8, 11).SMulOverflow(NewSigned(8, 11)) {
+		t.Error("SMulOverflow wrong")
+	}
+	if !MinSigned(8).SMulOverflow(AllOnes(8)) {
+		t.Error("SMulOverflow MinSigned*-1 should overflow")
+	}
+	if !New(8, 3).UShlOverflow(7) || New(8, 1).UShlOverflow(7) {
+		t.Error("UShlOverflow wrong")
+	}
+	if !New(8, 1).SShlOverflow(7) || New(8, 1).SShlOverflow(6) {
+		t.Error("SShlOverflow wrong")
+	}
+}
+
+func TestOverflow64(t *testing.T) {
+	big := New(64, math.MaxInt64)
+	if !big.SMulOverflow(New(64, 2)) {
+		t.Error("SMulOverflow at 64 bits wrong")
+	}
+	if New(64, 3).SMulOverflow(New(64, 5)) {
+		t.Error("small 64-bit SMulOverflow wrong")
+	}
+	if !MinSigned(64).SMulOverflow(AllOnes(64)) {
+		t.Error("MinSigned64 * -1 should overflow")
+	}
+	if AllOnes(64).SMulOverflow(One(64)) {
+		t.Error("-1 * 1 should not overflow")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if got := New(8, 255).String(); got != "255:i8" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New(8, 255).SignedString(); got != "-1" {
+		t.Errorf("SignedString = %q", got)
+	}
+	if got := New(8, 0b10100101).BitString(); got != "10100101" {
+		t.Errorf("BitString = %q", got)
+	}
+	if got := New(4, 0b0101).BitString(); got != "0101" {
+		t.Errorf("BitString width 4 = %q", got)
+	}
+}
+
+// Property tests: cross-check width-8 arithmetic against native Go integers.
+
+func TestQuickAddSubMul(t *testing.T) {
+	f := func(x, y uint8) bool {
+		a, b := New(8, uint64(x)), New(8, uint64(y))
+		return a.Add(b).Uint64() == uint64(x+y) &&
+			a.Sub(b).Uint64() == uint64(x-y) &&
+			a.Mul(b).Uint64() == uint64(x*y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDivRem(t *testing.T) {
+	f := func(x, y uint8) bool {
+		if y == 0 {
+			return true
+		}
+		a, b := New(8, uint64(x)), New(8, uint64(y))
+		if a.UDiv(b).Uint64() != uint64(x/y) || a.URem(b).Uint64() != uint64(x%y) {
+			return false
+		}
+		sx, sy := int8(x), int8(y)
+		if sx == math.MinInt8 && sy == -1 {
+			return true // wrap case checked separately
+		}
+		return a.SDiv(b).Int64() == int64(sx/sy) && a.SRem(b).Int64() == int64(sx%sy)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBitwise(t *testing.T) {
+	f := func(x, y uint8) bool {
+		a, b := New(8, uint64(x)), New(8, uint64(y))
+		return a.And(b).Uint64() == uint64(x&y) &&
+			a.Or(b).Uint64() == uint64(x|y) &&
+			a.Xor(b).Uint64() == uint64(x^y) &&
+			a.Not().Uint64() == uint64(^x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickShifts(t *testing.T) {
+	f := func(x uint8, s uint8) bool {
+		a := New(8, uint64(x))
+		sh := uint(s % 8)
+		return a.Shl(sh).Uint64() == uint64(x<<sh) &&
+			a.LShr(sh).Uint64() == uint64(x>>sh) &&
+			a.AShr(sh).Int64() == int64(int8(x)>>sh)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNumSignBitsMatchesDefinition(t *testing.T) {
+	f := func(x uint16) bool {
+		a := New(16, uint64(x))
+		// Count high-order bits equal to the sign bit directly.
+		sign := a.Bit(15)
+		n := uint(0)
+		for i := uint(0); i < 16; i++ {
+			if a.Bit(15-i) == sign {
+				n++
+			} else {
+				break
+			}
+		}
+		return a.NumSignBits() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRotateInverse(t *testing.T) {
+	f := func(x uint8, s uint8) bool {
+		a := New(8, uint64(x))
+		sh := uint(s)
+		return a.RotL(sh).RotR(sh).Eq(a) && a.RotR(sh).RotL(sh).Eq(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOverflowConsistency(t *testing.T) {
+	f := func(x, y uint8) bool {
+		a, b := New(8, uint64(x)), New(8, uint64(y))
+		wideS := int64(int8(x)) + int64(int8(y))
+		wideU := uint64(x) + uint64(y)
+		if a.SAddOverflow(b) != (wideS < -128 || wideS > 127) {
+			return false
+		}
+		if a.UAddOverflow(b) != (wideU > 255) {
+			return false
+		}
+		wideP := int64(int8(x)) * int64(int8(y))
+		if a.SMulOverflow(b) != (wideP < -128 || wideP > 127) {
+			return false
+		}
+		return a.UMulOverflow(b) == (uint64(x)*uint64(y) > 255)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

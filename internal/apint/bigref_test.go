@@ -1,0 +1,160 @@
+package apint
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// Reference semantics via math/big: every operation is computed in
+// arbitrary precision and reduced mod 2^w, then compared against apint.
+// This pins the 64-bit boundary behaviour that native-int tests at width
+// 8 cannot reach.
+
+func bigMask(w uint) *big.Int {
+	one := big.NewInt(1)
+	m := new(big.Int).Lsh(one, w)
+	return m.Sub(m, one)
+}
+
+func toBig(a Int) *big.Int {
+	return new(big.Int).SetUint64(a.Uint64())
+}
+
+func toBigSigned(a Int) *big.Int {
+	return big.NewInt(a.Int64())
+}
+
+func fromBig(w uint, v *big.Int) Int {
+	r := new(big.Int).And(v, bigMask(w))
+	if r.Sign() < 0 {
+		r.Add(r, new(big.Int).Lsh(big.NewInt(1), w))
+		r.And(r, bigMask(w))
+	}
+	return New(w, r.Uint64())
+}
+
+func randWidths(rng *rand.Rand) uint {
+	widths := []uint{1, 7, 8, 13, 31, 32, 33, 63, 64}
+	return widths[rng.Intn(len(widths))]
+}
+
+func TestBigRefArithmetic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 5000; trial++ {
+		w := randWidths(rng)
+		a := New(w, rng.Uint64())
+		b := New(w, rng.Uint64())
+		ba, bb := toBig(a), toBig(b)
+
+		if got, want := a.Add(b), fromBig(w, new(big.Int).Add(ba, bb)); got.Ne(want) {
+			t.Fatalf("w=%d: %v + %v = %v, want %v", w, a, b, got, want)
+		}
+		if got, want := a.Sub(b), fromBig(w, new(big.Int).Sub(ba, bb)); got.Ne(want) {
+			t.Fatalf("w=%d: %v - %v = %v, want %v", w, a, b, got, want)
+		}
+		if got, want := a.Mul(b), fromBig(w, new(big.Int).Mul(ba, bb)); got.Ne(want) {
+			t.Fatalf("w=%d: %v * %v = %v, want %v", w, a, b, got, want)
+		}
+		if got, want := a.Neg(), fromBig(w, new(big.Int).Neg(ba)); got.Ne(want) {
+			t.Fatalf("w=%d: -%v = %v, want %v", w, a, got, want)
+		}
+		if !b.IsZero() {
+			if got, want := a.UDiv(b), fromBig(w, new(big.Int).Quo(ba, bb)); got.Ne(want) {
+				t.Fatalf("w=%d: %v /u %v = %v, want %v", w, a, b, got, want)
+			}
+			if got, want := a.URem(b), fromBig(w, new(big.Int).Rem(ba, bb)); got.Ne(want) {
+				t.Fatalf("w=%d: %v %%u %v = %v, want %v", w, a, b, got, want)
+			}
+			if !(a.IsMinSigned() && b.IsAllOnes()) {
+				sa, sb := toBigSigned(a), toBigSigned(b)
+				if got, want := a.SDiv(b), fromBig(w, new(big.Int).Quo(sa, sb)); got.Ne(want) {
+					t.Fatalf("w=%d: %v /s %v = %v, want %v", w, a, b, got, want)
+				}
+				if got, want := a.SRem(b), fromBig(w, new(big.Int).Rem(sa, sb)); got.Ne(want) {
+					t.Fatalf("w=%d: %v %%s %v = %v, want %v", w, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBigRefComparisons(t *testing.T) {
+	rng := rand.New(rand.NewSource(2025))
+	for trial := 0; trial < 5000; trial++ {
+		w := randWidths(rng)
+		a := New(w, rng.Uint64())
+		b := New(w, rng.Uint64())
+		ba, bb := toBig(a), toBig(b)
+		sa, sb := toBigSigned(a), toBigSigned(b)
+
+		if a.ULT(b) != (ba.Cmp(bb) < 0) {
+			t.Fatalf("w=%d: ULT(%v,%v) wrong", w, a, b)
+		}
+		if a.SLT(b) != (sa.Cmp(sb) < 0) {
+			t.Fatalf("w=%d: SLT(%v,%v) wrong", w, a, b)
+		}
+		if a.Eq(b) != (ba.Cmp(bb) == 0) {
+			t.Fatalf("w=%d: Eq(%v,%v) wrong", w, a, b)
+		}
+	}
+}
+
+func TestBigRefShiftsAndBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 5000; trial++ {
+		w := randWidths(rng)
+		a := New(w, rng.Uint64())
+		s := uint(rng.Intn(int(w)))
+		ba := toBig(a)
+
+		if got, want := a.Shl(s), fromBig(w, new(big.Int).Lsh(ba, s)); got.Ne(want) {
+			t.Fatalf("w=%d: %v << %d = %v, want %v", w, a, s, got, want)
+		}
+		if got, want := a.LShr(s), fromBig(w, new(big.Int).Rsh(ba, s)); got.Ne(want) {
+			t.Fatalf("w=%d: %v >>u %d = %v, want %v", w, a, s, got, want)
+		}
+		sa := toBigSigned(a)
+		if got, want := a.AShr(s), fromBig(w, new(big.Int).Rsh(sa, s)); got.Ne(want) {
+			t.Fatalf("w=%d: %v >>s %d = %v, want %v", w, a, s, got, want)
+		}
+		// Bit access agrees with big.Int.Bit.
+		i := uint(rng.Intn(int(w)))
+		if a.Bit(i) != (ba.Bit(int(i)) == 1) {
+			t.Fatalf("w=%d: Bit(%d) of %v wrong", w, i, a)
+		}
+	}
+}
+
+func TestBigRefOverflowPredicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2027))
+	for trial := 0; trial < 5000; trial++ {
+		w := randWidths(rng)
+		a := New(w, rng.Uint64())
+		b := New(w, rng.Uint64())
+		maxS := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), w-1), big.NewInt(1))
+		minS := new(big.Int).Neg(new(big.Int).Lsh(big.NewInt(1), w-1))
+		maxU := bigMask(w)
+
+		sum := new(big.Int).Add(toBig(a), toBig(b))
+		if a.UAddOverflow(b) != (sum.Cmp(maxU) > 0) {
+			t.Fatalf("w=%d: UAddOverflow(%v,%v) wrong", w, a, b)
+		}
+		ssum := new(big.Int).Add(toBigSigned(a), toBigSigned(b))
+		if a.SAddOverflow(b) != (ssum.Cmp(maxS) > 0 || ssum.Cmp(minS) < 0) {
+			t.Fatalf("w=%d: SAddOverflow(%v,%v) wrong", w, a, b)
+		}
+		sdiff := new(big.Int).Sub(toBigSigned(a), toBigSigned(b))
+		if a.SSubOverflow(b) != (sdiff.Cmp(maxS) > 0 || sdiff.Cmp(minS) < 0) {
+			t.Fatalf("w=%d: SSubOverflow(%v,%v) wrong", w, a, b)
+		}
+		prod := new(big.Int).Mul(toBig(a), toBig(b))
+		if a.UMulOverflow(b) != (prod.Cmp(maxU) > 0) {
+			t.Fatalf("w=%d: UMulOverflow(%v,%v) wrong", w, a, b)
+		}
+		sprod := new(big.Int).Mul(toBigSigned(a), toBigSigned(b))
+		if a.SMulOverflow(b) != (sprod.Cmp(maxS) > 0 || sprod.Cmp(minS) < 0) {
+			t.Fatalf("w=%d: SMulOverflow(%v,%v) wrong", w, a, b)
+		}
+	}
+}

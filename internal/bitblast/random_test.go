@@ -1,0 +1,63 @@
+package bitblast
+
+import (
+	"math/rand"
+	"testing"
+
+	"dfcheck/internal/eval"
+	"dfcheck/internal/harvest"
+	"dfcheck/internal/sat"
+)
+
+// TestBlastRandomCorpusWide cross-checks the circuit against the
+// interpreter on randomly generated expressions at widths too large to
+// enumerate, using random sampled inputs.
+func TestBlastRandomCorpusWide(t *testing.T) {
+	corpus := harvest.Generate(harvest.Config{
+		Seed:     1234,
+		NumExprs: 60,
+		MaxInsts: 6,
+		Widths: []harvest.WidthWeight{
+			{Width: 13, Weight: 1}, {Width: 16, Weight: 1}, {Width: 24, Weight: 1},
+		},
+		MaxCastWidth: 32,
+	})
+	rng := rand.New(rand.NewSource(99))
+	for _, e := range corpus {
+		s := sat.New()
+		b := Blast(s, e.F)
+		litValue := func(l sat.Lit) bool {
+			v := s.Value(l.Var())
+			if l.IsNeg() {
+				v = !v
+			}
+			return v
+		}
+		for trial := 0; trial < 15; trial++ {
+			env := eval.RandomEnv(e.F, rng)
+			var assumptions []sat.Lit
+			for v, word := range b.Inputs {
+				val := env[v]
+				for i := uint(0); i < val.Width(); i++ {
+					l := word[i]
+					if !val.Bit(i) {
+						l = l.Not()
+					}
+					assumptions = append(assumptions, l)
+				}
+			}
+			if got := s.Solve(assumptions...); got != sat.Sat {
+				t.Fatalf("%s: circuit unsat under full input assignment", e.Name)
+			}
+			want, wantOK := eval.Eval(e.F, env)
+			if gotOK := litValue(b.WellDefined); gotOK != wantOK {
+				t.Fatalf("%s: WellDefined=%v, eval ok=%v\n%s", e.Name, gotOK, wantOK, e.F)
+			}
+			if wantOK {
+				if got := b.C.Value(b.Output); got.Ne(want) {
+					t.Fatalf("%s: circuit=%v eval=%v\n%s", e.Name, got, want, e.F)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,362 @@
+// Package compare implements the pipeline of the paper's Figure 1: run
+// the LLVM-port analyses and the solver-based oracle over the same
+// expression and classify each result pair as equal precision, oracle
+// more precise (an LLVM imprecision), or LLVM more precise (an LLVM
+// soundness bug, since the oracle is maximally precise), with resource
+// exhaustion tracked separately — exactly the categories of Table 1.
+package compare
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dfcheck/internal/harvest"
+	"dfcheck/internal/ir"
+	"dfcheck/internal/llvmport"
+	"dfcheck/internal/oracle"
+	"dfcheck/internal/solver"
+)
+
+// Outcome classifies one (expression, analysis) comparison.
+type Outcome int
+
+// Outcomes, in Table 1 column order.
+const (
+	Same Outcome = iota
+	OracleMorePrecise
+	LLVMMorePrecise // a soundness bug in the compiler under test
+	ResourceExhausted
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Same:
+		return "same precision"
+	case OracleMorePrecise:
+		return "souper is more precise"
+	case LLVMMorePrecise:
+		return "llvm is stronger"
+	case ResourceExhausted:
+		return "resource exhaustion"
+	}
+	return "unknown"
+}
+
+// Result is one comparison: the outcome and both facts rendered the way
+// the paper prints them.
+type Result struct {
+	Analysis   harvest.Analysis
+	Outcome    Outcome
+	OracleFact string
+	LLVMFact   string
+	// Var is set for demanded-bits results (one per input variable).
+	Var string
+	// Elapsed is the oracle computation time attributed to this result
+	// (for demanded bits, the whole per-expression time is attributed to
+	// the first variable's entry).
+	Elapsed time.Duration
+}
+
+// Comparator runs the oracle against a (possibly bug-injected) LLVM port.
+type Comparator struct {
+	Analyzer *llvmport.Analyzer
+	// Budget is the per-query solver conflict budget (0 = default),
+	// standing in for the paper's 30-second Z3 timeout.
+	Budget int64
+	// Workers sets the number of expressions compared concurrently by
+	// Run (the paper spread its evaluation across several machines;
+	// expressions are independent). 0 or 1 means sequential.
+	Workers int
+	// ExprTimeout caps the total oracle time per expression; queries
+	// beyond it come back as resource exhaustion, like the paper's
+	// five-minute cap (§4.1). Zero means no cap.
+	ExprTimeout time.Duration
+}
+
+// newEngine builds a SAT engine honoring the per-expression deadline.
+func (c *Comparator) newEngine(f *ir.Function, deadline time.Time) *solver.SATEngine {
+	e := solver.NewSAT(f, c.Budget)
+	e.Deadline = deadline
+	return e
+}
+
+// CompareExpr runs all eight analyses of Table 1 on one expression. The
+// returned results contain one entry per forward analysis plus one entry
+// per input variable for demanded bits (the paper counts demanded-bits
+// comparisons per variable).
+func (c *Comparator) CompareExpr(f *ir.Function) []Result {
+	fa := c.Analyzer.Analyze(f)
+	var out []Result
+	timed := func(r Result, start time.Time) Result {
+		r.Elapsed = time.Since(start)
+		return r
+	}
+	var deadline time.Time
+	if c.ExprTimeout > 0 {
+		deadline = time.Now().Add(c.ExprTimeout)
+	}
+
+	start := time.Now()
+	kb := oracle.KnownBits(c.newEngine(f, deadline), f)
+	out = append(out, timed(compareKnownBits(kb, fa), start))
+
+	start = time.Now()
+	sb := oracle.SignBits(c.newEngine(f, deadline), f)
+	out = append(out, timed(compareSignBits(sb, fa), start))
+
+	start = time.Now()
+	nz := oracle.NonZero(c.newEngine(f, deadline), f)
+	out = append(out, timed(compareBool(harvest.NonZero, nz, fa.NonZero()), start))
+
+	start = time.Now()
+	ng := oracle.Negative(c.newEngine(f, deadline), f)
+	out = append(out, timed(compareBool(harvest.Negative, ng, fa.Negative()), start))
+
+	start = time.Now()
+	nn := oracle.NonNegative(c.newEngine(f, deadline), f)
+	out = append(out, timed(compareBool(harvest.NonNegative, nn, fa.NonNegative()), start))
+
+	start = time.Now()
+	p2 := oracle.PowerOfTwo(c.newEngine(f, deadline), f)
+	out = append(out, timed(compareBool(harvest.PowerOfTwo, p2, fa.PowerOfTwo()), start))
+
+	start = time.Now()
+	rg := oracle.IntegerRange(c.newEngine(f, deadline), f)
+	out = append(out, timed(compareRange(rg, fa), start))
+
+	start = time.Now()
+	dm := oracle.DemandedBits(c.newEngine(f, deadline), f)
+	dmResults := compareDemanded(dm, fa, f)
+	if len(dmResults) > 0 {
+		dmResults[0].Elapsed = time.Since(start)
+	}
+	out = append(out, dmResults...)
+	return out
+}
+
+func compareKnownBits(o oracle.KnownBitsResult, fa *llvmport.Facts) Result {
+	r := Result{
+		Analysis:   harvest.KnownBits,
+		OracleFact: o.Bits.String(),
+		LLVMFact:   fa.KnownBits().String(),
+	}
+	switch {
+	case o.Exhausted:
+		r.Outcome = ResourceExhausted
+	case !o.Feasible:
+		// Dead code (no well-defined input): every fact is vacuously
+		// sound, and the oracle's bottom element is maximally precise.
+		r.OracleFact = "<dead code>"
+		r.Outcome = OracleMorePrecise
+	case !fa.KnownBits().AtLeastAsPreciseAs(o.Bits) && !o.Bits.AtLeastAsPreciseAs(fa.KnownBits()):
+		// Incomparable claims: LLVM asserts a bit the maximally precise
+		// result does not — unsound.
+		r.Outcome = LLVMMorePrecise
+	case fa.KnownBits().Eq(o.Bits):
+		r.Outcome = Same
+	case o.Bits.AtLeastAsPreciseAs(fa.KnownBits()):
+		r.Outcome = OracleMorePrecise
+	default:
+		r.Outcome = LLVMMorePrecise
+	}
+	return r
+}
+
+func compareSignBits(o oracle.SignBitsResult, fa *llvmport.Facts) Result {
+	llvm := fa.NumSignBits()
+	r := Result{
+		Analysis:   harvest.SignBits,
+		OracleFact: fmt.Sprint(o.NumSignBits),
+		LLVMFact:   fmt.Sprint(llvm),
+	}
+	switch {
+	case o.Exhausted:
+		r.Outcome = ResourceExhausted
+	case !o.Feasible && llvm != o.NumSignBits:
+		r.Outcome = OracleMorePrecise
+	case llvm == o.NumSignBits:
+		r.Outcome = Same
+	case llvm < o.NumSignBits:
+		r.Outcome = OracleMorePrecise
+	default:
+		r.Outcome = LLVMMorePrecise
+	}
+	return r
+}
+
+func compareBool(a harvest.Analysis, o oracle.BoolResult, llvm bool) Result {
+	r := Result{
+		Analysis:   a,
+		OracleFact: fmt.Sprint(o.Proved),
+		LLVMFact:   fmt.Sprint(llvm),
+	}
+	switch {
+	case o.Exhausted:
+		r.Outcome = ResourceExhausted
+	case !o.Feasible && o.Proved != llvm:
+		r.Outcome = OracleMorePrecise // vacuously provable on dead code
+	case o.Proved == llvm:
+		r.Outcome = Same
+	case o.Proved:
+		r.Outcome = OracleMorePrecise
+	default:
+		r.Outcome = LLVMMorePrecise
+	}
+	return r
+}
+
+func compareRange(o oracle.RangeResult, fa *llvmport.Facts) Result {
+	llvm := fa.Range()
+	r := Result{
+		Analysis:   harvest.IntegerRange,
+		OracleFact: o.Range.String(),
+		LLVMFact:   llvm.String(),
+	}
+	switch {
+	case o.Exhausted:
+		r.Outcome = ResourceExhausted
+	case !o.Feasible:
+		r.OracleFact = "<dead code>"
+		if llvm.IsEmpty() {
+			r.Outcome = Same
+		} else {
+			r.Outcome = OracleMorePrecise
+		}
+	case llvm.Eq(o.Range):
+		r.Outcome = Same
+	case llvm.SizeLT(o.Range):
+		// A range smaller than the maximally precise one must exclude
+		// an achievable value.
+		r.Outcome = LLVMMorePrecise
+	case o.Range.SizeLT(llvm):
+		r.Outcome = OracleMorePrecise
+	default:
+		// Equal size, different sets: both are minimal covers.
+		r.Outcome = Same
+	}
+	return r
+}
+
+func compareDemanded(o oracle.DemandedBitsResult, fa *llvmport.Facts, f *ir.Function) []Result {
+	llvm := fa.DemandedBits()
+	out := make([]Result, 0, len(f.Vars))
+	for _, v := range f.Vars {
+		om := o.Demanded[v.Name]
+		lm := llvm[v.Name]
+		r := Result{
+			Analysis:   harvest.DemandedBits,
+			Var:        v.Name,
+			OracleFact: om.BitString(),
+			LLVMFact:   lm.BitString(),
+		}
+		switch {
+		case o.Exhausted:
+			r.Outcome = ResourceExhausted
+		case !o.Feasible && !lm.Eq(om):
+			r.Outcome = OracleMorePrecise // dead code demands nothing
+		case lm.Eq(om):
+			r.Outcome = Same
+		case lm.Or(om).Eq(lm):
+			// LLVM demands a superset: oracle proved more bits dead.
+			r.Outcome = OracleMorePrecise
+		default:
+			// LLVM claims some bit dead that the oracle proved matters.
+			r.Outcome = LLVMMorePrecise
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Finding is a soundness-bug report, printed the way §4.7 shows them.
+type Finding struct {
+	ExprName string
+	Source   string
+	Result   Result
+}
+
+// String renders the finding in the paper's report format.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s\n%s from our tool: %s\n%s from llvm: %s\nllvm is stronger\n",
+		f.Source, f.Result.Analysis, f.Result.OracleFact, f.Result.Analysis, f.Result.LLVMFact)
+}
+
+// Row aggregates Table 1 counts for one analysis.
+type Row struct {
+	Analysis  harvest.Analysis
+	Same      int
+	OracleMP  int
+	LLVMMP    int
+	Exhausted int
+	CPUTime   time.Duration
+	Exprs     int // expressions contributing to CPUTime
+}
+
+// Total returns the number of comparisons in the row.
+func (r Row) Total() int { return r.Same + r.OracleMP + r.LLVMMP + r.Exhausted }
+
+// Report is a full Table 1 run.
+type Report struct {
+	Rows     map[harvest.Analysis]*Row
+	Findings []Finding
+}
+
+// Run compares every expression in the corpus and aggregates Table 1.
+// With Workers > 1, expressions are compared concurrently; aggregation
+// order (and thus the report) stays deterministic.
+func (c *Comparator) Run(corpus []harvest.Expr) *Report {
+	rep := &Report{Rows: make(map[harvest.Analysis]*Row)}
+	for _, a := range harvest.AllAnalyses {
+		rep.Rows[a] = &Row{Analysis: a}
+	}
+
+	perExpr := make([][]Result, len(corpus))
+	if c.Workers > 1 {
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < c.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					perExpr[i] = c.CompareExpr(corpus[i].F)
+				}
+			}()
+		}
+		for i := range corpus {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	} else {
+		for i := range corpus {
+			perExpr[i] = c.CompareExpr(corpus[i].F)
+		}
+	}
+
+	for i, e := range corpus {
+		results := perExpr[i]
+		seen := map[harvest.Analysis]bool{}
+		for _, r := range results {
+			row := rep.Rows[r.Analysis]
+			switch r.Outcome {
+			case Same:
+				row.Same++
+			case OracleMorePrecise:
+				row.OracleMP++
+			case LLVMMorePrecise:
+				row.LLVMMP++
+				rep.Findings = append(rep.Findings, Finding{ExprName: e.Name, Source: e.F.String(), Result: r})
+			case ResourceExhausted:
+				row.Exhausted++
+			}
+			row.CPUTime += r.Elapsed
+			if !seen[r.Analysis] {
+				seen[r.Analysis] = true
+				row.Exprs++
+			}
+		}
+	}
+	return rep
+}

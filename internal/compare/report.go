@@ -1,0 +1,105 @@
+package compare
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"dfcheck/internal/harvest"
+)
+
+// jsonRow is the machine-readable form of one Table 1 row.
+type jsonRow struct {
+	Analysis          string  `json:"analysis"`
+	Same              int     `json:"same_precision"`
+	OracleMorePrecise int     `json:"oracle_more_precise"`
+	LLVMMorePrecise   int     `json:"llvm_more_precise"`
+	ResourceExhausted int     `json:"resource_exhausted"`
+	AvgCPUMillis      float64 `json:"avg_cpu_ms_per_expr"`
+}
+
+type jsonFinding struct {
+	Expr       string `json:"expr"`
+	Analysis   string `json:"analysis"`
+	Var        string `json:"var,omitempty"`
+	OracleFact string `json:"oracle_fact"`
+	LLVMFact   string `json:"llvm_fact"`
+	Source     string `json:"source"`
+}
+
+type jsonReport struct {
+	Rows     []jsonRow     `json:"rows"`
+	Findings []jsonFinding `json:"soundness_findings"`
+}
+
+// JSON renders the report as machine-readable JSON, rows in Table 1 order.
+func (rep *Report) JSON() ([]byte, error) {
+	out := jsonReport{Findings: []jsonFinding{}}
+	for _, a := range harvest.AllAnalyses {
+		row := rep.Rows[a]
+		if row == nil || row.Total() == 0 {
+			continue
+		}
+		avg := 0.0
+		if row.Exprs > 0 {
+			avg = float64(row.CPUTime.Microseconds()) / float64(row.Exprs) / 1000
+		}
+		out.Rows = append(out.Rows, jsonRow{
+			Analysis:          string(a),
+			Same:              row.Same,
+			OracleMorePrecise: row.OracleMP,
+			LLVMMorePrecise:   row.LLVMMP,
+			ResourceExhausted: row.Exhausted,
+			AvgCPUMillis:      avg,
+		})
+	}
+	for _, f := range rep.Findings {
+		out.Findings = append(out.Findings, jsonFinding{
+			Expr:       f.ExprName,
+			Analysis:   string(f.Result.Analysis),
+			Var:        f.Result.Var,
+			OracleFact: f.Result.OracleFact,
+			LLVMFact:   f.Result.LLVMFact,
+			Source:     f.Source,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// Table renders the report in the layout of the paper's Table 1.
+func (rep *Report) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %18s %18s %18s %18s %12s\n",
+		"Dataflow", "Same precision", "Souper is more", "LLVM is more", "Resource", "Avg CPU")
+	fmt.Fprintf(&sb, "%-14s %18s %18s %18s %18s %12s\n",
+		"analysis", "", "precise", "precise", "exhaustion", "per expr")
+	for _, a := range harvest.AllAnalyses {
+		row := rep.Rows[a]
+		if row == nil {
+			continue
+		}
+		total := row.Total()
+		if total == 0 {
+			continue
+		}
+		pct := func(n int) string {
+			return fmt.Sprintf("%d (%.1f%%)", n, 100*float64(n)/float64(total))
+		}
+		avg := time.Duration(0)
+		if row.Exprs > 0 {
+			avg = row.CPUTime / time.Duration(row.Exprs)
+		}
+		fmt.Fprintf(&sb, "%-14s %18s %18s %18s %18s %12s\n",
+			a, pct(row.Same), pct(row.OracleMP), pct(row.LLVMMP), pct(row.Exhausted),
+			avg.Round(10*time.Microsecond))
+	}
+	if len(rep.Findings) > 0 {
+		fmt.Fprintf(&sb, "\nSOUNDNESS FINDINGS (%d):\n\n", len(rep.Findings))
+		for _, f := range rep.Findings {
+			sb.WriteString(f.String())
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

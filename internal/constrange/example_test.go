@@ -1,0 +1,41 @@
+package constrange_test
+
+import (
+	"fmt"
+
+	"dfcheck/internal/apint"
+	"dfcheck/internal/constrange"
+)
+
+// The four forms of §2.2: empty, full, regular, and wrapped.
+func ExampleRange_String() {
+	fmt.Println(constrange.Empty(8))
+	fmt.Println(constrange.Full(8))
+	fmt.Println(constrange.New(apint.New(8, 5), apint.New(8, 10)))
+	// The paper's "[1,0)": every value except zero.
+	fmt.Println(constrange.New(apint.One(8), apint.Zero(8)))
+	// Output:
+	// empty set
+	// full set
+	// [5,10)
+	// [1,0)
+}
+
+// §2.1's example transfer: addition over integer ranges is the easy case.
+func ExampleRange_Add() {
+	a := constrange.New(apint.New(8, 6), apint.New(8, 11)) // [6,10]
+	b := constrange.New(apint.New(8, 1), apint.New(8, 3))  // [1,2]
+	fmt.Println(a.Add(b))
+	// Output:
+	// [7,13)
+}
+
+// §2.2's comparison folding: [0,100) < [200,205) simplifies to true.
+func ExampleICmpDecide() {
+	a := constrange.New(apint.Zero(8), apint.New(8, 100))
+	b := constrange.New(apint.New(8, 200), apint.New(8, 205))
+	result, known := constrange.ICmpDecide(constrange.ULT, a, b)
+	fmt.Println(result, known)
+	// Output:
+	// true true
+}

@@ -1,0 +1,402 @@
+// Package constrange implements LLVM-style constant ranges: half-open,
+// possibly wrapping intervals [Lower, Upper) over fixed-width unsigned
+// integers. This is the abstract domain of LLVM's Lazy Value Info and of
+// the paper's Algorithm 3 (§2.2 lists the four forms: empty, full, regular
+// [a,b) with a <u b, and wrapped [a,b) with a >u b).
+//
+// Representation follows LLVM's convention: Lower == Upper is reserved for
+// the full set (both equal to the maximum value) and the empty set (both
+// equal to zero); any other equal pair is rejected.
+package constrange
+
+import (
+	"fmt"
+
+	"dfcheck/internal/apint"
+)
+
+// Range is a set of width-W integers of one of the four forms above.
+type Range struct {
+	lo, hi apint.Int
+}
+
+// Full returns the full set at width w.
+func Full(w uint) Range {
+	m := apint.MaxUnsigned(w)
+	return Range{lo: m, hi: m}
+}
+
+// Empty returns the empty set at width w.
+func Empty(w uint) Range {
+	z := apint.Zero(w)
+	return Range{lo: z, hi: z}
+}
+
+// New builds [lo, hi). lo == hi is rejected (use Full or Empty).
+func New(lo, hi apint.Int) Range {
+	if lo.Width() != hi.Width() {
+		panic("constrange: bound width mismatch")
+	}
+	if lo.Eq(hi) {
+		panic(fmt.Sprintf("constrange: ambiguous bounds [%v,%v); use Full or Empty", lo, hi))
+	}
+	return Range{lo: lo, hi: hi}
+}
+
+// NonEmpty builds [lo, hi), mapping lo == hi to the full set. This is the
+// convention of Souper's range metadata and of LLVM's getNonEmpty.
+func NonEmpty(lo, hi apint.Int) Range {
+	if lo.Eq(hi) {
+		return Full(lo.Width())
+	}
+	return New(lo, hi)
+}
+
+// Single returns the singleton {v}.
+func Single(v apint.Int) Range {
+	return Range{lo: v, hi: v.Add(apint.One(v.Width()))}
+}
+
+// Width returns the bit width.
+func (r Range) Width() uint { return r.lo.Width() }
+
+// Lower returns the inclusive lower bound (meaningless for full/empty).
+func (r Range) Lower() apint.Int { return r.lo }
+
+// Upper returns the exclusive upper bound (meaningless for full/empty).
+func (r Range) Upper() apint.Int { return r.hi }
+
+// IsFull reports whether the range is the full set.
+func (r Range) IsFull() bool { return r.lo.Eq(r.hi) && r.lo.IsAllOnes() }
+
+// IsEmpty reports whether the range is the empty set.
+func (r Range) IsEmpty() bool { return r.lo.Eq(r.hi) && r.lo.IsZero() }
+
+// IsWrapped reports whether the set wraps past the unsigned maximum
+// (lo >u hi, hi != 0). [lo, 0) is not considered wrapped: it is lo..MAX.
+func (r Range) IsWrapped() bool {
+	return !r.lo.Eq(r.hi) && r.lo.UGT(r.hi) && !r.hi.IsZero()
+}
+
+// IsSingle reports whether the set has exactly one element.
+func (r Range) IsSingle() bool {
+	return !r.lo.Eq(r.hi) && r.hi.Sub(r.lo).IsOne()
+}
+
+// SingleValue returns the element of a singleton range.
+func (r Range) SingleValue() apint.Int {
+	if !r.IsSingle() {
+		panic("constrange: SingleValue on non-singleton")
+	}
+	return r.lo
+}
+
+// Contains reports set membership.
+func (r Range) Contains(v apint.Int) bool {
+	if v.Width() != r.Width() {
+		panic("constrange: Contains width mismatch")
+	}
+	switch {
+	case r.IsFull():
+		return true
+	case r.IsEmpty():
+		return false
+	case r.lo.ULT(r.hi):
+		return v.UGE(r.lo) && v.ULT(r.hi)
+	default: // wrapped (including hi == 0)
+		return v.UGE(r.lo) || v.ULT(r.hi)
+	}
+}
+
+// ContainsRange reports whether every element of o is in r.
+func (r Range) ContainsRange(o Range) bool {
+	if o.IsEmpty() || r.IsFull() {
+		return true
+	}
+	if r.IsEmpty() || o.IsFull() {
+		return false
+	}
+	// Every element of o is in r iff o's endpoints are in r and r does not
+	// "end" strictly inside o. Checking via segments is simplest.
+	for _, s := range o.segments() {
+		if !r.containsSegment(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns the number of elements and whether that count overflows
+// uint64 (only the full set at width 64 does).
+func (r Range) Size() (n uint64, huge bool) {
+	if r.IsFull() {
+		if r.Width() == 64 {
+			return 0, true
+		}
+		return uint64(1) << r.Width(), false
+	}
+	if r.IsEmpty() {
+		return 0, false
+	}
+	d := r.hi.Sub(r.lo).Uint64()
+	if d == 0 {
+		// [lo, lo) with lo not 0/max cannot be constructed; wrapped
+		// difference of zero would mean full, handled above.
+		panic("constrange: inconsistent size")
+	}
+	return d, false
+}
+
+// SizeLT reports |r| < |o|.
+func (r Range) SizeLT(o Range) bool {
+	rn, rh := r.Size()
+	on, oh := o.Size()
+	if rh {
+		return false
+	}
+	if oh {
+		return true
+	}
+	return rn < on
+}
+
+// UnsignedMax returns the largest element under unsigned order.
+func (r Range) UnsignedMax() apint.Int {
+	if r.IsEmpty() {
+		panic("constrange: UnsignedMax of empty set")
+	}
+	m := apint.MaxUnsigned(r.Width())
+	if r.Contains(m) {
+		return m
+	}
+	return r.hi.Sub(apint.One(r.Width()))
+}
+
+// UnsignedMin returns the smallest element under unsigned order.
+func (r Range) UnsignedMin() apint.Int {
+	if r.IsEmpty() {
+		panic("constrange: UnsignedMin of empty set")
+	}
+	z := apint.Zero(r.Width())
+	if r.Contains(z) {
+		return z
+	}
+	return r.lo
+}
+
+// SignedMax returns the largest element under signed order.
+func (r Range) SignedMax() apint.Int {
+	if r.IsEmpty() {
+		panic("constrange: SignedMax of empty set")
+	}
+	m := apint.MaxSigned(r.Width())
+	if r.Contains(m) {
+		return m
+	}
+	return r.hi.Sub(apint.One(r.Width()))
+}
+
+// SignedMin returns the smallest element under signed order.
+func (r Range) SignedMin() apint.Int {
+	if r.IsEmpty() {
+		panic("constrange: SignedMin of empty set")
+	}
+	m := apint.MinSigned(r.Width())
+	if r.Contains(m) {
+		return m
+	}
+	return r.lo
+}
+
+// Eq reports representation equality (which coincides with set equality).
+func (r Range) Eq(o Range) bool { return r.lo.Eq(o.lo) && r.hi.Eq(o.hi) }
+
+// String renders the range as in the paper: "full set", "empty set", or
+// "[lo,hi)". Non-wrapped ranges print unsigned bounds (the paper's
+// "[0,129)"); wrapped ranges print signed bounds (the paper's "[-7,8)").
+func (r Range) String() string {
+	switch {
+	case r.IsFull():
+		return "full set"
+	case r.IsEmpty():
+		return "empty set"
+	case r.lo.ULT(r.hi):
+		return fmt.Sprintf("[%d,%d)", r.lo.Uint64(), r.hi.Uint64())
+	}
+	return fmt.Sprintf("[%d,%d)", r.lo.Int64(), r.hi.Int64())
+}
+
+// UnsignedString renders with unsigned bounds.
+func (r Range) UnsignedString() string {
+	switch {
+	case r.IsFull():
+		return "full set"
+	case r.IsEmpty():
+		return "empty set"
+	}
+	return fmt.Sprintf("[%d,%d)", r.lo.Uint64(), r.hi.Uint64())
+}
+
+// segment is an inclusive, non-wrapping [lo, last] interval.
+type segment struct {
+	lo, last uint64
+}
+
+// segments decomposes the range into 1 or 2 sorted non-wrapping segments.
+func (r Range) segments() []segment {
+	maxv := apint.MaxUnsigned(r.Width()).Uint64()
+	switch {
+	case r.IsEmpty():
+		return nil
+	case r.IsFull():
+		return []segment{{0, maxv}}
+	case r.lo.ULT(r.hi):
+		return []segment{{r.lo.Uint64(), r.hi.Uint64() - 1}}
+	case r.hi.IsZero():
+		return []segment{{r.lo.Uint64(), maxv}}
+	default: // wrapped
+		return []segment{{0, r.hi.Uint64() - 1}, {r.lo.Uint64(), maxv}}
+	}
+}
+
+func (r Range) containsSegment(s segment) bool {
+	w := r.Width()
+	return r.Contains(apint.New(w, s.lo)) && r.Contains(apint.New(w, s.last)) &&
+		r.containsAllBetween(s)
+}
+
+// containsAllBetween checks no gap of r lies strictly inside segment s.
+// Since r is one or two segments, it suffices to check that s is inside a
+// single segment of r.
+func (r Range) containsAllBetween(s segment) bool {
+	for _, rs := range r.segments() {
+		if rs.lo <= s.lo && s.last <= rs.last {
+			return true
+		}
+	}
+	return false
+}
+
+// fromSegments rebuilds the smallest Range containing all the given
+// disjoint, sorted, non-adjacent segments. One segment maps exactly
+// (including a prefix+suffix pair, which maps to the exact wrapped arc);
+// disconnected pieces take the smallest circular hull covering everything
+// — a sound over-approximation, mirroring LLVM's preference for smaller
+// results.
+func fromSegments(w uint, segs []segment) Range {
+	maxv := apint.MaxUnsigned(w).Uint64()
+	switch len(segs) {
+	case 0:
+		return Empty(w)
+	case 1:
+		s := segs[0]
+		if s.lo == 0 && s.last == maxv {
+			return Full(w)
+		}
+		return New(apint.New(w, s.lo), apint.New(w, s.last+1))
+	}
+	// Try excluding each inter-segment gap: the hull runs from the next
+	// segment's start around to this segment's end. The smallest covering
+	// candidate wins; excluding the gap between a suffix ending at maxv
+	// and a prefix starting at 0 yields the exact wrapped arc.
+	best := Full(w)
+	for i := range segs {
+		lo := segs[(i+1)%len(segs)].lo
+		hull := NonEmpty(apint.New(w, lo), apint.New(w, segs[i].last+1))
+		covers := true
+		for _, s := range segs {
+			if !hull.containsSegment(s) {
+				covers = false
+				break
+			}
+		}
+		if covers && hull.SizeLT(best) {
+			best = hull
+		}
+	}
+	return best
+}
+
+// normalizeSegments sorts, merges overlapping/adjacent segments, and
+// returns at most two segments by merging greedily (inputs here only ever
+// produce ≤ 4 raw segments from intersect/union of two ranges).
+func normalizeSegments(segs []segment, maxv uint64) []segment {
+	if len(segs) == 0 {
+		return nil
+	}
+	// Insertion sort by lo; tiny inputs.
+	for i := 1; i < len(segs); i++ {
+		for j := i; j > 0 && segs[j].lo < segs[j-1].lo; j-- {
+			segs[j], segs[j-1] = segs[j-1], segs[j]
+		}
+	}
+	out := segs[:1]
+	for _, s := range segs[1:] {
+		last := &out[len(out)-1]
+		if s.lo <= last.last || (last.last < maxv && s.lo == last.last+1) {
+			if s.last > last.last {
+				last.last = s.last
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Intersect returns a range containing the exact intersection; exact when
+// the intersection is contiguous (circularly), otherwise the smaller
+// circular hull of the pieces.
+func (r Range) Intersect(o Range) Range {
+	if r.Width() != o.Width() {
+		panic("constrange: Intersect width mismatch")
+	}
+	w := r.Width()
+	maxv := apint.MaxUnsigned(w).Uint64()
+	var pieces []segment
+	for _, a := range r.segments() {
+		for _, b := range o.segments() {
+			lo := a.lo
+			if b.lo > lo {
+				lo = b.lo
+			}
+			last := a.last
+			if b.last < last {
+				last = b.last
+			}
+			if lo <= last {
+				pieces = append(pieces, segment{lo, last})
+			}
+		}
+	}
+	return fromSegments(w, normalizeSegments(pieces, maxv))
+}
+
+// Union returns the smallest range containing both sets (the circular
+// convex hull), mirroring LLVM's unionWith.
+func (r Range) Union(o Range) Range {
+	if r.Width() != o.Width() {
+		panic("constrange: Union width mismatch")
+	}
+	w := r.Width()
+	maxv := apint.MaxUnsigned(w).Uint64()
+	segs := append(r.segments(), o.segments()...)
+	return fromSegments(w, normalizeSegments(segs, maxv))
+}
+
+// ForEach enumerates the elements in unsigned order (wrapped ranges visit
+// the low piece first), stopping early if fn returns false. Use only on
+// small widths.
+func (r Range) ForEach(fn func(v apint.Int) bool) {
+	w := r.Width()
+	for _, s := range r.segments() {
+		for x := s.lo; ; x++ {
+			if !fn(apint.New(w, x)) {
+				return
+			}
+			if x == s.last {
+				break
+			}
+		}
+	}
+}

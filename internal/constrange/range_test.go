@@ -1,0 +1,354 @@
+package constrange
+
+import (
+	"testing"
+
+	"dfcheck/internal/apint"
+)
+
+// allRanges enumerates every representable range at width w: full, empty,
+// and every [lo,hi) with lo != hi.
+func allRanges(w uint) []Range {
+	out := []Range{Full(w), Empty(w)}
+	n := uint64(1) << w
+	for lo := uint64(0); lo < n; lo++ {
+		for hi := uint64(0); hi < n; hi++ {
+			if lo == hi {
+				continue
+			}
+			out = append(out, New(apint.New(w, lo), apint.New(w, hi)))
+		}
+	}
+	return out
+}
+
+// elems materializes a range's concretization set.
+func elems(r Range) map[uint64]bool {
+	s := make(map[uint64]bool)
+	r.ForEach(func(v apint.Int) bool { s[v.Uint64()] = true; return true })
+	return s
+}
+
+func TestFourForms(t *testing.T) {
+	// §2.2: empty, full, regular [a,b) with a <u b, wrapped with a >u b.
+	w := uint(8)
+	if !Full(w).IsFull() || Full(w).IsEmpty() || Full(w).IsWrapped() {
+		t.Error("full set misclassified")
+	}
+	if !Empty(w).IsEmpty() || Empty(w).IsFull() {
+		t.Error("empty set misclassified")
+	}
+	reg := New(apint.New(w, 5), apint.New(w, 10))
+	if reg.IsWrapped() || reg.IsFull() || reg.IsEmpty() {
+		t.Error("regular range misclassified")
+	}
+	wrap := New(apint.New(w, 200), apint.New(w, 5))
+	if !wrap.IsWrapped() {
+		t.Error("wrapped range misclassified")
+	}
+	// [lo, 0) is lo..MAX, not considered wrapped.
+	high := New(apint.New(w, 200), apint.Zero(w))
+	if high.IsWrapped() {
+		t.Error("[200,0) should not be wrapped")
+	}
+	if n, _ := high.Size(); n != 56 {
+		t.Errorf("[200,0) size = %d, want 56", n)
+	}
+}
+
+func TestNewRejectsAmbiguous(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with lo==hi did not panic")
+		}
+	}()
+	New(apint.New(8, 5), apint.New(8, 5))
+}
+
+func TestNonEmptyFullConvention(t *testing.T) {
+	if !NonEmpty(apint.New(8, 5), apint.New(8, 5)).IsFull() {
+		t.Error("NonEmpty(x,x) should be full")
+	}
+}
+
+func TestContains(t *testing.T) {
+	w := uint(8)
+	r := New(apint.New(w, 200), apint.New(w, 5)) // wrapped: 200..255, 0..4
+	for _, v := range []uint64{200, 255, 0, 4} {
+		if !r.Contains(apint.New(w, v)) {
+			t.Errorf("wrapped should contain %d", v)
+		}
+	}
+	for _, v := range []uint64{5, 100, 199} {
+		if r.Contains(apint.New(w, v)) {
+			t.Errorf("wrapped should not contain %d", v)
+		}
+	}
+	// The paper's [1,0): everything except 0.
+	nz := New(apint.One(w), apint.Zero(w))
+	if nz.Contains(apint.Zero(w)) || !nz.Contains(apint.New(w, 255)) || !nz.Contains(apint.One(w)) {
+		t.Error("[1,0) membership wrong")
+	}
+}
+
+func TestSingle(t *testing.T) {
+	s := Single(apint.New(8, 42))
+	if !s.IsSingle() || s.SingleValue().Uint64() != 42 {
+		t.Error("singleton wrong")
+	}
+	if n, _ := s.Size(); n != 1 {
+		t.Errorf("singleton size = %d", n)
+	}
+	// Singleton at the top wraps its upper bound to 0.
+	top := Single(apint.New(8, 255))
+	if !top.IsSingle() || !top.Contains(apint.New(8, 255)) || top.Contains(apint.Zero(8)) {
+		t.Error("singleton at max wrong")
+	}
+}
+
+func TestMinMaxExhaustive(t *testing.T) {
+	for _, r := range allRanges(4) {
+		if r.IsEmpty() {
+			continue
+		}
+		var umin, umax, smin, smax *apint.Int
+		r.ForEach(func(val apint.Int) bool {
+			v := val
+			if umin == nil {
+				umin, umax, smin, smax = &v, &v, &v, &v
+				return true
+			}
+			if v.ULT(*umin) {
+				umin = &v
+			}
+			if v.UGT(*umax) {
+				umax = &v
+			}
+			if v.SLT(*smin) {
+				smin = &v
+			}
+			if v.SGT(*smax) {
+				smax = &v
+			}
+			return true
+		})
+		if r.UnsignedMin().Ne(*umin) || r.UnsignedMax().Ne(*umax) {
+			t.Fatalf("%v: unsigned bounds [%v,%v], want [%v,%v]", r, r.UnsignedMin(), r.UnsignedMax(), *umin, *umax)
+		}
+		if r.SignedMin().Ne(*smin) || r.SignedMax().Ne(*smax) {
+			t.Fatalf("%v: signed bounds [%v,%v], want [%v,%v]", r, r.SignedMin(), r.SignedMax(), *smin, *smax)
+		}
+	}
+}
+
+func TestSizeExhaustive(t *testing.T) {
+	for _, r := range allRanges(4) {
+		n, huge := r.Size()
+		if huge {
+			t.Fatalf("%v reported huge at width 4", r)
+		}
+		if want := uint64(len(elems(r))); n != want {
+			t.Fatalf("%v: size %d, want %d", r, n, want)
+		}
+	}
+}
+
+func TestIntersectSoundAndExactWhenContiguous(t *testing.T) {
+	ranges := allRanges(3)
+	for _, a := range ranges {
+		for _, b := range ranges {
+			got := a.Intersect(b)
+			ea, eb, eg := elems(a), elems(b), elems(got)
+			// Soundness: got ⊇ a∩b.
+			inter := make(map[uint64]bool)
+			for v := range ea {
+				if eb[v] {
+					inter[v] = true
+					if !eg[v] {
+						t.Fatalf("Intersect(%v,%v) = %v missing %d", a, b, got, v)
+					}
+				}
+			}
+			// Precision: got ⊆ a and (when the result is not forced to
+			// over-approximate) no larger than needed: every extra
+			// element must lie between two intersection pieces.
+			if len(inter) == 0 && !got.IsEmpty() {
+				t.Fatalf("Intersect(%v,%v) = %v, want empty", a, b, got)
+			}
+			// got must always be within the union of inputs' hulls: at
+			// minimum check got ⊆ a ∪ b hull isn't violated grossly:
+			// every element of got must be in a or b when result is
+			// exact-size.
+			if uint64(len(eg)) == uint64(len(inter)) {
+				for v := range eg {
+					if !inter[v] {
+						t.Fatalf("Intersect(%v,%v) exact-size but wrong members", a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestUnionIsMinimalHull(t *testing.T) {
+	ranges := allRanges(3)
+	for _, a := range ranges {
+		for _, b := range ranges {
+			got := a.Union(b)
+			ea, eb, eg := elems(a), elems(b), elems(got)
+			for v := range ea {
+				if !eg[v] {
+					t.Fatalf("Union(%v,%v) = %v missing %d from a", a, b, got, v)
+				}
+			}
+			for v := range eb {
+				if !eg[v] {
+					t.Fatalf("Union(%v,%v) = %v missing %d from b", a, b, got, v)
+				}
+			}
+			// Minimality: no strictly smaller range contains both.
+			for _, c := range ranges {
+				if c.SizeLT(got) && c.ContainsRange(a) && c.ContainsRange(b) {
+					t.Fatalf("Union(%v,%v) = %v but %v is smaller", a, b, got, c)
+				}
+			}
+		}
+	}
+}
+
+func TestContainsRangeExhaustive(t *testing.T) {
+	ranges := allRanges(3)
+	for _, a := range ranges {
+		for _, b := range ranges {
+			got := a.ContainsRange(b)
+			ea, eb := elems(a), elems(b)
+			want := true
+			for v := range eb {
+				if !ea[v] {
+					want = false
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("ContainsRange(%v,%v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Full(8).String(); got != "full set" {
+		t.Errorf("full = %q", got)
+	}
+	if got := Empty(8).String(); got != "empty set" {
+		t.Errorf("empty = %q", got)
+	}
+	r := New(apint.NewSigned(8, -7), apint.NewSigned(8, 8))
+	if got := r.String(); got != "[-7,8)" {
+		t.Errorf("range = %q", got)
+	}
+	if got := r.UnsignedString(); got != "[249,8)" {
+		t.Errorf("unsigned = %q", got)
+	}
+}
+
+func TestICmpDecide(t *testing.T) {
+	w := uint(8)
+	lo := New(apint.Zero(w), apint.New(w, 100))     // [0,100)
+	hi := New(apint.New(w, 200), apint.New(w, 205)) // [200,205)
+	// The paper's §2.2 example: [0,100) < [200,205) is always true
+	// (unsigned).
+	if res, known := ICmpDecide(ULT, lo, hi); !known || !res {
+		t.Errorf("ULT = (%v,%v), want (true,true)", res, known)
+	}
+	if res, known := ICmpDecide(UGT, hi, lo); !known || !res {
+		t.Errorf("UGT = (%v,%v), want (true,true)", res, known)
+	}
+	if res, known := ICmpDecide(ULT, hi, lo); !known || res {
+		t.Errorf("ULT rev = (%v,%v), want (false,true)", res, known)
+	}
+	if _, known := ICmpDecide(ULT, lo, lo); known {
+		t.Error("overlapping ULT should be unknown")
+	}
+	// Signed: [200,205) is negative at i8, so SLT is inverted.
+	if res, known := ICmpDecide(SLT, hi, lo); !known || !res {
+		t.Errorf("SLT = (%v,%v), want (true,true)", res, known)
+	}
+	// EQ/NE.
+	if res, known := ICmpDecide(EQ, Single(apint.New(w, 5)), Single(apint.New(w, 5))); !known || !res {
+		t.Errorf("EQ singles = (%v,%v)", res, known)
+	}
+	if res, known := ICmpDecide(EQ, lo, hi); !known || res {
+		t.Errorf("EQ disjoint = (%v,%v), want (false,true)", res, known)
+	}
+	if res, known := ICmpDecide(NE, lo, hi); !known || !res {
+		t.Errorf("NE disjoint = (%v,%v), want (true,true)", res, known)
+	}
+	if _, known := ICmpDecide(EQ, lo, lo); known {
+		t.Error("EQ same non-single range should be unknown")
+	}
+	if _, known := ICmpDecide(EQ, Empty(w), lo); known {
+		t.Error("EQ with empty should be unknown")
+	}
+	// ULE/SLE/SGE boundaries.
+	if res, known := ICmpDecide(ULE, Single(apint.New(w, 99)), Single(apint.New(w, 99))); !known || !res {
+		t.Errorf("ULE equal singles = (%v,%v)", res, known)
+	}
+	if res, known := ICmpDecide(SGE, lo, hi); !known || !res {
+		t.Errorf("SGE = (%v,%v), want (true,true)", res, known)
+	}
+}
+
+func TestICmpDecideExhaustive(t *testing.T) {
+	ranges := allRanges(3)
+	preds := []Pred{EQ, NE, ULT, ULE, UGT, UGE, SLT, SLE, SGT, SGE}
+	check := func(p Pred, x, y apint.Int) bool {
+		switch p {
+		case EQ:
+			return x.Eq(y)
+		case NE:
+			return x.Ne(y)
+		case ULT:
+			return x.ULT(y)
+		case ULE:
+			return x.ULE(y)
+		case UGT:
+			return x.UGT(y)
+		case UGE:
+			return x.UGE(y)
+		case SLT:
+			return x.SLT(y)
+		case SLE:
+			return x.SLE(y)
+		case SGT:
+			return x.SGT(y)
+		case SGE:
+			return x.SGE(y)
+		}
+		panic("bad pred")
+	}
+	for _, a := range ranges {
+		for _, b := range ranges {
+			if a.IsEmpty() || b.IsEmpty() {
+				continue
+			}
+			for _, p := range preds {
+				res, known := ICmpDecide(p, a, b)
+				if !known {
+					continue
+				}
+				a.ForEach(func(x apint.Int) bool {
+					ok := true
+					b.ForEach(func(y apint.Int) bool {
+						if check(p, x, y) != res {
+							t.Errorf("ICmpDecide(%v, %v, %v) claimed %v but %v,%v differs", p, a, b, res, x, y)
+							ok = false
+						}
+						return ok
+					})
+					return ok
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,586 @@
+package constrange
+
+import (
+	"dfcheck/internal/apint"
+	"dfcheck/internal/knownbits"
+)
+
+// This file ports the ConstantRange transfer functions used by LLVM's
+// value analyses (ConstantRange.cpp). Each function returns a sound
+// over-approximation of { op(x, y) : x ∈ r, y ∈ o, execution well-defined }.
+// UB-only inputs (e.g. dividing by a range containing just zero) produce
+// the empty set, matching LLVM.
+
+// Add returns the range of x+y.
+func (r Range) Add(o Range) Range {
+	if r.IsEmpty() || o.IsEmpty() {
+		return Empty(r.Width())
+	}
+	if r.IsFull() || o.IsFull() {
+		return Full(r.Width())
+	}
+	one := apint.One(r.Width())
+	newLo := r.lo.Add(o.lo)
+	newHi := r.hi.Sub(one).Add(o.hi.Sub(one)).Add(one)
+	if newLo.Eq(newHi) {
+		return Full(r.Width())
+	}
+	x := New(newLo, newHi)
+	// If the result is smaller than an input, the interval arithmetic
+	// wrapped all the way around: give up.
+	if x.SizeLT(r) || x.SizeLT(o) {
+		return Full(r.Width())
+	}
+	return x
+}
+
+// Sub returns the range of x-y.
+func (r Range) Sub(o Range) Range {
+	if r.IsEmpty() || o.IsEmpty() {
+		return Empty(r.Width())
+	}
+	if r.IsFull() || o.IsFull() {
+		return Full(r.Width())
+	}
+	one := apint.One(r.Width())
+	newLo := r.lo.Sub(o.hi.Sub(one))
+	newHi := r.hi.Sub(one).Sub(o.lo).Add(one)
+	if newLo.Eq(newHi) {
+		return Full(r.Width())
+	}
+	x := New(newLo, newHi)
+	if x.SizeLT(r) || x.SizeLT(o) {
+		return Full(r.Width())
+	}
+	return x
+}
+
+// Neg returns the range of -x.
+func (r Range) Neg() Range {
+	return Single(apint.Zero(r.Width())).Sub(r)
+}
+
+// Not returns the range of ^x (= -1 - x).
+func (r Range) Not() Range {
+	return Single(apint.AllOnes(r.Width())).Sub(r)
+}
+
+// Mul returns the range of x*y: the smaller of an unsigned-endpoint and a
+// signed-endpoint candidate, full when both may wrap.
+func (r Range) Mul(o Range) Range {
+	if r.IsEmpty() || o.IsEmpty() {
+		return Empty(r.Width())
+	}
+	w := r.Width()
+	best := Full(w)
+
+	// Unsigned candidate: valid when the max product does not wrap
+	// (unsigned multiplication is then monotone in both operands).
+	ua, ub := r.UnsignedMax(), o.UnsignedMax()
+	if !ua.UMulOverflow(ub) {
+		lo := r.UnsignedMin().Mul(o.UnsignedMin())
+		hi := ua.Mul(ub).Add(apint.One(w))
+		cand := NonEmpty(lo, hi)
+		if cand.SizeLT(best) {
+			best = cand
+		}
+	}
+
+	// Signed candidate: valid when no endpoint product wraps signed.
+	sa, sb := r.SignedMin(), r.SignedMax()
+	oa, ob := o.SignedMin(), o.SignedMax()
+	overflow := false
+	var min, max apint.Int
+	first := true
+	for _, x := range []apint.Int{sa, sb} {
+		for _, y := range []apint.Int{oa, ob} {
+			if x.SMulOverflow(y) {
+				overflow = true
+				break
+			}
+			p := x.Mul(y)
+			if first {
+				min, max, first = p, p, false
+				continue
+			}
+			min, max = min.SMin(p), max.SMax(p)
+		}
+	}
+	if !overflow && !first {
+		cand := NonEmpty(min, max.Add(apint.One(w)))
+		if cand.SizeLT(best) {
+			best = cand
+		}
+	}
+	return best
+}
+
+// UDiv returns the range of the unsigned quotient x/y, excluding y = 0.
+func (r Range) UDiv(o Range) Range {
+	w := r.Width()
+	if r.IsEmpty() || o.IsEmpty() || o.UnsignedMax().IsZero() {
+		return Empty(w)
+	}
+	lo := r.UnsignedMin().UDiv(o.UnsignedMax())
+	den := o.UnsignedMin()
+	if den.IsZero() {
+		den = apint.One(w)
+	}
+	hi := r.UnsignedMax().UDiv(den).Add(apint.One(w))
+	return NonEmpty(lo, hi)
+}
+
+// URem returns the range of the unsigned remainder x%y, excluding y = 0.
+func (r Range) URem(o Range) Range {
+	w := r.Width()
+	if r.IsEmpty() || o.IsEmpty() || o.UnsignedMax().IsZero() {
+		return Empty(w)
+	}
+	// If x is always smaller than every y, the remainder is x itself.
+	if r.UnsignedMax().ULT(o.UnsignedMin()) {
+		return r
+	}
+	hi := r.UnsignedMax().UMin(o.UnsignedMax().Sub(apint.One(w)))
+	return NonEmpty(apint.Zero(w), hi.Add(apint.One(w)))
+}
+
+// SRem returns the range of the signed remainder, excluding y = 0. The
+// remainder's sign follows the dividend and its magnitude is strictly less
+// than max|y|.
+func (r Range) SRem(o Range) Range {
+	w := r.Width()
+	if r.IsEmpty() || o.IsEmpty() {
+		return Empty(w)
+	}
+	one := apint.One(w)
+	// Largest divisor magnitude, as unsigned (MinSigned's magnitude is
+	// 2^(w-1), which still fits unsigned).
+	dmax := o.SignedMin().AbsValue().UMax(o.SignedMax().AbsValue())
+	if dmax.IsZero() {
+		return Empty(w) // divisor can only be zero: always UB
+	}
+	bound := dmax.Sub(one) // |result| <= dmax-1
+	smin, smax := r.SignedMin(), r.SignedMax()
+	switch {
+	case smin.IsNonNegative():
+		// Non-negative dividend: result in [0, min(smax, bound)].
+		hi := smax
+		if bound.SLT(hi) && bound.IsNonNegative() {
+			hi = bound
+		}
+		return NonEmpty(apint.Zero(w), hi.Add(one))
+	case smax.IsNegative():
+		// Negative dividend: result in [max(smin, -bound), 0].
+		lo := smin
+		nb := bound.Neg()
+		if nb.SGT(lo) {
+			lo = nb
+		}
+		return NonEmpty(lo, one)
+	default:
+		// Mixed signs: [-bound', bound'] where bound' also limited by
+		// the dividend's own magnitude.
+		hiMag := bound
+		if smax.SLT(hiMag) {
+			hiMag = smax
+		}
+		loMag := bound.Neg()
+		if smin.SGT(loMag) {
+			loMag = smin
+		}
+		return NonEmpty(loMag, hiMag.Add(one))
+	}
+}
+
+// SDivConst returns the range of x sdiv c for a constant divisor; empty for
+// c = 0 (always UB). The UB case MinSigned/-1 is excluded from the inputs.
+func (r Range) SDivConst(c apint.Int) Range {
+	w := r.Width()
+	if r.IsEmpty() || c.IsZero() {
+		return Empty(w)
+	}
+	smin, smax := r.SignedMin(), r.SignedMax()
+	if c.IsAllOnes() && smin.IsMinSigned() {
+		if smax.IsMinSigned() {
+			return Empty(w) // only input is UB
+		}
+		smin = smin.Add(apint.One(w))
+	}
+	q1, q2 := smin.SDiv(c), smax.SDiv(c)
+	lo, hi := q1.SMin(q2), q1.SMax(q2)
+	return NonEmpty(lo, hi.Add(apint.One(w)))
+}
+
+// Shl returns the range of x << s, excluding s >= width.
+func (r Range) Shl(o Range) Range {
+	w := r.Width()
+	if r.IsEmpty() || o.IsEmpty() {
+		return Empty(w)
+	}
+	if o.UnsignedMin().Uint64() >= uint64(w) {
+		return Empty(w) // every shift amount is poison
+	}
+	sMin := o.UnsignedMin()
+	sMax := o.UnsignedMax()
+	limit := apint.New(w, uint64(w-1))
+	if sMax.UGT(limit) {
+		sMax = limit
+	}
+	// No high bit may be shifted out for endpoint reasoning to be valid.
+	if uint(r.UnsignedMax().CountLeadingZeros()) < uint(sMax.Uint64()) {
+		return Full(w)
+	}
+	lo := r.UnsignedMin().Shl(uint(sMin.Uint64()))
+	hi := r.UnsignedMax().Shl(uint(sMax.Uint64())).Add(apint.One(w))
+	return NonEmpty(lo, hi)
+}
+
+// LShr returns the range of x >>u s, excluding s >= width.
+func (r Range) LShr(o Range) Range {
+	w := r.Width()
+	if r.IsEmpty() || o.IsEmpty() {
+		return Empty(w)
+	}
+	if o.UnsignedMin().Uint64() >= uint64(w) {
+		return Empty(w)
+	}
+	sMin := uint(o.UnsignedMin().Uint64())
+	sMax := uint(o.UnsignedMax().Uint64())
+	if sMax > w-1 {
+		sMax = w - 1
+	}
+	lo := r.UnsignedMin().LShr(sMax)
+	hi := r.UnsignedMax().LShr(sMin).Add(apint.One(w))
+	return NonEmpty(lo, hi)
+}
+
+// AShr returns the range of x >>s s, excluding s >= width.
+func (r Range) AShr(o Range) Range {
+	w := r.Width()
+	if r.IsEmpty() || o.IsEmpty() {
+		return Empty(w)
+	}
+	if o.UnsignedMin().Uint64() >= uint64(w) {
+		return Empty(w)
+	}
+	sMin := uint(o.UnsignedMin().Uint64())
+	sMax := uint(o.UnsignedMax().Uint64())
+	if sMax > w-1 {
+		sMax = w - 1
+	}
+	smin, smax := r.SignedMin(), r.SignedMax()
+	cands := []apint.Int{
+		smin.AShr(sMin), smin.AShr(sMax),
+		smax.AShr(sMin), smax.AShr(sMax),
+	}
+	lo, hi := cands[0], cands[0]
+	for _, c := range cands[1:] {
+		lo, hi = lo.SMin(c), hi.SMax(c)
+	}
+	return NonEmpty(lo, hi.Add(apint.One(w)))
+}
+
+// And returns a sound range for x & y: [0, min(umax(x), umax(y))], plus
+// exact handling of singletons. This is the LLVM-style approximation the
+// paper's §4.5 "and" example exercises.
+func (r Range) And(o Range) Range {
+	w := r.Width()
+	if r.IsEmpty() || o.IsEmpty() {
+		return Empty(w)
+	}
+	if r.IsSingle() && o.IsSingle() {
+		return Single(r.SingleValue().And(o.SingleValue()))
+	}
+	hi := r.UnsignedMax().UMin(o.UnsignedMax())
+	return NonEmpty(apint.Zero(w), hi.Add(apint.One(w)))
+}
+
+// Or returns a sound range for x | y: at least max(umin(x), umin(y)), at
+// most the all-ones value of the highest bit position either side can set.
+func (r Range) Or(o Range) Range {
+	w := r.Width()
+	if r.IsEmpty() || o.IsEmpty() {
+		return Empty(w)
+	}
+	if r.IsSingle() && o.IsSingle() {
+		return Single(r.SingleValue().Or(o.SingleValue()))
+	}
+	lo := r.UnsignedMin().UMax(o.UnsignedMin())
+	leadZeros := r.UnsignedMax().CountLeadingZeros()
+	if oz := o.UnsignedMax().CountLeadingZeros(); oz < leadZeros {
+		leadZeros = oz
+	}
+	hi := apint.AllOnes(w).LShr(leadZeros)
+	if lo.UGT(hi) {
+		return NonEmpty(lo, apint.Zero(w))
+	}
+	return NonEmpty(lo, hi.Add(apint.One(w)))
+}
+
+// Xor returns a sound range for x ^ y (exact only for singletons).
+func (r Range) Xor(o Range) Range {
+	w := r.Width()
+	if r.IsEmpty() || o.IsEmpty() {
+		return Empty(w)
+	}
+	if r.IsSingle() && o.IsSingle() {
+		return Single(r.SingleValue().Xor(o.SingleValue()))
+	}
+	return Full(w)
+}
+
+// UMin returns the range of the unsigned minimum min_u(x, y).
+func (r Range) UMin(o Range) Range {
+	w := r.Width()
+	if r.IsEmpty() || o.IsEmpty() {
+		return Empty(w)
+	}
+	lo := r.UnsignedMin().UMin(o.UnsignedMin())
+	hi := r.UnsignedMax().UMin(o.UnsignedMax())
+	return NonEmpty(lo, hi.Add(apint.One(w)))
+}
+
+// UMax returns the range of the unsigned maximum max_u(x, y).
+func (r Range) UMax(o Range) Range {
+	w := r.Width()
+	if r.IsEmpty() || o.IsEmpty() {
+		return Empty(w)
+	}
+	lo := r.UnsignedMin().UMax(o.UnsignedMin())
+	hi := r.UnsignedMax().UMax(o.UnsignedMax())
+	return NonEmpty(lo, hi.Add(apint.One(w)))
+}
+
+// SMin returns the range of the signed minimum min_s(x, y).
+func (r Range) SMin(o Range) Range {
+	w := r.Width()
+	if r.IsEmpty() || o.IsEmpty() {
+		return Empty(w)
+	}
+	lo := r.SignedMin().SMin(o.SignedMin())
+	hi := r.SignedMax().SMin(o.SignedMax())
+	return NonEmpty(lo, hi.Add(apint.One(w)))
+}
+
+// SMax returns the range of the signed maximum max_s(x, y).
+func (r Range) SMax(o Range) Range {
+	w := r.Width()
+	if r.IsEmpty() || o.IsEmpty() {
+		return Empty(w)
+	}
+	lo := r.SignedMin().SMax(o.SignedMin())
+	hi := r.SignedMax().SMax(o.SignedMax())
+	return NonEmpty(lo, hi.Add(apint.One(w)))
+}
+
+// Abs returns the range of |x| (with |MinSigned| wrapping to MinSigned,
+// which as an unsigned value is the true magnitude 2^(w-1)).
+func (r Range) Abs() Range {
+	w := r.Width()
+	if r.IsEmpty() {
+		return Empty(w)
+	}
+	one := apint.One(w)
+	smin, smax := r.SignedMin(), r.SignedMax()
+	switch {
+	case smin.IsNonNegative():
+		return r // already non-negative, and must be signed-contiguous
+	case smax.IsNegative():
+		// All negative: |x| ∈ [-smax, -smin], both magnitudes unsigned.
+		return NonEmpty(smax.Neg(), smin.Neg().Add(one))
+	default:
+		hi := smin.Neg().UMax(smax)
+		return NonEmpty(apint.Zero(w), hi.Add(one))
+	}
+}
+
+// Trunc returns the range of trunc(x) to width w.
+func (r Range) Trunc(w uint) Range {
+	if r.IsEmpty() {
+		return Empty(w)
+	}
+	if r.IsFull() {
+		return Full(w)
+	}
+	// A contiguous arc no longer than 2^w truncates to a contiguous arc;
+	// anything longer covers every residue.
+	n, huge := r.Size()
+	if huge || (w < 64 && n > uint64(1)<<w) {
+		return Full(w)
+	}
+	return NonEmpty(r.lo.Trunc(w), r.hi.Trunc(w))
+}
+
+// ZExt returns the range of zext(x) to width w.
+func (r Range) ZExt(w uint) Range {
+	srcW := r.Width()
+	if r.IsEmpty() {
+		return Empty(w)
+	}
+	if r.IsFull() || r.IsWrapped() || r.hi.IsZero() {
+		// Values span up to the source maximum; the tightest arc in the
+		// wider space is [0, 2^srcW) — except [lo, 0), which is exactly
+		// lo..MAXsrc.
+		if !r.IsFull() && !r.IsWrapped() {
+			lo := r.lo.ZExt(w)
+			hi := apint.MaxUnsigned(srcW).ZExt(w).Add(apint.One(w))
+			return New(lo, hi)
+		}
+		return New(apint.Zero(w), apint.One(w).Shl(srcW))
+	}
+	return New(r.lo.ZExt(w), r.hi.ZExt(w))
+}
+
+// SExt returns the range of sext(x) to width w.
+func (r Range) SExt(w uint) Range {
+	srcW := r.Width()
+	if r.IsEmpty() {
+		return Empty(w)
+	}
+	one := apint.One(w)
+	if r.IsFull() || (r.Contains(apint.MaxSigned(srcW)) && r.Contains(apint.MinSigned(srcW))) {
+		// The arc crosses the signed discontinuity: all we know is the
+		// source-width signed bounds.
+		return New(apint.MinSigned(srcW).SExt(w), apint.MaxSigned(srcW).SExt(w).Add(one))
+	}
+	return New(r.SignedMin().SExt(w), r.SignedMax().SExt(w).Add(one))
+}
+
+// Exclude removes a single value from the range when the representation
+// allows (the value sits at an edge, or the range is full); interior
+// exclusions return the range unchanged (still sound).
+func (r Range) Exclude(v apint.Int) Range {
+	w := r.Width()
+	one := apint.One(w)
+	switch {
+	case !r.Contains(v):
+		return r
+	case r.IsFull():
+		return NonEmpty(v.Add(one), v) // everything except v
+	case r.IsSingle():
+		return Empty(w)
+	case r.lo.Eq(v):
+		return NonEmpty(v.Add(one), r.hi)
+	case r.hi.Sub(one).Eq(v):
+		return NonEmpty(r.lo, v)
+	}
+	return r
+}
+
+// FromKnownBits converts a known-bits fact to a range: [umin, umax] for the
+// unsigned interpretation, [smin, smax] for the signed one.
+func FromKnownBits(k knownbits.Bits, signed bool) Range {
+	w := k.Width()
+	if k.HasConflict() {
+		return Empty(w)
+	}
+	one := apint.One(w)
+	if !signed {
+		return NonEmpty(k.UMin(), k.UMax().Add(one))
+	}
+	// Signed bounds: force the sign bit when unknown.
+	smin, smax := k.UMin(), k.UMax()
+	if known, _ := k.KnownBit(w - 1); !known {
+		smin = smin.SetBit(w - 1)   // most negative: sign bit on
+		smax = smax.ClearBit(w - 1) // most positive: sign bit off
+	}
+	return NonEmpty(smin, smax.Add(one))
+}
+
+// ToKnownBits converts a range to the known-bits fact implied by its
+// unsigned bounds: the common leading bits of umin and umax are known.
+func (r Range) ToKnownBits() knownbits.Bits {
+	w := r.Width()
+	if r.IsEmpty() {
+		// Bottom: claim everything (conflict-free convention: all zero).
+		return knownbits.FromConst(apint.Zero(w))
+	}
+	lo, hi := r.UnsignedMin(), r.UnsignedMax()
+	diff := lo.Xor(hi)
+	common := diff.CountLeadingZeros()
+	zero, one := apint.Zero(w), apint.Zero(w)
+	for i := uint(0); i < common; i++ {
+		bit := w - 1 - i
+		if lo.Bit(bit) {
+			one = one.SetBit(bit)
+		} else {
+			zero = zero.SetBit(bit)
+		}
+	}
+	return knownbits.Make(zero, one)
+}
+
+// Pred is an icmp predicate for ICmpDecide.
+type Pred uint8
+
+// Predicates.
+const (
+	EQ Pred = iota
+	NE
+	ULT
+	ULE
+	UGT
+	UGE
+	SLT
+	SLE
+	SGT
+	SGE
+)
+
+// ICmpDecide reports whether "x pred y" has the same outcome for every
+// x ∈ r, y ∈ o. known is false when both outcomes are possible (or a range
+// is empty).
+func ICmpDecide(pred Pred, r, o Range) (result, known bool) {
+	if r.IsEmpty() || o.IsEmpty() {
+		return false, false
+	}
+	switch pred {
+	case EQ:
+		if r.IsSingle() && o.IsSingle() && r.SingleValue().Eq(o.SingleValue()) {
+			return true, true
+		}
+		if r.Intersect(o).IsEmpty() {
+			return false, true
+		}
+	case NE:
+		res, k := ICmpDecide(EQ, r, o)
+		return !res, k
+	case ULT:
+		if r.UnsignedMax().ULT(o.UnsignedMin()) {
+			return true, true
+		}
+		if r.UnsignedMin().UGE(o.UnsignedMax()) {
+			return false, true
+		}
+	case ULE:
+		if r.UnsignedMax().ULE(o.UnsignedMin()) {
+			return true, true
+		}
+		if r.UnsignedMin().UGT(o.UnsignedMax()) {
+			return false, true
+		}
+	case UGT:
+		return ICmpDecide(ULT, o, r)
+	case UGE:
+		return ICmpDecide(ULE, o, r)
+	case SLT:
+		if r.SignedMax().SLT(o.SignedMin()) {
+			return true, true
+		}
+		if r.SignedMin().SGE(o.SignedMax()) {
+			return false, true
+		}
+	case SLE:
+		if r.SignedMax().SLE(o.SignedMin()) {
+			return true, true
+		}
+		if r.SignedMin().SGT(o.SignedMax()) {
+			return false, true
+		}
+	case SGT:
+		return ICmpDecide(SLT, o, r)
+	case SGE:
+		return ICmpDecide(SLE, o, r)
+	}
+	return false, false
+}

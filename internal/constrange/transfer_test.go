@@ -1,0 +1,437 @@
+package constrange
+
+import (
+	"math/rand"
+	"testing"
+
+	"dfcheck/internal/apint"
+	"dfcheck/internal/knownbits"
+)
+
+// concreteOp mirrors eval's semantics: ok=false marks an ill-defined pair
+// that transfer functions may exclude.
+type concreteOp func(x, y apint.Int) (apint.Int, bool)
+
+var concreteOps = map[string]concreteOp{
+	"add": func(x, y apint.Int) (apint.Int, bool) { return x.Add(y), true },
+	"sub": func(x, y apint.Int) (apint.Int, bool) { return x.Sub(y), true },
+	"mul": func(x, y apint.Int) (apint.Int, bool) { return x.Mul(y), true },
+	"udiv": func(x, y apint.Int) (apint.Int, bool) {
+		if y.IsZero() {
+			return apint.Int{}, false
+		}
+		return x.UDiv(y), true
+	},
+	"urem": func(x, y apint.Int) (apint.Int, bool) {
+		if y.IsZero() {
+			return apint.Int{}, false
+		}
+		return x.URem(y), true
+	},
+	"srem": func(x, y apint.Int) (apint.Int, bool) {
+		if y.IsZero() || (x.IsMinSigned() && y.IsAllOnes()) {
+			return apint.Int{}, false
+		}
+		return x.SRem(y), true
+	},
+	"and": func(x, y apint.Int) (apint.Int, bool) { return x.And(y), true },
+	"or":  func(x, y apint.Int) (apint.Int, bool) { return x.Or(y), true },
+	"xor": func(x, y apint.Int) (apint.Int, bool) { return x.Xor(y), true },
+	"shl": func(x, y apint.Int) (apint.Int, bool) {
+		if y.Uint64() >= uint64(x.Width()) {
+			return apint.Int{}, false
+		}
+		return x.Shl(uint(y.Uint64())), true
+	},
+	"lshr": func(x, y apint.Int) (apint.Int, bool) {
+		if y.Uint64() >= uint64(x.Width()) {
+			return apint.Int{}, false
+		}
+		return x.LShr(uint(y.Uint64())), true
+	},
+	"ashr": func(x, y apint.Int) (apint.Int, bool) {
+		if y.Uint64() >= uint64(x.Width()) {
+			return apint.Int{}, false
+		}
+		return x.AShr(uint(y.Uint64())), true
+	},
+}
+
+var transferOps = map[string]func(a, b Range) Range{
+	"add":  Range.Add,
+	"sub":  Range.Sub,
+	"mul":  Range.Mul,
+	"udiv": Range.UDiv,
+	"urem": Range.URem,
+	"srem": Range.SRem,
+	"and":  Range.And,
+	"or":   Range.Or,
+	"xor":  Range.Xor,
+	"shl":  Range.Shl,
+	"lshr": Range.LShr,
+	"ashr": Range.AShr,
+}
+
+// TestTransferSoundnessExhaustive checks every binary transfer function
+// against brute force over all width-3 range pairs: the abstract result
+// must contain every concrete result of well-defined input pairs.
+func TestTransferSoundnessExhaustive(t *testing.T) {
+	ranges := allRanges(3)
+	for name, xfer := range transferOps {
+		conc := concreteOps[name]
+		t.Run(name, func(t *testing.T) {
+			for _, a := range ranges {
+				for _, b := range ranges {
+					got := xfer(a, b)
+					a.ForEach(func(x apint.Int) bool {
+						sound := true
+						b.ForEach(func(y apint.Int) bool {
+							v, ok := conc(x, y)
+							if ok && !got.Contains(v) {
+								t.Errorf("%s(%v,%v) = %v missing %s %s -> %v",
+									name, a, b, got, x, y, v)
+								sound = false
+							}
+							return sound
+						})
+						return sound
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestTransferSoundnessRandom8 repeats the soundness check at width 8 on
+// random ranges, sampling concrete pairs.
+func TestTransferSoundnessRandom8(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randRange := func() Range {
+		switch rng.Intn(10) {
+		case 0:
+			return Full(8)
+		case 1:
+			return Single(apint.New(8, rng.Uint64()))
+		}
+		lo, hi := rng.Uint64()&0xFF, rng.Uint64()&0xFF
+		if lo == hi {
+			return Full(8)
+		}
+		return New(apint.New(8, lo), apint.New(8, hi))
+	}
+	for name, xfer := range transferOps {
+		conc := concreteOps[name]
+		for trial := 0; trial < 300; trial++ {
+			a, b := randRange(), randRange()
+			got := xfer(a, b)
+			for s := 0; s < 50; s++ {
+				x := sample(a, rng)
+				y := sample(b, rng)
+				if x == nil || y == nil {
+					continue
+				}
+				v, ok := conc(*x, *y)
+				if ok && !got.Contains(v) {
+					t.Fatalf("%s(%v,%v) = %v missing %v op %v -> %v", name, a, b, got, *x, *y, v)
+				}
+			}
+		}
+	}
+}
+
+func sample(r Range, rng *rand.Rand) *apint.Int {
+	if r.IsEmpty() {
+		return nil
+	}
+	if r.IsFull() {
+		v := apint.New(8, rng.Uint64())
+		return &v
+	}
+	n, _ := r.Size()
+	off := rng.Uint64() % n
+	v := r.Lower().Add(apint.New(8, off))
+	return &v
+}
+
+func TestAddPrecision(t *testing.T) {
+	// §2.1's easy case: [6,10] + [1,2] = [7,12].
+	a := New(apint.New(8, 6), apint.New(8, 11))
+	b := New(apint.New(8, 1), apint.New(8, 3))
+	got := a.Add(b)
+	want := New(apint.New(8, 7), apint.New(8, 13))
+	if !got.Eq(want) {
+		t.Errorf("[6,10]+[1,2] = %v, want %v", got, want)
+	}
+}
+
+func TestAddOverflowToFull(t *testing.T) {
+	a := New(apint.Zero(8), apint.New(8, 200))
+	got := a.Add(a)
+	if !got.IsFull() {
+		t.Errorf("overflowing add = %v, want full", got)
+	}
+}
+
+func TestSRemPaperShape(t *testing.T) {
+	// §4.5: srem i32 %x, 8 with full %x. The maximally precise result is
+	// [-7,8); our transfer should achieve it (LLVM 8's [-8,8) imprecision
+	// is reproduced separately in llvmport).
+	x := Full(32)
+	eight := Single(apint.New(32, 8))
+	got := x.SRem(eight)
+	want := New(apint.NewSigned(32, -7), apint.NewSigned(32, 8))
+	if !got.Eq(want) {
+		t.Errorf("full srem 8 = %v, want %v", got, want)
+	}
+}
+
+func TestSRemNonNegativeDividend(t *testing.T) {
+	x := New(apint.Zero(8), apint.New(8, 100)) // [0,100)
+	three := Single(apint.New(8, 3))
+	got := x.SRem(three)
+	want := New(apint.Zero(8), apint.New(8, 3))
+	if !got.Eq(want) {
+		t.Errorf("[0,100) srem 3 = %v, want %v", got, want)
+	}
+	// Dividend smaller than divisor bound: limited by dividend.
+	small := New(apint.Zero(8), apint.New(8, 2))
+	got = small.SRem(Single(apint.New(8, 100)))
+	want = New(apint.Zero(8), apint.New(8, 2))
+	if !got.Eq(want) {
+		t.Errorf("[0,2) srem 100 = %v, want %v", got, want)
+	}
+}
+
+func TestSRemZeroDivisorOnly(t *testing.T) {
+	if got := Full(8).SRem(Single(apint.Zero(8))); !got.IsEmpty() {
+		t.Errorf("srem by {0} = %v, want empty", got)
+	}
+}
+
+func TestUDivPaperShape(t *testing.T) {
+	// §4.5: udiv i64 128, %x has precise range [0,129).
+	lhs := Single(apint.New(64, 128))
+	got := lhs.UDiv(Full(64))
+	want := New(apint.Zero(64), apint.New(64, 129))
+	if !got.Eq(want) {
+		t.Errorf("128 udiv full = %v, want %v", got, want)
+	}
+}
+
+func TestAndPaperShape(t *testing.T) {
+	// §4.5: and i32 0xFFFFFFFF, %x with %x in [1,7): the LLVM-style
+	// approximation yields [0,7) (the precise result is [1,7)).
+	all := Single(apint.AllOnes(32))
+	x := New(apint.One(32), apint.New(32, 7))
+	got := all.And(x)
+	want := New(apint.Zero(32), apint.New(32, 7))
+	if !got.Eq(want) {
+		t.Errorf("0xffffffff and [1,7) = %v, want %v", got, want)
+	}
+}
+
+func TestSDivConst(t *testing.T) {
+	r := New(apint.NewSigned(8, -10), apint.NewSigned(8, 11)) // [-10,10]
+	got := r.SDivConst(apint.New(8, 2))
+	want := New(apint.NewSigned(8, -5), apint.NewSigned(8, 6)) // [-5,5]
+	if !got.Eq(want) {
+		t.Errorf("[-10,10] sdiv 2 = %v, want %v", got, want)
+	}
+	got = r.SDivConst(apint.NewSigned(8, -2))
+	if !got.Eq(want) {
+		t.Errorf("[-10,10] sdiv -2 = %v, want %v", got, want)
+	}
+	if got := r.SDivConst(apint.Zero(8)); !got.IsEmpty() {
+		t.Errorf("sdiv 0 = %v, want empty", got)
+	}
+	// MinSigned / -1 is excluded, not wrapped.
+	m := New(apint.MinSigned(8), apint.MinSigned(8).Add(apint.New(8, 2)))
+	got = m.SDivConst(apint.AllOnes(8))
+	if got.Contains(apint.MinSigned(8)) {
+		t.Errorf("sdiv -1 included wrapped quotient: %v", got)
+	}
+	if !got.Contains(apint.New(8, 127)) {
+		t.Errorf("sdiv -1 = %v missing 127", got)
+	}
+	// SDivConst soundness, exhaustive at width 4.
+	for _, a := range allRanges(4) {
+		for c := uint64(0); c < 16; c++ {
+			cv := apint.New(4, c)
+			got := a.SDivConst(cv)
+			a.ForEach(func(x apint.Int) bool {
+				if cv.IsZero() || (x.IsMinSigned() && cv.IsAllOnes()) {
+					return true
+				}
+				if q := x.SDiv(cv); !got.Contains(q) {
+					t.Fatalf("SDivConst(%v,%v) = %v missing %v", a, cv, got, q)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func TestNegNot(t *testing.T) {
+	r := New(apint.New(8, 1), apint.New(8, 5)) // {1..4}
+	neg := r.Neg()
+	for v := int64(-4); v <= -1; v++ {
+		if !neg.Contains(apint.NewSigned(8, v)) {
+			t.Errorf("Neg missing %d", v)
+		}
+	}
+	if neg.Contains(apint.Zero(8)) {
+		t.Error("Neg contains 0")
+	}
+	not := r.Not()
+	for v := int64(-5); v <= -2; v++ {
+		if !not.Contains(apint.NewSigned(8, v)) {
+			t.Errorf("Not missing %d", v)
+		}
+	}
+}
+
+func TestCastsExhaustive(t *testing.T) {
+	for _, r := range allRanges(4) {
+		tr := r.Trunc(2)
+		ze := r.ZExt(7)
+		se := r.SExt(7)
+		r.ForEach(func(v apint.Int) bool {
+			if !tr.Contains(v.Trunc(2)) {
+				t.Fatalf("Trunc(%v) = %v missing %v", r, tr, v.Trunc(2))
+			}
+			if !ze.Contains(v.ZExt(7)) {
+				t.Fatalf("ZExt(%v) = %v missing %v", r, ze, v.ZExt(7))
+			}
+			if !se.Contains(v.SExt(7)) {
+				t.Fatalf("SExt(%v) = %v missing %v", r, se, v.SExt(7))
+			}
+			return true
+		})
+	}
+}
+
+func TestZExtTight(t *testing.T) {
+	r := New(apint.New(4, 3), apint.New(4, 9))
+	got := r.ZExt(8)
+	want := New(apint.New(8, 3), apint.New(8, 9))
+	if !got.Eq(want) {
+		t.Errorf("zext = %v, want %v", got, want)
+	}
+	// Wrapped source covers 0..15 values: [0,16) at width 8.
+	wrapped := New(apint.New(4, 12), apint.New(4, 3))
+	got = wrapped.ZExt(8)
+	want = New(apint.Zero(8), apint.New(8, 16))
+	if !got.Eq(want) {
+		t.Errorf("zext wrapped = %v, want %v", got, want)
+	}
+}
+
+func TestSExtTight(t *testing.T) {
+	r := New(apint.NewSigned(4, -3), apint.NewSigned(4, 4)) // [-3,3]
+	got := r.SExt(8)
+	want := New(apint.NewSigned(8, -3), apint.NewSigned(8, 4))
+	if !got.Eq(want) {
+		t.Errorf("sext = %v, want %v", got, want)
+	}
+	if got := Full(4).SExt(8); !got.Eq(New(apint.NewSigned(8, -8), apint.NewSigned(8, 8))) {
+		t.Errorf("sext full = %v, want [-8,8)", got)
+	}
+}
+
+func TestTruncLongArcIsFull(t *testing.T) {
+	r := New(apint.Zero(8), apint.New(8, 200))
+	if got := r.Trunc(4); !got.IsFull() {
+		t.Errorf("trunc of 200-long arc to 16 values = %v, want full", got)
+	}
+}
+
+func TestFromKnownBits(t *testing.T) {
+	k := knownbits.Parse("00xx")
+	got := FromKnownBits(k, false)
+	want := New(apint.Zero(4), apint.New(4, 4))
+	if !got.Eq(want) {
+		t.Errorf("unsigned fromKnownBits = %v, want %v", got, want)
+	}
+	// Signed with unknown sign bit: [-8..7] essentially full.
+	k2 := knownbits.Parse("xxx0")
+	got2 := FromKnownBits(k2, true)
+	k2.ForEach(func(v apint.Int) bool {
+		if !got2.Contains(v) {
+			t.Errorf("signed fromKnownBits %v missing %v", got2, v)
+		}
+		return true
+	})
+	if got := FromKnownBits(knownbits.Make(apint.One(4), apint.One(4)), false); !got.IsEmpty() {
+		t.Errorf("conflict fromKnownBits = %v, want empty", got)
+	}
+}
+
+func TestToKnownBits(t *testing.T) {
+	r := New(apint.New(8, 0x40), apint.New(8, 0x48)) // 0b01000000..0b01000111
+	k := r.ToKnownBits()
+	if got := k.String(); got != "01000xxx" {
+		t.Errorf("ToKnownBits = %q", got)
+	}
+	r.ForEach(func(v apint.Int) bool {
+		if !k.Contains(v) {
+			t.Errorf("known bits %v excludes %v", k, v)
+		}
+		return true
+	})
+	if got := Full(8).ToKnownBits(); got.NumKnown() != 0 {
+		t.Errorf("full ToKnownBits = %v", got)
+	}
+}
+
+func TestMinMaxTransfersSoundExhaustive(t *testing.T) {
+	ops := map[string]struct {
+		xfer func(a, b Range) Range
+		conc func(x, y apint.Int) apint.Int
+	}{
+		"umin": {Range.UMin, apint.Int.UMin},
+		"umax": {Range.UMax, apint.Int.UMax},
+		"smin": {Range.SMin, apint.Int.SMin},
+		"smax": {Range.SMax, apint.Int.SMax},
+	}
+	ranges := allRanges(3)
+	for name, op := range ops {
+		for _, a := range ranges {
+			for _, b := range ranges {
+				got := op.xfer(a, b)
+				a.ForEach(func(x apint.Int) bool {
+					ok := true
+					b.ForEach(func(y apint.Int) bool {
+						if v := op.conc(x, y); !got.Contains(v) {
+							t.Errorf("%s(%v,%v) = %v missing %v", name, a, b, got, v)
+							ok = false
+						}
+						return ok
+					})
+					return ok
+				})
+			}
+		}
+	}
+}
+
+func TestAbsTransferSoundExhaustive(t *testing.T) {
+	for _, r := range allRanges(4) {
+		got := r.Abs()
+		r.ForEach(func(x apint.Int) bool {
+			if v := x.AbsValue(); !got.Contains(v) {
+				t.Fatalf("Abs(%v) = %v missing |%v| = %v", r, got, x, v)
+			}
+			return true
+		})
+	}
+	// Tightness spot checks.
+	nn := New(apint.New(8, 3), apint.New(8, 10))
+	if !nn.Abs().Eq(nn) {
+		t.Errorf("Abs of non-negative range = %v, want unchanged", nn.Abs())
+	}
+	neg := New(apint.NewSigned(8, -10), apint.NewSigned(8, -2)) // -10..-3
+	want := New(apint.New(8, 3), apint.New(8, 11))
+	if !neg.Abs().Eq(want) {
+		t.Errorf("Abs([-10,-3]) = %v, want %v", neg.Abs(), want)
+	}
+}

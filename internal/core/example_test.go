@@ -1,0 +1,63 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"dfcheck/internal/core"
+	"dfcheck/internal/harvest"
+)
+
+// The Figure 1 pipeline on the paper's first §4.2.1 example: both the
+// compiler-under-test's fact and the maximally precise fact for the same
+// expression, classified.
+func ExampleCheckSource() {
+	results, err := core.CheckSource(`
+		%x:i8 = var
+		%0:i8 = shl 32:i8, %x
+		infer %0
+	`, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Analysis == harvest.KnownBits {
+			fmt.Printf("precise: %s\n", r.OracleFact)
+			fmt.Printf("llvm:    %s\n", r.LLVMFact)
+			fmt.Printf("-> %s\n", r.Outcome)
+		}
+	}
+	// Output:
+	// precise: xxx00000
+	// llvm:    xxxxxxxx
+	// -> souper is more precise
+}
+
+// LLVM-like syntax, as the paper prints its examples, is auto-detected.
+func ExampleParseAuto() {
+	f, err := core.ParseAuto("%0 = srem i32 %x, 8")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(f)
+	// Output:
+	// %x:i32 = var
+	// %0:i32 = srem %x, 8:i32
+	// infer %0
+}
+
+// Infer computes only the oracle-side facts (the artifact's -infer-* mode).
+func ExampleInfer() {
+	f, err := core.ParseAuto("%x = range [1,3)\n%0 = add i8 0, %x")
+	if err != nil {
+		log.Fatal(err)
+	}
+	all := core.Infer(f, 0)
+	fmt.Println("known bits:", all.Known.Bits)
+	fmt.Println("range:", all.Range.Range)
+	fmt.Println("power of two:", all.PowerOfTwo.Proved)
+	// Output:
+	// known bits: 000000xx
+	// range: [1,3)
+	// power of two: true
+}

@@ -1,0 +1,337 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"dfcheck/internal/apint"
+	"dfcheck/internal/ir"
+)
+
+func evalOn(t *testing.T, src string, vals map[string]uint64) (apint.Int, bool) {
+	t.Helper()
+	f := ir.MustParse(src)
+	env, err := EnvFromNames(f, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Eval(f, env)
+}
+
+func mustEval(t *testing.T, src string, vals map[string]uint64) apint.Int {
+	t.Helper()
+	v, ok := evalOn(t, src, vals)
+	if !ok {
+		t.Fatalf("unexpected UB for %v on %s", vals, src)
+	}
+	return v
+}
+
+func mustUB(t *testing.T, src string, vals map[string]uint64) {
+	t.Helper()
+	if _, ok := evalOn(t, src, vals); ok {
+		t.Errorf("expected UB for %v on %s", vals, src)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	if got := mustEval(t, "%x:i8 = var\n%0:i8 = add %x, 200:i8\ninfer %0", map[string]uint64{"x": 100}); got.Uint64() != 44 {
+		t.Errorf("wrapping add = %v", got)
+	}
+	if got := mustEval(t, "%x:i8 = var\n%0:i8 = mul %x, 3:i8\ninfer %0", map[string]uint64{"x": 100}); got.Uint64() != 44 {
+		t.Errorf("wrapping mul = %v", got)
+	}
+	if got := mustEval(t, "%x:i8 = var\n%0:i8 = sub 0:i8, %x\ninfer %0", map[string]uint64{"x": 1}); !got.IsAllOnes() {
+		t.Errorf("neg = %v", got)
+	}
+}
+
+func TestDivRemUB(t *testing.T) {
+	mustUB(t, "%x:i8 = var\n%0:i8 = udiv 10:i8, %x\ninfer %0", map[string]uint64{"x": 0})
+	mustUB(t, "%x:i8 = var\n%0:i8 = urem 10:i8, %x\ninfer %0", map[string]uint64{"x": 0})
+	mustUB(t, "%x:i8 = var\n%0:i8 = sdiv %x, 255:i8\ninfer %0", map[string]uint64{"x": 128}) // MinSigned / -1
+	mustUB(t, "%x:i8 = var\n%0:i8 = srem %x, 255:i8\ninfer %0", map[string]uint64{"x": 128})
+	if got := mustEval(t, "%x:i8 = var\n%0:i8 = sdiv %x, 2:i8\ninfer %0", map[string]uint64{"x": 0xF9}); got.Int64() != -3 {
+		t.Errorf("-7 sdiv 2 = %v", got.Int64())
+	}
+	if got := mustEval(t, "%x:i8 = var\n%0:i8 = srem %x, 2:i8\ninfer %0", map[string]uint64{"x": 0xF9}); got.Int64() != -1 {
+		t.Errorf("-7 srem 2 = %v", got.Int64())
+	}
+}
+
+func TestShiftUB(t *testing.T) {
+	mustUB(t, "%x:i8 = var\n%0:i8 = shl 1:i8, %x\ninfer %0", map[string]uint64{"x": 8})
+	mustUB(t, "%x:i8 = var\n%0:i8 = lshr 1:i8, %x\ninfer %0", map[string]uint64{"x": 200})
+	mustUB(t, "%x:i8 = var\n%0:i8 = ashr 1:i8, %x\ninfer %0", map[string]uint64{"x": 8})
+	if got := mustEval(t, "%x:i8 = var\n%0:i8 = shl 1:i8, %x\ninfer %0", map[string]uint64{"x": 7}); got.Uint64() != 128 {
+		t.Errorf("1<<7 = %v", got)
+	}
+}
+
+func TestFlagUB(t *testing.T) {
+	mustUB(t, "%x:i8 = var\n%0:i8 = addnsw %x, 1:i8\ninfer %0", map[string]uint64{"x": 127})
+	mustUB(t, "%x:i8 = var\n%0:i8 = addnuw %x, 1:i8\ninfer %0", map[string]uint64{"x": 255})
+	mustUB(t, "%x:i8 = var\n%0:i8 = subnuw 0:i8, %x\ninfer %0", map[string]uint64{"x": 1})
+	mustUB(t, "%x:i8 = var\n%0:i8 = subnsw %x, 1:i8\ninfer %0", map[string]uint64{"x": 128})
+	mustUB(t, "%x:i8 = var\n%0:i8 = mulnsw %x, 10:i8\ninfer %0", map[string]uint64{"x": 13})
+	mustUB(t, "%x:i8 = var\n%0:i8 = mulnuw %x, 2:i8\ninfer %0", map[string]uint64{"x": 128})
+	mustUB(t, "%x:i8 = var\n%0:i8 = shlnuw %x, 1:i8\ninfer %0", map[string]uint64{"x": 128})
+	mustUB(t, "%x:i8 = var\n%0:i8 = shlnsw %x, 1:i8\ninfer %0", map[string]uint64{"x": 64})
+	mustUB(t, "%x:i8 = var\n%0:i8 = udivexact %x, 2:i8\ninfer %0", map[string]uint64{"x": 3})
+	mustUB(t, "%x:i8 = var\n%0:i8 = sdivexact %x, 2:i8\ninfer %0", map[string]uint64{"x": 255})
+	mustUB(t, "%x:i8 = var\n%0:i8 = lshrexact %x, 1:i8\ninfer %0", map[string]uint64{"x": 3})
+	mustUB(t, "%x:i8 = var\n%0:i8 = ashrexact %x, 1:i8\ninfer %0", map[string]uint64{"x": 255})
+	// Well-defined counterparts.
+	if got := mustEval(t, "%x:i8 = var\n%0:i8 = addnsw %x, 1:i8\ninfer %0", map[string]uint64{"x": 126}); got.Uint64() != 127 {
+		t.Errorf("nsw add = %v", got)
+	}
+	if got := mustEval(t, "%x:i8 = var\n%0:i8 = udivexact %x, 2:i8\ninfer %0", map[string]uint64{"x": 4}); got.Uint64() != 2 {
+		t.Errorf("exact udiv = %v", got)
+	}
+	if got := mustEval(t, "%x:i8 = var\n%0:i8 = ashrexact %x, 1:i8\ninfer %0", map[string]uint64{"x": 0xFE}); got.Int64() != -1 {
+		t.Errorf("exact ashr = %v", got.Int64())
+	}
+}
+
+func TestRangeMetadata(t *testing.T) {
+	src := "%x:i8 = var (range=[1,7))\ninfer %x"
+	if got := mustEval(t, src, map[string]uint64{"x": 3}); got.Uint64() != 3 {
+		t.Errorf("in-range = %v", got)
+	}
+	mustUB(t, src, map[string]uint64{"x": 0})
+	mustUB(t, src, map[string]uint64{"x": 7})
+
+	// Wrapped range [1,0): everything except zero.
+	wrapped := "%x:i8 = var (range=[1,0))\ninfer %x"
+	if got := mustEval(t, wrapped, map[string]uint64{"x": 255}); got.Uint64() != 255 {
+		t.Errorf("wrapped in-range = %v", got)
+	}
+	mustUB(t, wrapped, map[string]uint64{"x": 0})
+}
+
+func TestComparisonsAndSelect(t *testing.T) {
+	src := `
+		%x:i8 = var
+		%0:i1 = slt %x, 0:i8
+		%1:i8 = select %0, 1:i8, 2:i8
+		infer %1
+	`
+	if got := mustEval(t, src, map[string]uint64{"x": 200}); got.Uint64() != 1 {
+		t.Errorf("select true arm = %v", got)
+	}
+	if got := mustEval(t, src, map[string]uint64{"x": 100}); got.Uint64() != 2 {
+		t.Errorf("select false arm = %v", got)
+	}
+	cmps := []struct {
+		op   string
+		x, y uint64
+		want uint64
+	}{
+		{"eq", 5, 5, 1}, {"eq", 5, 6, 0},
+		{"ne", 5, 6, 1}, {"ne", 5, 5, 0},
+		{"ult", 5, 200, 1}, {"ult", 200, 5, 0},
+		{"ule", 5, 5, 1}, {"ule", 6, 5, 0},
+		{"slt", 200, 5, 1}, {"slt", 5, 200, 0}, // 200 is -56 signed
+		{"sle", 200, 200, 1}, {"sle", 5, 200, 0},
+	}
+	for _, c := range cmps {
+		src := "%x:i8 = var\n%y:i8 = var\n%0:i1 = " + c.op + " %x, %y\ninfer %0"
+		if got := mustEval(t, src, map[string]uint64{"x": c.x, "y": c.y}); got.Uint64() != c.want {
+			t.Errorf("%s %d,%d = %v, want %d", c.op, c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestCastsAndIntrinsics(t *testing.T) {
+	if got := mustEval(t, "%x:i4 = var\n%0:i8 = zext %x\ninfer %0", map[string]uint64{"x": 0xF}); got.Uint64() != 0xF {
+		t.Errorf("zext = %v", got)
+	}
+	if got := mustEval(t, "%x:i4 = var\n%0:i8 = sext %x\ninfer %0", map[string]uint64{"x": 0xF}); got.Uint64() != 0xFF {
+		t.Errorf("sext = %v", got)
+	}
+	if got := mustEval(t, "%x:i16 = var\n%0:i8 = trunc %x\ninfer %0", map[string]uint64{"x": 0x1234}); got.Uint64() != 0x34 {
+		t.Errorf("trunc = %v", got)
+	}
+	if got := mustEval(t, "%x:i8 = var\n%0:i8 = ctpop %x\ninfer %0", map[string]uint64{"x": 0xB5}); got.Uint64() != 5 {
+		t.Errorf("ctpop = %v", got)
+	}
+	if got := mustEval(t, "%x:i16 = var\n%0:i16 = bswap %x\ninfer %0", map[string]uint64{"x": 0x1234}); got.Uint64() != 0x3412 {
+		t.Errorf("bswap = %v", got)
+	}
+	if got := mustEval(t, "%x:i8 = var\n%0:i8 = bitreverse %x\ninfer %0", map[string]uint64{"x": 0x01}); got.Uint64() != 0x80 {
+		t.Errorf("bitreverse = %v", got)
+	}
+	if got := mustEval(t, "%x:i8 = var\n%0:i8 = cttz %x\ninfer %0", map[string]uint64{"x": 0}); got.Uint64() != 8 {
+		t.Errorf("cttz(0) = %v, want 8 (defined)", got)
+	}
+	if got := mustEval(t, "%x:i8 = var\n%0:i8 = ctlz %x\ninfer %0", map[string]uint64{"x": 1}); got.Uint64() != 7 {
+		t.Errorf("ctlz(1) = %v", got)
+	}
+	if got := mustEval(t, "%x:i8 = var\n%0:i8 = rotl %x, 12:i8\ninfer %0", map[string]uint64{"x": 0x81}); got.Uint64() != 0x18 {
+		t.Errorf("rotl by 12 (mod 8 = 4) = %#x", got.Uint64())
+	}
+}
+
+func TestForEachInputExhaustive(t *testing.T) {
+	f := ir.MustParse("%x:i4 = var\n%y:i4 = var\n%0:i4 = add %x, %y\ninfer %0")
+	count := 0
+	ForEachInput(f, func(env Env) bool {
+		count++
+		v, ok := Eval(f, env)
+		if !ok {
+			t.Fatal("add should never be UB")
+		}
+		want := (env[f.Vars[0]].Uint64() + env[f.Vars[1]].Uint64()) & 0xF
+		if v.Uint64() != want {
+			t.Fatalf("add = %d, want %d", v.Uint64(), want)
+		}
+		return true
+	})
+	if count != 256 {
+		t.Errorf("enumerated %d inputs, want 256", count)
+	}
+}
+
+func TestForEachInputEarlyStop(t *testing.T) {
+	f := ir.MustParse("%x:i8 = var\ninfer %x")
+	count := 0
+	ForEachInput(f, func(env Env) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("early stop at %d, want 10", count)
+	}
+}
+
+func TestForEachInputTooLargePanics(t *testing.T) {
+	f := ir.MustParse("%x:i32 = var\ninfer %x")
+	defer func() {
+		if recover() == nil {
+			t.Error("ForEachInput on 32-bit space did not panic")
+		}
+	}()
+	ForEachInput(f, func(Env) bool { return true })
+}
+
+func TestRandomEnvAndWellDefined(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := ir.MustParse("%x:i8 = var\n%y:i8 = var\n%0:i8 = udiv %x, %y\ninfer %0")
+	env, ok := RandomWellDefinedEnv(f, rng, 100)
+	if !ok {
+		t.Fatal("no well-defined env found in 100 tries")
+	}
+	if _, ok := Eval(f, env); !ok {
+		t.Error("RandomWellDefinedEnv returned an ill-defined env")
+	}
+	// A function that is UB on every input.
+	dead := ir.MustParse("%x:i8 = var\n%0:i8 = udiv %x, 0:i8\ninfer %0")
+	if _, ok := RandomWellDefinedEnv(dead, rng, 50); ok {
+		t.Error("found well-defined env for always-UB function")
+	}
+}
+
+func TestEnvFromNamesErrors(t *testing.T) {
+	f := ir.MustParse("%x:i8 = var\ninfer %x")
+	if _, err := EnvFromNames(f, map[string]uint64{}); err == nil {
+		t.Error("missing binding not reported")
+	}
+}
+
+func TestTotalInputBits(t *testing.T) {
+	f := ir.MustParse("%x:i8 = var\n%y:i4 = var\n%0:i1 = ult %y, 3:i4\n%1:i8 = select %0, %x, 0:i8\ninfer %1")
+	if got := TotalInputBits(f); got != 12 {
+		t.Errorf("TotalInputBits = %d, want 12", got)
+	}
+}
+
+func TestDAGSharingEvaluatedOnce(t *testing.T) {
+	// (x+1) used twice must evaluate consistently.
+	b := ir.NewBuilder()
+	x := b.Var("x", 8)
+	inc := b.Add(x, b.ConstInt(8, 1))
+	f := b.Function(b.Sub(inc, inc))
+	v, ok := Eval(f, Env{x: apint.New(8, 41)})
+	if !ok || !v.IsZero() {
+		t.Errorf("shared sub = %v ok=%v, want 0", v, ok)
+	}
+}
+
+func TestMinMaxAbsOps(t *testing.T) {
+	cases := []struct {
+		op   string
+		x, y uint64
+		want uint64
+	}{
+		{"umin", 200, 5, 5},
+		{"umax", 200, 5, 200},
+		{"smin", 200, 5, 200}, // 200 is -56 signed
+		{"smax", 200, 5, 5},
+	}
+	for _, c := range cases {
+		src := "%x:i8 = var\n%y:i8 = var\n%0:i8 = " + c.op + " %x, %y\ninfer %0"
+		if got := mustEval(t, src, map[string]uint64{"x": c.x, "y": c.y}); got.Uint64() != c.want {
+			t.Errorf("%s(%d,%d) = %d, want %d", c.op, c.x, c.y, got.Uint64(), c.want)
+		}
+	}
+	if got := mustEval(t, "%x:i8 = var\n%0:i8 = abs %x\ninfer %0", map[string]uint64{"x": 0xFB}); got.Uint64() != 5 {
+		t.Errorf("abs(-5) = %d", got.Uint64())
+	}
+	if got := mustEval(t, "%x:i8 = var\n%0:i8 = abs %x\ninfer %0", map[string]uint64{"x": 0x80}); got.Uint64() != 0x80 {
+		t.Errorf("abs(MinSigned) = %#x, want MinSigned wrap", got.Uint64())
+	}
+}
+
+func TestFunnelShifts(t *testing.T) {
+	// fshl(a, b, s) takes the high w bits of (a:b) << s.
+	src := "%a:i8 = var\n%b:i8 = var\n%s:i8 = var\n%0:i8 = fshl %a, %b, %s\ninfer %0"
+	if got := mustEval(t, src, map[string]uint64{"a": 0x12, "b": 0x34, "s": 4}); got.Uint64() != 0x23 {
+		t.Errorf("fshl(0x12,0x34,4) = %#x, want 0x23", got.Uint64())
+	}
+	if got := mustEval(t, src, map[string]uint64{"a": 0x12, "b": 0x34, "s": 0}); got.Uint64() != 0x12 {
+		t.Errorf("fshl by 0 = %#x, want a", got.Uint64())
+	}
+	if got := mustEval(t, src, map[string]uint64{"a": 0x12, "b": 0x34, "s": 8}); got.Uint64() != 0x12 {
+		t.Errorf("fshl by width = %#x, want a (amount mod width)", got.Uint64())
+	}
+	srcR := "%a:i8 = var\n%b:i8 = var\n%s:i8 = var\n%0:i8 = fshr %a, %b, %s\ninfer %0"
+	if got := mustEval(t, srcR, map[string]uint64{"a": 0x12, "b": 0x34, "s": 4}); got.Uint64() != 0x23 {
+		t.Errorf("fshr(0x12,0x34,4) = %#x, want 0x23", got.Uint64())
+	}
+	if got := mustEval(t, srcR, map[string]uint64{"a": 0x12, "b": 0x34, "s": 0}); got.Uint64() != 0x34 {
+		t.Errorf("fshr by 0 = %#x, want b", got.Uint64())
+	}
+	// fshl(x, x, s) == rotl(x, s) for all inputs.
+	fsh := ir.MustParse("%x:i8 = var\n%s:i8 = var\n%0:i8 = fshl %x, %x, %s\ninfer %0")
+	rot := ir.MustParse("%x:i8 = var\n%s:i8 = var\n%0:i8 = rotl %x, %s\ninfer %0")
+	ForEachInput(fsh, func(env Env) bool {
+		env2 := Env{rot.Vars[0]: env[fsh.Vars[0]], rot.Vars[1]: env[fsh.Vars[1]]}
+		a, ok1 := Eval(fsh, env)
+		b, ok2 := Eval(rot, env2)
+		if !ok1 || !ok2 || a.Ne(b) {
+			t.Fatalf("fshl(x,x,s) != rotl(x,s) at %v: %v vs %v", env, a, b)
+		}
+		return true
+	})
+}
+
+func TestOverflowPredicateOps(t *testing.T) {
+	cases := []struct {
+		op   string
+		x, y uint64
+		want uint64
+	}{
+		{"uaddo", 200, 100, 1}, {"uaddo", 100, 100, 0},
+		{"saddo", 100, 100, 1}, {"saddo", 100, 27, 0},
+		{"usubo", 1, 2, 1}, {"usubo", 2, 1, 0},
+		{"ssubo", 0x80, 1, 1}, {"ssubo", 0x7F, 1, 0},
+		{"umulo", 16, 16, 1}, {"umulo", 15, 17, 0},
+		{"smulo", 16, 8, 1}, {"smulo", 11, 11, 0},
+	}
+	for _, c := range cases {
+		src := "%x:i8 = var\n%y:i8 = var\n%0:i1 = " + c.op + " %x, %y\ninfer %0"
+		if got := mustEval(t, src, map[string]uint64{"x": c.x, "y": c.y}); got.Uint64() != c.want {
+			t.Errorf("%s(%d,%d) = %d, want %d", c.op, c.x, c.y, got.Uint64(), c.want)
+		}
+	}
+}

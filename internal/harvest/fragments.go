@@ -1,0 +1,184 @@
+// Package harvest supplies the expression corpus the comparator runs on:
+// the paper's own code fragments (§4.2–4.7), and a deterministic weighted
+// generator standing in for the 269,113 Souper expressions the authors
+// harvested by compiling SPEC CPU 2017 (which is license-gated). The
+// generator's op mix, width mix, and duplication model are calibrated to
+// reproduce the corpus statistics of §3.1.
+package harvest
+
+import "dfcheck/internal/ir"
+
+// Analysis names a dataflow analysis under test; the comparator and the
+// reports index rows by these.
+type Analysis string
+
+// The eight analyses of Table 1.
+const (
+	KnownBits    Analysis = "known bits"
+	SignBits     Analysis = "sign bits"
+	NonZero      Analysis = "non-zero"
+	Negative     Analysis = "negative"
+	NonNegative  Analysis = "non-negative"
+	PowerOfTwo   Analysis = "power of two"
+	IntegerRange Analysis = "integer range"
+	DemandedBits Analysis = "demanded bits"
+)
+
+// AllAnalyses lists the Table 1 rows in the paper's order.
+var AllAnalyses = []Analysis{
+	KnownBits, SignBits, NonZero, Negative, NonNegative,
+	PowerOfTwo, IntegerRange, DemandedBits,
+}
+
+// Fragment is one example from the paper, with the facts the paper
+// reports for it.
+type Fragment struct {
+	Name     string
+	Section  string
+	Analysis Analysis
+	Source   string
+	// Reduced, when set, is the same fragment at a smaller bit width
+	// whose reported facts are identical. The paper reduced widths "to
+	// make the examples easier to understand" (§4.2); we additionally
+	// use reduced widths where the full-width query involves 32/64-bit
+	// division — the paper's own adversarial case for the solver (§3.3).
+	Reduced string
+	// Precise and LLVM are the paper's reported facts, rendered the way
+	// the paper prints them (bit strings for known/demanded bits, range
+	// notation for ranges, yes/no for single-bit facts).
+	Precise string
+	LLVM    string
+}
+
+// F parses the fragment's source at the paper's width.
+func (fr Fragment) F() *ir.Function { return ir.MustParse(fr.Source) }
+
+// TestSource returns the solver-friendly source (the reduced variant when
+// one exists).
+func (fr Fragment) TestSource() string {
+	if fr.Reduced != "" {
+		return fr.Reduced
+	}
+	return fr.Source
+}
+
+// TestF parses the solver-friendly source.
+func (fr Fragment) TestF() *ir.Function { return ir.MustParse(fr.TestSource()) }
+
+// PaperFragments are the imprecision examples of §4.2–4.5, exactly as
+// printed in the paper (bitwidths included).
+var PaperFragments = []Fragment{
+	{
+		Name: "shl-const-by-var", Section: "4.2.1", Analysis: KnownBits,
+		Source:  "%x:i8 = var\n%0:i8 = shl 32:i8, %x\ninfer %0",
+		Precise: "xxx00000", LLVM: "xxxxxxxx",
+	},
+	{
+		Name: "zext-lshr", Section: "4.2.1", Analysis: KnownBits,
+		Source:  "%x:i4 = var\n%y:i8 = var\n%0:i8 = zext %x\n%1:i8 = lshr %0, %y\ninfer %1",
+		Precise: "0000xxxx", LLVM: "xxxxxxxx",
+	},
+	{
+		Name: "add-low-bit-correlation", Section: "4.2.1", Analysis: KnownBits,
+		Source:  "%x:i8 = var\n%0:i8 = and 1:i8, %x\n%1:i8 = add %x, %0\ninfer %1",
+		Precise: "xxxxxxx0", LLVM: "xxxxxxxx",
+	},
+	{
+		Name: "mul-nsw-srem", Section: "4.2.1", Analysis: KnownBits,
+		Source:  "%x:i8 = var\n%0:i8 = mulnsw 10:i8, %x\n%1:i8 = srem %0, 10:i8\ninfer %1",
+		Precise: "00000000", LLVM: "xxxxxxxx",
+	},
+	{
+		Name: "range-add-one", Section: "4.2.1", Analysis: KnownBits,
+		Source:  "%x:i8 = var (range=[0,5))\n%0:i8 = add 1:i8, %x\ninfer %0",
+		Precise: "00000xxx", LLVM: "0000xxxx",
+	},
+	{
+		Name: "pow2-from-range", Section: "4.3", Analysis: PowerOfTwo,
+		Source:  "%x:i32 = var (range=[1,3))\ninfer %x",
+		Reduced: "%x:i16 = var (range=[1,3))\ninfer %x",
+		Precise: "yes", LLVM: "no",
+	},
+	{
+		Name: "pow2-isolate-low-bit", Section: "4.3", Analysis: PowerOfTwo,
+		Source:  "%x:i64 = var (range=[1,0))\n%0:i64 = sub 0:i64, %x\n%1:i64 = and %x, %0\ninfer %1",
+		Reduced: "%x:i16 = var (range=[1,0))\n%0:i16 = sub 0:i16, %x\n%1:i16 = and %x, %0\ninfer %1",
+		Precise: "yes", LLVM: "no",
+	},
+	{
+		Name: "pow2-trunc-shl", Section: "4.3", Analysis: PowerOfTwo,
+		Source:  "%x:i32 = var\n%0:i32 = and 7:i32, %x\n%1:i32 = shl 1:i32, %0\n%2:i8 = trunc %1\ninfer %2",
+		Reduced: "%x:i16 = var\n%0:i16 = and 7:i16, %x\n%1:i16 = shl 1:i16, %0\n%2:i8 = trunc %1\ninfer %2",
+		Precise: "yes", LLVM: "no",
+	},
+	{
+		Name: "demanded-icmp-sign", Section: "4.4", Analysis: DemandedBits,
+		Source:  "%x:i8 = var\n%0:i1 = slt %x, 0:i8\ninfer %0",
+		Precise: "10000000", LLVM: "11111111",
+	},
+	{
+		Name: "demanded-udiv-1000", Section: "4.4", Analysis: DemandedBits,
+		Source:  "%x:i16 = var\n%0:i16 = udiv %x, 1000:i16\ninfer %0",
+		Precise: "1111111111111000", LLVM: "1111111111111111",
+	},
+	{
+		Name: "range-select-nonzero", Section: "4.5", Analysis: IntegerRange,
+		Source:  "%x:i32 = var\n%0:i1 = eq 0:i32, %x\n%1:i32 = select %0, 1:i32, %x\ninfer %1",
+		Reduced: "%x:i16 = var\n%0:i1 = eq 0:i16, %x\n%1:i16 = select %0, 1:i16, %x\ninfer %1",
+		Precise: "[1,0)", LLVM: "full set",
+	},
+	{
+		Name: "range-and-allones", Section: "4.5", Analysis: IntegerRange,
+		Source:  "%x:i32 = var (range=[1,7))\n%0:i32 = and 4294967295:i32, %x\ninfer %0",
+		Reduced: "%x:i16 = var (range=[1,7))\n%0:i16 = and 65535:i16, %x\ninfer %0",
+		Precise: "[1,7)", LLVM: "[0,7)",
+	},
+	{
+		Name: "range-srem-8", Section: "4.5", Analysis: IntegerRange,
+		Source:  "%x:i32 = var\n%0:i32 = srem %x, 8:i32\ninfer %0",
+		Reduced: "%x:i16 = var\n%0:i16 = srem %x, 8:i16\ninfer %0",
+		Precise: "[-7,8)", LLVM: "[-8,8)",
+	},
+	{
+		Name: "range-udiv-128", Section: "4.5", Analysis: IntegerRange,
+		Source:  "%x:i64 = var\n%0:i64 = udiv 128:i64, %x\ninfer %0",
+		Reduced: "%x:i16 = var\n%0:i16 = udiv 128:i16, %x\ninfer %0",
+		Precise: "[0,129)", LLVM: "full set",
+	},
+}
+
+// SoundnessTrigger is a §4.7 expression that exposes an injected
+// historical bug.
+type SoundnessTrigger struct {
+	Name     string
+	Bug      int // 1..3, matching llvmport.BugConfig fields
+	Analysis Analysis
+	Source   string
+	// The paper's reported outputs.
+	OracleFact    string
+	BuggyLLVMFact string
+}
+
+// SoundnessTriggers are the §4.7 trigger expressions.
+var SoundnessTriggers = []SoundnessTrigger{
+	{
+		// The paper's trivial trigger: both summands are the constant
+		// zero, which is of course non-negative — and zero.
+		Name: "nonzero-add-of-nonneg", Bug: 1, Analysis: NonZero,
+		Source:        "%0:i32 = add 0:i32, 0:i32\ninfer %0",
+		OracleFact:    "false",
+		BuggyLLVMFact: "true",
+	},
+	{
+		Name: "srem-sign-bits", Bug: 2, Analysis: SignBits,
+		Source:        "%0:i32 = var\n%1:i32 = srem %0, 3:i32\ninfer %1",
+		OracleFact:    "30",
+		BuggyLLVMFact: "31",
+	},
+	{
+		Name: "srem-known-bits", Bug: 3, Analysis: KnownBits,
+		Source:        "%0:i8 = var\n%1:i8 = srem 4:i8, %0\ninfer %1",
+		OracleFact:    "00000x0x",
+		BuggyLLVMFact: "00000x00",
+	},
+}

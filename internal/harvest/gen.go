@@ -1,0 +1,405 @@
+package harvest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dfcheck/internal/apint"
+	"dfcheck/internal/ir"
+)
+
+// Expr is one corpus entry: an expression plus how many times the
+// (simulated) compilation encountered it. The paper's precision experiment
+// analyzes each unique expression once; the frequency reproduces the §3.1
+// duplication statistics.
+type Expr struct {
+	Name string
+	F    *ir.Function
+	Freq int
+}
+
+// Config tunes the generator. The zero value is completed by Default.
+type Config struct {
+	Seed int64
+	// NumExprs is the number of unique expressions to generate.
+	NumExprs int
+	// MinInsts/MaxInsts bound the instruction count per expression.
+	MinInsts, MaxInsts int
+	// Widths are the candidate base bit widths with selection weights.
+	Widths []WidthWeight
+	// MaxExpensive caps multiply/divide/remainder instructions per
+	// expression, keeping solver queries tractable.
+	MaxExpensive int
+	// MaxCastWidth caps zext/sext target widths (casts also never more
+	// than double a width, matching how real IR widens).
+	MaxCastWidth uint
+}
+
+// WidthWeight weights a base width for selection.
+type WidthWeight struct {
+	Width  uint
+	Weight int
+}
+
+// Default fills unset fields with the SPEC-shaped defaults: widths skewed
+// toward i32 (as C code is), expression sizes in the handful-of-
+// instructions regime.
+func (c Config) Default() Config {
+	if c.NumExprs == 0 {
+		c.NumExprs = 1000
+	}
+	if c.MinInsts == 0 {
+		c.MinInsts = 1
+	}
+	if c.MaxInsts == 0 {
+		c.MaxInsts = 12
+	}
+	if len(c.Widths) == 0 {
+		c.Widths = []WidthWeight{
+			{8, 15}, {16, 10}, {32, 45}, {64, 20}, {4, 5}, {13, 5},
+		}
+	}
+	if c.MaxExpensive == 0 {
+		c.MaxExpensive = 2
+	}
+	if c.MaxCastWidth == 0 {
+		c.MaxCastWidth = apint.MaxWidth
+	}
+	return c
+}
+
+// opWeight models the instruction mix of optimized LLVM IR from C/C++.
+type opWeight struct {
+	op     ir.Op
+	weight int
+}
+
+var opMix = []opWeight{
+	{ir.OpAdd, 14}, {ir.OpSub, 6}, {ir.OpMul, 4},
+	{ir.OpUDiv, 1}, {ir.OpSDiv, 1}, {ir.OpURem, 1}, {ir.OpSRem, 1},
+	{ir.OpAnd, 9}, {ir.OpOr, 6}, {ir.OpXor, 4},
+	{ir.OpShl, 6}, {ir.OpLShr, 4}, {ir.OpAShr, 3},
+	{ir.OpEq, 6}, {ir.OpNe, 4}, {ir.OpULT, 3}, {ir.OpULE, 2},
+	{ir.OpSLT, 4}, {ir.OpSLE, 2},
+	{ir.OpSelect, 6},
+	{ir.OpZExt, 6}, {ir.OpSExt, 4}, {ir.OpTrunc, 5},
+	{ir.OpCtPop, 1}, {ir.OpBSwap, 1}, {ir.OpBitReverse, 1},
+	{ir.OpCttz, 1}, {ir.OpCtlz, 1}, {ir.OpRotL, 1}, {ir.OpRotR, 1},
+	{ir.OpUMin, 2}, {ir.OpUMax, 2}, {ir.OpSMin, 1}, {ir.OpSMax, 1},
+	{ir.OpAbs, 1}, {ir.OpFshl, 1}, {ir.OpFshr, 1},
+	{ir.OpUAddO, 1}, {ir.OpSAddO, 1}, {ir.OpUSubO, 1}, {ir.OpSMulO, 1},
+}
+
+// newGenRand builds the deterministic generator stream for a seed.
+func newGenRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Generate produces cfg.NumExprs unique expressions deterministically from
+// cfg.Seed, each with a frequency drawn from the duplication model.
+func Generate(cfg Config) []Expr {
+	cfg = cfg.Default()
+	rng := newGenRand(cfg.Seed)
+	out := make([]Expr, 0, cfg.NumExprs)
+	for i := 0; i < cfg.NumExprs; i++ {
+		f := genExpr(rng, cfg)
+		out = append(out, Expr{
+			Name: fmt.Sprintf("gen-%06d", i),
+			F:    f,
+			Freq: sampleFreq(rng),
+		})
+	}
+	return out
+}
+
+// sampleFreq draws an encounter count matching §3.1: 28.4% of unique
+// expressions are seen once; the rest follow a Pareto tail fit to the
+// paper's ">10 times: 11.4%" and ">100 times: 1.6%" quantiles.
+func sampleFreq(rng *rand.Rand) int {
+	if rng.Float64() < 0.284 {
+		return 1
+	}
+	// Among duplicated expressions, P(F > x) = x^-alpha with alpha
+	// chosen so P(F > 10) = 0.114/0.716 ≈ 0.159.
+	const alpha = 0.797
+	u := rng.Float64()
+	f := math.Pow(1-u, -1/alpha)
+	if f > 1e6 {
+		f = 1e6
+	}
+	n := int(f)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+type genState struct {
+	rng        *rand.Rand
+	cfg        Config
+	b          *ir.Builder
+	pools      map[uint][]*ir.Inst // values by width
+	widthOrder []uint              // pool keys in first-use order (determinism)
+	used       map[*ir.Inst]bool   // values consumed as operands
+	vars       int
+	expensive  int
+}
+
+func genExpr(rng *rand.Rand, cfg Config) *ir.Function {
+	g := &genState{rng: rng, cfg: cfg, b: ir.NewBuilder(), pools: map[uint][]*ir.Inst{}, used: map[*ir.Inst]bool{}}
+	base := g.pickWidth()
+	target := cfg.MinInsts + rng.Intn(cfg.MaxInsts-cfg.MinInsts+1)
+
+	// Seed with one to three variables at the base width.
+	nVars := 1 + rng.Intn(3)
+	for i := 0; i < nVars; i++ {
+		g.addToPool(g.newVar(base))
+	}
+
+	// A long tail of jumbo expressions mirrors the harvest's largest
+	// entries (§3.1 reports a 3,665-instruction maximum).
+	if rng.Intn(1000) == 0 {
+		target *= 20
+	}
+
+	var instrs []*ir.Inst
+	seen := make(map[*ir.Inst]bool)
+	misses := 0
+	for len(instrs) < target && misses < 8*target+64 {
+		n := g.step(base)
+		if n == nil || seen[n] {
+			misses++ // inapplicable op or hash-consed duplicate
+			continue
+		}
+		seen[n] = true
+		g.addToPool(n)
+		instrs = append(instrs, n)
+	}
+	if len(instrs) == 0 {
+		// Degenerate fallback: a fresh add over the seeded variables.
+		instrs = append(instrs, g.b.Add(g.operand(base), g.operand(base)))
+	}
+	// Root: fold every base-width instruction that nothing else consumes
+	// into one value, so the whole build is reachable (expressions are
+	// counted by their root's cone, as the paper counts them).
+	var dangling []*ir.Inst
+	for _, n := range instrs {
+		if n.Width == base && !g.used[n] {
+			dangling = append(dangling, n)
+		}
+	}
+	var root *ir.Inst
+	switch len(dangling) {
+	case 0:
+		root = instrs[len(instrs)-1]
+		for i := len(instrs) - 1; i >= 0; i-- {
+			if instrs[i].Width == base {
+				root = instrs[i]
+				break
+			}
+		}
+	default:
+		root = dangling[0]
+		for i, n := range dangling[1:] {
+			if i%2 == 0 {
+				root = g.b.Xor(root, n)
+			} else {
+				root = g.b.Add(root, n)
+			}
+		}
+	}
+	f := g.b.Function(root)
+	if err := ir.Verify(f); err != nil {
+		panic(fmt.Sprintf("harvest: generated invalid function: %v", err))
+	}
+	return f
+}
+
+func (g *genState) pickWidth() uint {
+	total := 0
+	for _, ww := range g.cfg.Widths {
+		total += ww.Weight
+	}
+	pick := g.rng.Intn(total)
+	for _, ww := range g.cfg.Widths {
+		if pick < ww.Weight {
+			return ww.Width
+		}
+		pick -= ww.Weight
+	}
+	return g.cfg.Widths[0].Width
+}
+
+func (g *genState) newVar(w uint) *ir.Inst {
+	name := fmt.Sprintf("v%d", g.vars)
+	g.vars++
+	// Occasionally attach range metadata, as Souper's harvester does when
+	// the source carried it.
+	if g.rng.Intn(100) < 15 {
+		lo := apint.New(w, g.rng.Uint64())
+		hi := apint.New(w, g.rng.Uint64())
+		if lo.Ne(hi) {
+			return g.b.VarRange(name, w, lo, hi)
+		}
+	}
+	return g.b.Var(name, w)
+}
+
+func (g *genState) addToPool(n *ir.Inst) {
+	if _, ok := g.pools[n.Width]; !ok {
+		g.widthOrder = append(g.widthOrder, n.Width)
+	}
+	g.pools[n.Width] = append(g.pools[n.Width], n)
+}
+
+// operand picks (or creates) a value of width w, biased toward recent
+// values so expressions grow as deep chains rather than disjoint islands.
+func (g *genState) operand(w uint) *ir.Inst {
+	pool := g.pools[w]
+	switch {
+	case len(pool) > 0 && g.rng.Intn(100) < 70:
+		idx := len(pool) - 1
+		if g.rng.Intn(100) < 40 {
+			idx = g.rng.Intn(len(pool))
+		}
+		n := pool[idx]
+		g.used[n] = true
+		return n
+	case g.rng.Intn(100) < 50 && g.vars < 4:
+		v := g.newVar(w)
+		g.addToPool(v)
+		g.used[v] = true
+		return v
+	default:
+		c := g.b.Const(g.interestingConst(w))
+		g.used[c] = true
+		return c
+	}
+}
+
+// interestingConst favors the constants real code uses: small numbers,
+// powers of two, masks, and -1.
+func (g *genState) interestingConst(w uint) apint.Int {
+	switch g.rng.Intn(6) {
+	case 0:
+		return apint.New(w, uint64(g.rng.Intn(8)))
+	case 1:
+		return apint.One(w).Shl(uint(g.rng.Intn(int(w))))
+	case 2:
+		return apint.One(w).Shl(uint(g.rng.Intn(int(w)))).Sub(apint.One(w))
+	case 3:
+		return apint.AllOnes(w)
+	case 4:
+		return apint.NewSigned(w, -int64(1+g.rng.Intn(8)))
+	default:
+		return apint.New(w, g.rng.Uint64())
+	}
+}
+
+// step builds one random instruction, or nil when the choice was
+// inapplicable (retried by the caller).
+func (g *genState) step(base uint) *ir.Inst {
+	total := 0
+	for _, ow := range opMix {
+		total += ow.weight
+	}
+	pick := g.rng.Intn(total)
+	var op ir.Op
+	for _, ow := range opMix {
+		if pick < ow.weight {
+			op = ow.op
+			break
+		}
+		pick -= ow.weight
+	}
+
+	expensive := op == ir.OpMul || op.IsDivRem() ||
+		op == ir.OpUMulO || op == ir.OpSMulO
+	if expensive && g.expensive >= g.cfg.MaxExpensive {
+		return nil
+	}
+
+	w := g.anyPoolWidth(base)
+	switch {
+	case op.IsCast():
+		return g.stepCast(op, w)
+	case op == ir.OpSelect:
+		c := g.operand(1)
+		t := g.operand(w)
+		f := g.operand(w)
+		return g.b.Select(c, t, f)
+	case op.HasBoolResult():
+		return g.b.Build(op, 0, g.operand(w), g.operand(w))
+	case op == ir.OpFshl || op == ir.OpFshr:
+		return g.b.Build(op, 0, g.operand(w), g.operand(w), g.operand(w))
+	case op == ir.OpBSwap:
+		if w%8 != 0 {
+			return nil
+		}
+		return g.b.Build(op, 0, g.operand(w))
+	case op.Arity() == 1:
+		return g.b.Build(op, 0, g.operand(w))
+	default:
+		if expensive {
+			g.expensive++
+		}
+		return g.b.Build(op, g.randomFlags(op), g.operand(w), g.operand(w))
+	}
+}
+
+// anyPoolWidth mostly stays at the base width but sometimes picks another
+// width that already has values (from casts).
+func (g *genState) anyPoolWidth(base uint) uint {
+	if g.rng.Intn(100) < 75 {
+		return base
+	}
+	var widths []uint
+	for _, w := range g.widthOrder {
+		if len(g.pools[w]) > 0 && w != 1 {
+			widths = append(widths, w)
+		}
+	}
+	if len(widths) == 0 {
+		return base
+	}
+	return widths[g.rng.Intn(len(widths))]
+}
+
+func (g *genState) stepCast(op ir.Op, w uint) *ir.Inst {
+	switch op {
+	case ir.OpTrunc:
+		if w <= 1 {
+			return nil
+		}
+		to := 1 + uint(g.rng.Intn(int(w-1)))
+		return g.b.Trunc(g.operand(w), to)
+	case ir.OpZExt, ir.OpSExt:
+		hi := 2 * w
+		if hi > g.cfg.MaxCastWidth {
+			hi = g.cfg.MaxCastWidth
+		}
+		if hi <= w {
+			return nil
+		}
+		to := w + 1 + uint(g.rng.Intn(int(hi-w)))
+		if op == ir.OpZExt {
+			return g.b.ZExt(g.operand(w), to)
+		}
+		return g.b.SExt(g.operand(w), to)
+	}
+	return nil
+}
+
+func (g *genState) randomFlags(op ir.Op) ir.Flags {
+	valid := op.ValidFlags()
+	var f ir.Flags
+	if valid&ir.FlagNSW != 0 && g.rng.Intn(100) < 25 {
+		f |= ir.FlagNSW
+	}
+	if valid&ir.FlagNUW != 0 && g.rng.Intn(100) < 12 {
+		f |= ir.FlagNUW
+	}
+	if valid&ir.FlagExact != 0 && g.rng.Intn(100) < 8 {
+		f |= ir.FlagExact
+	}
+	return f
+}

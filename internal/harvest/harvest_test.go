@@ -1,0 +1,293 @@
+package harvest
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dfcheck/internal/eval"
+	"dfcheck/internal/ir"
+)
+
+func TestPaperFragmentsParse(t *testing.T) {
+	if len(PaperFragments) != 14 {
+		t.Errorf("fragment count = %d, want 14 (5 known-bits + 3 pow2 + 2 demanded + 4 range)", len(PaperFragments))
+	}
+	for _, fr := range PaperFragments {
+		f := fr.F()
+		if err := ir.Verify(f); err != nil {
+			t.Errorf("%s: %v", fr.Name, err)
+		}
+		if fr.Precise == "" || fr.LLVM == "" || fr.Section == "" {
+			t.Errorf("%s: incomplete metadata", fr.Name)
+		}
+	}
+}
+
+func TestSoundnessTriggersParse(t *testing.T) {
+	if len(SoundnessTriggers) != 3 {
+		t.Fatalf("trigger count = %d, want 3", len(SoundnessTriggers))
+	}
+	bugs := map[int]bool{}
+	for _, tr := range SoundnessTriggers {
+		if err := ir.Verify(ir.MustParse(tr.Source)); err != nil {
+			t.Errorf("%s: %v", tr.Name, err)
+		}
+		bugs[tr.Bug] = true
+	}
+	for b := 1; b <= 3; b++ {
+		if !bugs[b] {
+			t.Errorf("no trigger for bug %d", b)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, NumExprs: 50}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("counts = %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].F.String() != b[i].F.String() {
+			t.Fatalf("expression %d differs between runs", i)
+		}
+		if a[i].Freq != b[i].Freq {
+			t.Fatalf("frequency %d differs between runs", i)
+		}
+	}
+	// Different seeds give different corpora.
+	c := Generate(Config{Seed: 8, NumExprs: 50})
+	same := 0
+	for i := range a {
+		if a[i].F.String() == c[i].F.String() {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical corpus")
+	}
+}
+
+func TestGeneratedExpressionsValid(t *testing.T) {
+	corpus := Generate(Config{Seed: 3, NumExprs: 300})
+	for _, e := range corpus {
+		if err := ir.Verify(e.F); err != nil {
+			t.Fatalf("%s invalid: %v\n%s", e.Name, err, e.F)
+		}
+		if e.F.NumInsts() < 1 {
+			t.Errorf("%s has no instructions", e.Name)
+		}
+		if e.Freq < 1 {
+			t.Errorf("%s has frequency %d", e.Name, e.Freq)
+		}
+	}
+}
+
+func TestGeneratedExpressionsEvaluable(t *testing.T) {
+	// Every generated expression must round-trip through the printer and
+	// be evaluable (not crash) on random inputs.
+	corpus := Generate(Config{Seed: 11, NumExprs: 150})
+	rng := rand.New(rand.NewSource(5))
+	for _, e := range corpus {
+		f2, err := ir.Parse(e.F.String())
+		if err != nil {
+			t.Fatalf("%s: reparse failed: %v\n%s", e.Name, err, e.F)
+		}
+		if f2.String() != e.F.String() {
+			t.Fatalf("%s: print/parse not stable", e.Name)
+		}
+		for i := 0; i < 20; i++ {
+			env := eval.RandomEnv(e.F, rng)
+			eval.Eval(e.F, env) // must not panic
+		}
+	}
+}
+
+func TestDuplicationModelMatchesPaper(t *testing.T) {
+	// With a large sample the duplication quantiles must land near the
+	// §3.1 numbers: 71.6% > 1x, 11.4% > 10x, 1.6% > 100x.
+	rng := rand.New(rand.NewSource(1))
+	n := 200000
+	var more1, more10, more100 int
+	for i := 0; i < n; i++ {
+		f := sampleFreq(rng)
+		if f > 1 {
+			more1++
+		}
+		if f > 10 {
+			more10++
+		}
+		if f > 100 {
+			more100++
+		}
+	}
+	p1 := 100 * float64(more1) / float64(n)
+	p10 := 100 * float64(more10) / float64(n)
+	p100 := 100 * float64(more100) / float64(n)
+	if p1 < 69 || p1 > 74 {
+		t.Errorf(">1x = %.1f%%, want ~71.6%%", p1)
+	}
+	if p10 < 9.5 || p10 > 13.5 {
+		t.Errorf(">10x = %.1f%%, want ~11.4%%", p10)
+	}
+	if p100 < 1.0 || p100 > 2.4 {
+		t.Errorf(">100x = %.1f%%, want ~1.6%%", p100)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	corpus := []Expr{
+		{Name: "a", F: ir.MustParse("%x:i8 = var\n%0:i8 = add %x, 1:i8\ninfer %0"), Freq: 1},
+		{Name: "b", F: ir.MustParse("%x:i8 = var\n%0:i8 = add %x, %x\n%1:i8 = mul %0, %0\ninfer %1"), Freq: 200},
+		{Name: "c", F: ir.MustParse("%x:i8 = var\n%0:i8 = xor %x, 3:i8\ninfer %0"), Freq: 11},
+		{Name: "d", F: ir.MustParse("%x:i8 = var\ninfer %x"), Freq: 2},
+	}
+	s := ComputeStats(corpus)
+	if s.Unique != 4 {
+		t.Errorf("unique = %d", s.Unique)
+	}
+	if s.TotalEncounters != 214 {
+		t.Errorf("total = %d", s.TotalEncounters)
+	}
+	if s.PctMoreThan1 != 75 {
+		t.Errorf(">1 = %.1f", s.PctMoreThan1)
+	}
+	if s.PctMoreThan10 != 50 {
+		t.Errorf(">10 = %.1f", s.PctMoreThan10)
+	}
+	if s.PctMoreThan100 != 25 {
+		t.Errorf(">100 = %.1f", s.PctMoreThan100)
+	}
+	if s.MaxInsts != 2 {
+		t.Errorf("max insts = %d", s.MaxInsts)
+	}
+	if s.AvgInsts != 1.0 {
+		t.Errorf("avg insts = %.2f", s.AvgInsts)
+	}
+	if s.String() == "" {
+		t.Error("empty render")
+	}
+	if got := ComputeStats(nil); got.Unique != 0 {
+		t.Error("empty corpus stats wrong")
+	}
+}
+
+func TestGenerateWithCustomWidths(t *testing.T) {
+	// Small widths for solver-friendly corpora.
+	corpus := Generate(Config{
+		Seed: 2, NumExprs: 60,
+		Widths:   []WidthWeight{{4, 1}},
+		MaxInsts: 6,
+	})
+	for _, e := range corpus {
+		if w := e.F.Width(); w != 4 && w != 1 {
+			// Casts can move width, but the root should mostly be the
+			// base; allow i1 (comparison roots) and cast targets.
+			if e.F.Width() > 8 {
+				t.Errorf("%s: unexpected root width %d\n%s", e.Name, w, e.F)
+			}
+		}
+	}
+}
+
+func TestAllAnalysesOrder(t *testing.T) {
+	want := []Analysis{KnownBits, SignBits, NonZero, Negative, NonNegative, PowerOfTwo, IntegerRange, DemandedBits}
+	if len(AllAnalyses) != len(want) {
+		t.Fatalf("AllAnalyses = %v", AllAnalyses)
+	}
+	for i := range want {
+		if AllAnalyses[i] != want[i] {
+			t.Errorf("AllAnalyses[%d] = %v, want %v (paper order)", i, AllAnalyses[i], want[i])
+		}
+	}
+}
+
+func TestStreamingStatsMatchesGenerate(t *testing.T) {
+	cfg := Config{Seed: 31, NumExprs: 400, MaxInsts: 20}
+	streamed := StreamingStats(cfg)
+	batch := ComputeStats(Generate(cfg))
+	if streamed != batch {
+		t.Errorf("streaming stats %+v != batch stats %+v", streamed, batch)
+	}
+}
+
+func TestCorpusRoundTrip(t *testing.T) {
+	corpus := Generate(Config{Seed: 17, NumExprs: 80, MaxInsts: 8})
+	var buf strings.Builder
+	if err := WriteCorpus(&buf, corpus); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCorpus(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(corpus) {
+		t.Fatalf("round trip count = %d, want %d", len(back), len(corpus))
+	}
+	for i := range corpus {
+		if back[i].Name != corpus[i].Name || back[i].Freq != corpus[i].Freq {
+			t.Fatalf("record %d metadata differs", i)
+		}
+		if back[i].F.String() != corpus[i].F.String() {
+			t.Fatalf("record %d expression differs:\n%s\nvs\n%s", i, back[i].F, corpus[i].F)
+		}
+	}
+}
+
+func TestReadCorpusErrors(t *testing.T) {
+	cases := []struct{ name, src, wantErr string }{
+		{"nested", "expr a 1\nexpr b 1\n", "nested"},
+		{"bad freq", "expr a zero\n", "bad frequency"},
+		{"neg freq", "expr a -2\n", "bad frequency"},
+		{"end without expr", "end\n", "end without expr"},
+		{"unterminated", "expr a 1\n\t%x:i8 = var\n\tinfer %x\n", "unterminated"},
+		{"bad body", "expr a 1\n\tgarbage\nend\n", "record \"a\""},
+		{"stray text", "hello\n", "unexpected text"},
+	}
+	for _, c := range cases {
+		_, err := ReadCorpus(strings.NewReader(c.src))
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error = %v, want substring %q", c.name, err, c.wantErr)
+		}
+	}
+	// Comments and blank lines between records are fine.
+	ok := "# a comment\n\nexpr a 3\n\t%x:i8 = var\n\tinfer %x\nend\n"
+	corpus, err := ReadCorpus(strings.NewReader(ok))
+	if err != nil || len(corpus) != 1 || corpus[0].Freq != 3 {
+		t.Errorf("comment handling: %v, %d records", err, len(corpus))
+	}
+}
+
+func TestMutateProducesValidVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	corpus := Generate(Config{Seed: 21, NumExprs: 80, MaxInsts: 8})
+	differed := 0
+	for _, e := range corpus {
+		for i := 0; i < 5; i++ {
+			m := Mutate(e.F, rng)
+			if err := ir.Verify(m); err != nil {
+				t.Fatalf("%s: mutant invalid: %v\n%s", e.Name, err, m)
+			}
+			if m.String() != e.F.String() {
+				differed++
+			}
+			// Mutants must be evaluable without panics.
+			for j := 0; j < 5; j++ {
+				eval.Eval(m, eval.RandomEnv(m, rng))
+			}
+		}
+	}
+	if differed == 0 {
+		t.Error("no mutation ever changed an expression")
+	}
+}
+
+func TestMutateVarOnlyFunctionIsIdentity(t *testing.T) {
+	f := ir.MustParse("%x:i8 = var\ninfer %x")
+	m := Mutate(f, rand.New(rand.NewSource(1)))
+	if m.String() != f.String() {
+		t.Errorf("var-only mutation changed the function:\n%s", m)
+	}
+}

@@ -1,0 +1,126 @@
+package harvest
+
+import (
+	"math/rand"
+
+	"dfcheck/internal/apint"
+	"dfcheck/internal/ir"
+)
+
+// Mutate returns a structurally valid variant of f with one random edit
+// applied: a constant tweaked, a commutative operation's operands swapped,
+// an operation replaced within its class, or a poison flag toggled. The
+// fuzzing loop uses mutants to probe near-misses of expressions already
+// seen, the way Csmith-style differential testing mutates its seeds
+// (§4.7's workflow).
+func Mutate(f *ir.Function, rng *rand.Rand) *ir.Function {
+	insts := f.Insts()
+	// Collect mutable instructions (non-leaves).
+	var mutable []*ir.Inst
+	for _, n := range insts {
+		if !n.IsVar() && !n.IsConst() {
+			mutable = append(mutable, n)
+		}
+	}
+	if len(mutable) == 0 {
+		return f
+	}
+	target := mutable[rng.Intn(len(mutable))]
+	kind := rng.Intn(4)
+
+	b := ir.NewBuilder()
+	rebuilt := make(map[*ir.Inst]*ir.Inst)
+	for _, n := range insts {
+		rebuilt[n] = rebuildMutated(b, n, rebuilt, target, kind, rng)
+	}
+	out := b.Function(rebuilt[f.Root])
+	if err := ir.Verify(out); err != nil {
+		panic("harvest: mutation produced invalid function: " + err.Error())
+	}
+	return out
+}
+
+func rebuildMutated(b *ir.Builder, n *ir.Inst, done map[*ir.Inst]*ir.Inst,
+	target *ir.Inst, kind int, rng *rand.Rand) *ir.Inst {
+	switch n.Op {
+	case ir.OpVar:
+		if n.HasRange {
+			return b.VarRange(n.Name, n.Width, n.Lo, n.Hi)
+		}
+		return b.Var(n.Name, n.Width)
+	case ir.OpConst:
+		return b.Const(n.Val)
+	}
+
+	args := make([]*ir.Inst, len(n.Args))
+	for i, a := range n.Args {
+		args[i] = done[a]
+	}
+	op, flags := n.Op, n.Flags
+
+	if n == target {
+		switch kind {
+		case 0:
+			// Tweak a constant operand (or inject one in place of the
+			// second operand when none exists and widths allow).
+			for i, a := range n.Args {
+				if a.IsConst() {
+					delta := apint.New(a.Width, uint64(1+rng.Intn(4)))
+					args[i] = b.Const(a.ConstValue().Add(delta))
+					break
+				}
+			}
+		case 1:
+			// Swap operands of a two-operand op.
+			if len(args) == 2 && args[0].Width == args[1].Width {
+				args[0], args[1] = args[1], args[0]
+			}
+		case 2:
+			// Replace the op within its class (width- and arity-
+			// preserving).
+			op = replaceOp(op, rng)
+			if op.ValidFlags()&flags != flags {
+				flags &= op.ValidFlags()
+			}
+		case 3:
+			// Toggle a legal flag.
+			valid := op.ValidFlags()
+			if valid != 0 {
+				choices := []ir.Flags{ir.FlagNSW, ir.FlagNUW, ir.FlagExact}
+				for _, fl := range choices {
+					if valid&fl != 0 && rng.Intn(2) == 0 {
+						flags ^= fl
+					}
+				}
+			}
+		}
+	}
+
+	if op.IsCast() {
+		return b.BuildCast(op, n.Width, args[0])
+	}
+	return b.Build(op, flags, args...)
+}
+
+// replaceOp picks another op from the same interchangeable class.
+var opClasses = [][]ir.Op{
+	{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpUMin, ir.OpUMax, ir.OpSMin, ir.OpSMax},
+	{ir.OpUDiv, ir.OpSDiv, ir.OpURem, ir.OpSRem},
+	{ir.OpShl, ir.OpLShr, ir.OpAShr, ir.OpRotL, ir.OpRotR},
+	{ir.OpEq, ir.OpNe, ir.OpULT, ir.OpULE, ir.OpSLT, ir.OpSLE, ir.OpUAddO, ir.OpSAddO, ir.OpUSubO, ir.OpSSubO, ir.OpUMulO, ir.OpSMulO},
+	{ir.OpCtPop, ir.OpCttz, ir.OpCtlz, ir.OpBitReverse, ir.OpAbs},
+	{ir.OpFshl, ir.OpFshr},
+}
+
+func replaceOp(op ir.Op, rng *rand.Rand) ir.Op {
+	for _, class := range opClasses {
+		for _, member := range class {
+			if member == op {
+				next := class[rng.Intn(len(class))]
+				// Flags are filtered by the caller.
+				return next
+			}
+		}
+	}
+	return op // bswap, casts, select: no same-shape replacement
+}

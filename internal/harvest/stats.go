@@ -1,0 +1,106 @@
+package harvest
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats summarizes a corpus the way §3.1 reports the SPEC CPU 2017
+// harvest: unique expression count, duplication quantiles, and expression
+// sizes.
+type Stats struct {
+	Unique          int
+	TotalEncounters int64
+	PctMoreThan1    float64 // encountered more than once
+	PctMoreThan10   float64
+	PctMoreThan100  float64
+	AvgInsts        float64
+	MaxInsts        int
+}
+
+// StreamingStats generates cfg.NumExprs expressions one at a time and
+// accumulates their statistics without retaining the corpus — the
+// full-scale §3.1 run (269,113 expressions averaging ~100 instructions)
+// would otherwise hold several gigabytes of DAGs.
+func StreamingStats(cfg Config) Stats {
+	cfg = cfg.Default()
+	rng := newGenRand(cfg.Seed)
+	var s Stats
+	var more1, more10, more100 int
+	var instSum int64
+	for i := 0; i < cfg.NumExprs; i++ {
+		f := genExpr(rng, cfg)
+		freq := sampleFreq(rng)
+		s.Unique++
+		s.TotalEncounters += int64(freq)
+		if freq > 1 {
+			more1++
+		}
+		if freq > 10 {
+			more10++
+		}
+		if freq > 100 {
+			more100++
+		}
+		n := f.NumInsts()
+		instSum += int64(n)
+		if n > s.MaxInsts {
+			s.MaxInsts = n
+		}
+	}
+	if s.Unique > 0 {
+		u := float64(s.Unique)
+		s.PctMoreThan1 = 100 * float64(more1) / u
+		s.PctMoreThan10 = 100 * float64(more10) / u
+		s.PctMoreThan100 = 100 * float64(more100) / u
+		s.AvgInsts = float64(instSum) / u
+	}
+	return s
+}
+
+// ComputeStats derives corpus statistics.
+func ComputeStats(corpus []Expr) Stats {
+	var s Stats
+	s.Unique = len(corpus)
+	if s.Unique == 0 {
+		return s
+	}
+	var more1, more10, more100 int
+	var instSum int64
+	for _, e := range corpus {
+		s.TotalEncounters += int64(e.Freq)
+		if e.Freq > 1 {
+			more1++
+		}
+		if e.Freq > 10 {
+			more10++
+		}
+		if e.Freq > 100 {
+			more100++
+		}
+		n := e.F.NumInsts()
+		instSum += int64(n)
+		if n > s.MaxInsts {
+			s.MaxInsts = n
+		}
+	}
+	u := float64(s.Unique)
+	s.PctMoreThan1 = 100 * float64(more1) / u
+	s.PctMoreThan10 = 100 * float64(more10) / u
+	s.PctMoreThan100 = 100 * float64(more100) / u
+	s.AvgInsts = float64(instSum) / u
+	return s
+}
+
+// String renders the statistics in the §3.1 reporting style.
+func (s Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "unique expressions:        %d\n", s.Unique)
+	fmt.Fprintf(&sb, "total encounters:          %d\n", s.TotalEncounters)
+	fmt.Fprintf(&sb, "encountered more than 1x:  %.1f%%\n", s.PctMoreThan1)
+	fmt.Fprintf(&sb, "encountered more than 10x: %.1f%%\n", s.PctMoreThan10)
+	fmt.Fprintf(&sb, "encountered more than 100x:%.1f%%\n", s.PctMoreThan100)
+	fmt.Fprintf(&sb, "average instructions:      %.1f\n", s.AvgInsts)
+	fmt.Fprintf(&sb, "largest expression:        %d instructions\n", s.MaxInsts)
+	return sb.String()
+}

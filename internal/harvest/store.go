@@ -1,0 +1,95 @@
+package harvest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dfcheck/internal/ir"
+)
+
+// This file persists corpora, standing in for the artifact's Redis dump
+// (dump.rdb) of harvested Souper expressions: the authors shipped their
+// SPEC harvest as a database so others could rerun the precision
+// experiment without the benchmark's license. The format here is plain
+// text, one record per expression:
+//
+//	expr <name> <freq>
+//	<souper text, indented one tab>
+//	end
+//
+// Records round-trip through the Souper parser, so a stored corpus is also
+// human-readable and hand-editable.
+
+// WriteCorpus serializes a corpus.
+func WriteCorpus(w io.Writer, corpus []Expr) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range corpus {
+		if strings.ContainsAny(e.Name, " \t\n") {
+			return fmt.Errorf("harvest: expression name %q contains whitespace", e.Name)
+		}
+		fmt.Fprintf(bw, "expr %s %d\n", e.Name, e.Freq)
+		for _, line := range strings.Split(strings.TrimRight(e.F.String(), "\n"), "\n") {
+			fmt.Fprintf(bw, "\t%s\n", line)
+		}
+		fmt.Fprintln(bw, "end")
+	}
+	return bw.Flush()
+}
+
+// ReadCorpus parses a corpus written by WriteCorpus.
+func ReadCorpus(r io.Reader) ([]Expr, error) {
+	var corpus []Expr
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	var cur *Expr
+	var body strings.Builder
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "expr "):
+			if cur != nil {
+				return nil, fmt.Errorf("harvest: line %d: nested expr record", lineNo)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("harvest: line %d: want 'expr <name> <freq>'", lineNo)
+			}
+			freq, err := strconv.Atoi(fields[2])
+			if err != nil || freq < 1 {
+				return nil, fmt.Errorf("harvest: line %d: bad frequency %q", lineNo, fields[2])
+			}
+			cur = &Expr{Name: fields[1], Freq: freq}
+			body.Reset()
+		case line == "end":
+			if cur == nil {
+				return nil, fmt.Errorf("harvest: line %d: end without expr", lineNo)
+			}
+			f, err := ir.Parse(body.String())
+			if err != nil {
+				return nil, fmt.Errorf("harvest: record %q: %w", cur.Name, err)
+			}
+			cur.F = f
+			corpus = append(corpus, *cur)
+			cur = nil
+		case cur != nil:
+			body.WriteString(strings.TrimPrefix(line, "\t"))
+			body.WriteByte('\n')
+		case strings.TrimSpace(line) == "" || strings.HasPrefix(line, "#"):
+			// blank lines and comments between records
+		default:
+			return nil, fmt.Errorf("harvest: line %d: unexpected text outside record", lineNo)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("harvest: unterminated record %q", cur.Name)
+	}
+	return corpus, nil
+}

@@ -1,0 +1,239 @@
+// Package ir defines a Souper-style SSA expression IR for fixed-width
+// integer computations. A Function is a DAG of instructions with named
+// variable leaves and a single root whose dataflow facts are inferred,
+// mirroring Souper's "infer %n" form.
+//
+// The instruction set is the subset of Souper's (itself mostly isomorphic to
+// LLVM's integer instructions) exercised by the paper: integer arithmetic
+// with nsw/nuw/exact flags, bitwise logic, shifts, comparisons, select,
+// width casts, and the bit-counting intrinsics.
+package ir
+
+import "fmt"
+
+// Op identifies an instruction kind.
+type Op uint8
+
+// Instruction kinds. Binary arithmetic and bitwise ops take two operands of
+// the result width. Comparisons take two operands of equal width and produce
+// i1. Select takes (i1, w, w) and produces w. Casts carry their result width.
+const (
+	OpInvalid Op = iota
+
+	// Leaves.
+	OpVar   // named input
+	OpConst // literal
+
+	// Binary arithmetic. Flags: NSW/NUW on add/sub/mul/shl, Exact on
+	// udiv/sdiv/lshr/ashr.
+	OpAdd
+	OpSub
+	OpMul
+	OpUDiv
+	OpSDiv
+	OpURem
+	OpSRem
+
+	// Bitwise.
+	OpAnd
+	OpOr
+	OpXor
+
+	// Shifts. The shift amount is the second operand, same width as the
+	// first; amounts >= width are poison (UB in our quantification).
+	OpShl
+	OpLShr
+	OpAShr
+
+	// Comparisons (result width 1).
+	OpEq
+	OpNe
+	OpULT
+	OpULE
+	OpSLT
+	OpSLE
+
+	// Ternary conditional: select cond, tval, fval.
+	OpSelect
+
+	// Width casts.
+	OpZExt
+	OpSExt
+	OpTrunc
+
+	// Unary intrinsics (result width = operand width).
+	OpCtPop
+	OpBSwap
+	OpBitReverse
+	OpCttz
+	OpCtlz
+
+	// Funnel-shift rotates (two operands: value, amount; amount taken
+	// modulo width, never poison).
+	OpRotL
+	OpRotR
+
+	// Min/max intrinsics (llvm.umin and friends).
+	OpUMin
+	OpUMax
+	OpSMin
+	OpSMax
+
+	// Absolute value (llvm.abs; |MinSigned| wraps to MinSigned).
+	OpAbs
+
+	// General funnel shifts (llvm.fshl/fshr): three operands (high word,
+	// low word, amount); the amount is taken modulo the width, never
+	// poison. fshl(x, x, s) is rotl, fshr(x, x, s) is rotr.
+	OpFshl
+	OpFshr
+
+	// Overflow predicates: the boolean half of llvm.*.with.overflow, as
+	// Souper decomposes them. Two operands of equal width, result i1.
+	OpUAddO
+	OpSAddO
+	OpUSubO
+	OpSSubO
+	OpUMulO
+	OpSMulO
+
+	numOps
+)
+
+// Flags qualify an instruction with LLVM-style poison-generating attributes.
+type Flags uint8
+
+// Flag bits.
+const (
+	FlagNSW   Flags = 1 << iota // no signed wrap
+	FlagNUW                     // no unsigned wrap
+	FlagExact                   // division/shift is exact (no remainder / no bits shifted out)
+)
+
+func (f Flags) String() string {
+	s := ""
+	if f&FlagNUW != 0 {
+		s += " nuw"
+	}
+	if f&FlagNSW != 0 {
+		s += " nsw"
+	}
+	if f&FlagExact != 0 {
+		s += " exact"
+	}
+	return s
+}
+
+type opInfo struct {
+	name       string
+	arity      int
+	isCast     bool
+	isCmp      bool
+	boolResult bool // result width is 1 but the op is not a comparison
+	validFlags Flags
+}
+
+var opTable = [numOps]opInfo{
+	OpVar:        {name: "var", arity: 0},
+	OpConst:      {name: "const", arity: 0},
+	OpAdd:        {name: "add", arity: 2, validFlags: FlagNSW | FlagNUW},
+	OpSub:        {name: "sub", arity: 2, validFlags: FlagNSW | FlagNUW},
+	OpMul:        {name: "mul", arity: 2, validFlags: FlagNSW | FlagNUW},
+	OpUDiv:       {name: "udiv", arity: 2, validFlags: FlagExact},
+	OpSDiv:       {name: "sdiv", arity: 2, validFlags: FlagExact},
+	OpURem:       {name: "urem", arity: 2},
+	OpSRem:       {name: "srem", arity: 2},
+	OpAnd:        {name: "and", arity: 2},
+	OpOr:         {name: "or", arity: 2},
+	OpXor:        {name: "xor", arity: 2},
+	OpShl:        {name: "shl", arity: 2, validFlags: FlagNSW | FlagNUW},
+	OpLShr:       {name: "lshr", arity: 2, validFlags: FlagExact},
+	OpAShr:       {name: "ashr", arity: 2, validFlags: FlagExact},
+	OpEq:         {name: "eq", arity: 2, isCmp: true},
+	OpNe:         {name: "ne", arity: 2, isCmp: true},
+	OpULT:        {name: "ult", arity: 2, isCmp: true},
+	OpULE:        {name: "ule", arity: 2, isCmp: true},
+	OpSLT:        {name: "slt", arity: 2, isCmp: true},
+	OpSLE:        {name: "sle", arity: 2, isCmp: true},
+	OpSelect:     {name: "select", arity: 3},
+	OpZExt:       {name: "zext", arity: 1, isCast: true},
+	OpSExt:       {name: "sext", arity: 1, isCast: true},
+	OpTrunc:      {name: "trunc", arity: 1, isCast: true},
+	OpCtPop:      {name: "ctpop", arity: 1},
+	OpBSwap:      {name: "bswap", arity: 1},
+	OpBitReverse: {name: "bitreverse", arity: 1},
+	OpCttz:       {name: "cttz", arity: 1},
+	OpCtlz:       {name: "ctlz", arity: 1},
+	OpRotL:       {name: "rotl", arity: 2},
+	OpRotR:       {name: "rotr", arity: 2},
+	OpUMin:       {name: "umin", arity: 2},
+	OpUMax:       {name: "umax", arity: 2},
+	OpSMin:       {name: "smin", arity: 2},
+	OpSMax:       {name: "smax", arity: 2},
+	OpAbs:        {name: "abs", arity: 1},
+	OpFshl:       {name: "fshl", arity: 3},
+	OpFshr:       {name: "fshr", arity: 3},
+	OpUAddO:      {name: "uaddo", arity: 2, boolResult: true},
+	OpSAddO:      {name: "saddo", arity: 2, boolResult: true},
+	OpUSubO:      {name: "usubo", arity: 2, boolResult: true},
+	OpSSubO:      {name: "ssubo", arity: 2, boolResult: true},
+	OpUMulO:      {name: "umulo", arity: 2, boolResult: true},
+	OpSMulO:      {name: "smulo", arity: 2, boolResult: true},
+}
+
+func (op Op) info() opInfo {
+	if op == OpInvalid || op >= numOps {
+		panic(fmt.Sprintf("ir: invalid op %d", op))
+	}
+	return opTable[op]
+}
+
+// String returns the Souper mnemonic for the op.
+func (op Op) String() string { return op.info().name }
+
+// Arity returns the operand count.
+func (op Op) Arity() int { return op.info().arity }
+
+// IsCast reports whether the op is a width-changing cast.
+func (op Op) IsCast() bool { return op.info().isCast }
+
+// IsCmp reports whether the op is a comparison (result width 1).
+func (op Op) IsCmp() bool { return op.info().isCmp }
+
+// HasBoolResult reports whether the op produces an i1 (comparisons and
+// overflow predicates).
+func (op Op) HasBoolResult() bool {
+	info := op.info()
+	return info.isCmp || info.boolResult
+}
+
+// ValidFlags returns the flags the op may legally carry.
+func (op Op) ValidFlags() Flags { return op.info().validFlags }
+
+// IsBinary reports whether the op is a two-operand, width-preserving
+// arithmetic/bitwise/shift operation.
+func (op Op) IsBinary() bool {
+	return op.Arity() == 2 && !op.HasBoolResult()
+}
+
+// IsDivRem reports whether the op is a division or remainder (divisor must
+// be non-zero for the execution to be well defined).
+func (op Op) IsDivRem() bool {
+	return op == OpUDiv || op == OpSDiv || op == OpURem || op == OpSRem
+}
+
+// IsShift reports whether the op is shl/lshr/ashr (amount >= width is
+// poison). Rotates are not included: their amount wraps.
+func (op Op) IsShift() bool {
+	return op == OpShl || op == OpLShr || op == OpAShr
+}
+
+// OpFromName returns the op with the given Souper mnemonic.
+func OpFromName(name string) (Op, bool) {
+	for op := Op(1); op < numOps; op++ {
+		if opTable[op].name == name {
+			return op, true
+		}
+	}
+	return OpInvalid, false
+}

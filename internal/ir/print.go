@@ -1,0 +1,88 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// flagSuffix renders flags in Souper's concatenated mnemonic style
+// (addnsw, addnw, udivexact, ...).
+func flagSuffix(f Flags) string {
+	switch {
+	case f&FlagNSW != 0 && f&FlagNUW != 0:
+		return "nw"
+	case f&FlagNSW != 0:
+		return "nsw"
+	case f&FlagNUW != 0:
+		return "nuw"
+	case f&FlagExact != 0:
+		return "exact"
+	}
+	return ""
+}
+
+// String renders the function in Souper's textual form:
+//
+//	%x:i8 = var (range=[0,5))
+//	%0:i8 = add 1:i8, %x
+//	infer %0
+//
+// Constants appear inline as value:width operands; every non-leaf
+// instruction gets its own line with a %N name; variables keep their names.
+func (f *Function) String() string {
+	names := make(map[*Inst]string)
+	var sb strings.Builder
+
+	insts := f.Insts()
+	// Name variables first, in declaration order, then number the rest.
+	for _, v := range f.Vars {
+		names[v] = "%" + v.Name
+		fmt.Fprintf(&sb, "%%%s:i%d = var", v.Name, v.Width)
+		if v.HasRange {
+			fmt.Fprintf(&sb, " (range=[%d,%d))", v.Lo.Int64(), v.Hi.Int64())
+		}
+		sb.WriteByte('\n')
+	}
+	next := 0
+	for _, n := range insts {
+		switch n.Op {
+		case OpVar:
+			if _, ok := names[n]; !ok {
+				// A variable not collected in f.Vars (hand-built
+				// Function); name and declare it anyway.
+				names[n] = "%" + n.Name
+				fmt.Fprintf(&sb, "%%%s:i%d = var\n", n.Name, n.Width)
+			}
+			continue
+		case OpConst:
+			names[n] = n.Val.String()
+			continue
+		}
+		name := fmt.Sprintf("%%%d", next)
+		next++
+		names[n] = name
+		fmt.Fprintf(&sb, "%s:i%d = %s%s", name, n.Width, n.Op, flagSuffix(n.Flags))
+		for i, a := range n.Args {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteByte(' ')
+			sb.WriteString(names[a])
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "infer %s\n", names[f.Root])
+	return sb.String()
+}
+
+// SortedVarNames returns the function's variable names in lexical order,
+// for deterministic reporting.
+func (f *Function) SortedVarNames() []string {
+	names := make([]string, len(f.Vars))
+	for i, v := range f.Vars {
+		names[i] = v.Name
+	}
+	sort.Strings(names)
+	return names
+}

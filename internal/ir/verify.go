@@ -1,0 +1,95 @@
+package ir
+
+import (
+	"fmt"
+
+	"dfcheck/internal/apint"
+)
+
+// Verify checks structural well-formedness of a function: operand counts,
+// width agreement, flag validity, and leaf invariants. Functions built via
+// Builder or Parse always verify; this is a safety net for hand-assembled
+// or mutated DAGs (the harvester's generator self-checks with it).
+func Verify(f *Function) error {
+	if f == nil || f.Root == nil {
+		return fmt.Errorf("ir: nil function or root")
+	}
+	for _, n := range f.Insts() {
+		if err := verifyInst(n); err != nil {
+			return err
+		}
+	}
+	inVars := make(map[*Inst]bool, len(f.Vars))
+	for _, v := range f.Vars {
+		if v.Op != OpVar {
+			return fmt.Errorf("ir: non-var %s in Vars list", v.Op)
+		}
+		inVars[v] = true
+	}
+	for _, n := range f.Insts() {
+		if n.Op == OpVar && !inVars[n] {
+			return fmt.Errorf("ir: reachable var %%%s missing from Vars list", n.Name)
+		}
+	}
+	return nil
+}
+
+func verifyInst(n *Inst) error {
+	if n.Width == 0 || n.Width > apint.MaxWidth {
+		return fmt.Errorf("ir: %s has invalid width %d", n.Op, n.Width)
+	}
+	info := n.Op.info()
+	if len(n.Args) != info.arity {
+		return fmt.Errorf("ir: %s has %d operands, want %d", n.Op, len(n.Args), info.arity)
+	}
+	if n.Flags&^info.validFlags != 0 {
+		return fmt.Errorf("ir: %s carries invalid flags%s", n.Op, n.Flags)
+	}
+	switch {
+	case n.Op == OpVar:
+		if n.Name == "" {
+			return fmt.Errorf("ir: unnamed var")
+		}
+		if n.HasRange && (n.Lo.Width() != n.Width || n.Hi.Width() != n.Width) {
+			return fmt.Errorf("ir: var %%%s range width mismatch", n.Name)
+		}
+	case n.Op == OpConst:
+		if n.Val.Width() != n.Width {
+			return fmt.Errorf("ir: const width mismatch %d vs %d", n.Val.Width(), n.Width)
+		}
+	case info.isCmp || info.boolResult:
+		if n.Width != 1 {
+			return fmt.Errorf("ir: %s result must be i1", n.Op)
+		}
+		if n.Args[0].Width != n.Args[1].Width {
+			return fmt.Errorf("ir: %s operand widths differ", n.Op)
+		}
+	case n.Op == OpSelect:
+		if n.Args[0].Width != 1 {
+			return fmt.Errorf("ir: select condition must be i1")
+		}
+		if n.Args[1].Width != n.Width || n.Args[2].Width != n.Width {
+			return fmt.Errorf("ir: select arm width mismatch")
+		}
+	case n.Op == OpTrunc:
+		if n.Width >= n.Args[0].Width {
+			return fmt.Errorf("ir: trunc must narrow (i%d to i%d)", n.Args[0].Width, n.Width)
+		}
+	case n.Op == OpZExt, n.Op == OpSExt:
+		if n.Width <= n.Args[0].Width {
+			return fmt.Errorf("ir: %s must widen (i%d to i%d)", n.Op, n.Args[0].Width, n.Width)
+		}
+	case n.Op == OpBSwap:
+		if n.Width%8 != 0 {
+			return fmt.Errorf("ir: bswap width %d not a multiple of 8", n.Width)
+		}
+		fallthrough
+	default:
+		for i, a := range n.Args {
+			if a.Width != n.Width {
+				return fmt.Errorf("ir: %s operand %d width %d != result width %d", n.Op, i, a.Width, n.Width)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+package knownbits_test
+
+import (
+	"fmt"
+
+	"dfcheck/internal/apint"
+	"dfcheck/internal/knownbits"
+)
+
+// The paper's msb-first notation: '0' and '1' are known bits, 'x' unknown.
+func ExampleParse() {
+	k := knownbits.Parse("xxx00000")
+	fmt.Println(k)
+	fmt.Println("known bits:", k.NumKnown())
+	fmt.Println("contains 32:", k.Contains(apint.New(8, 32)))
+	fmt.Println("contains 33:", k.Contains(apint.New(8, 33)))
+	// Output:
+	// xxx00000
+	// known bits: 5
+	// contains 32: true
+	// contains 33: false
+}
+
+// Figure 2's lattice: join is the least upper bound; 0 ⊔ 1 = ⊤.
+func ExampleBits_Join() {
+	zero := knownbits.Parse("0")
+	one := knownbits.Parse("1")
+	fmt.Println(zero.Join(one))
+	// Output:
+	// x
+}

@@ -1,0 +1,279 @@
+package knownbits
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dfcheck/internal/apint"
+)
+
+func TestParseAndString(t *testing.T) {
+	cases := []string{"xxx00000", "00000x0x", "11111111", "xxxxxxxx", "10000000", "0000xxxx"}
+	for _, s := range cases {
+		if got := Parse(s).String(); got != s {
+			t.Errorf("Parse(%q).String() = %q", s, got)
+		}
+	}
+	k := Parse("x01x")
+	if k.Width() != 4 {
+		t.Errorf("width = %d", k.Width())
+	}
+	known, one := k.KnownBit(2)
+	if !known || one {
+		t.Error("bit 2 should be known zero")
+	}
+	known, one = k.KnownBit(1)
+	if !known || !one {
+		t.Error("bit 1 should be known one")
+	}
+	if known, _ := k.KnownBit(3); known {
+		t.Error("bit 3 should be unknown")
+	}
+}
+
+func TestFromConstAndConstant(t *testing.T) {
+	v := apint.New(8, 0xA5)
+	k := FromConst(v)
+	if !k.IsConstant() {
+		t.Error("FromConst not constant")
+	}
+	if k.Constant().Ne(v) {
+		t.Errorf("Constant = %v", k.Constant())
+	}
+	if k.NumKnown() != 8 {
+		t.Errorf("NumKnown = %d", k.NumKnown())
+	}
+	if !k.Contains(v) || k.Contains(apint.New(8, 0xA4)) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestUnknownTop(t *testing.T) {
+	k := Unknown(8)
+	if !k.IsUnknown() || k.NumKnown() != 0 || k.HasConflict() {
+		t.Error("Unknown is not top")
+	}
+	for v := 0; v < 256; v++ {
+		if !k.Contains(apint.New(8, uint64(v))) {
+			t.Errorf("top does not contain %d", v)
+		}
+	}
+}
+
+func TestConflict(t *testing.T) {
+	k := Make(apint.New(4, 0b0001), apint.New(4, 0b0001))
+	if !k.HasConflict() {
+		t.Error("conflict not detected")
+	}
+	if k.IsConstant() {
+		t.Error("conflicted fact reported constant")
+	}
+	if !k.AtLeastAsPreciseAs(Unknown(4)) {
+		t.Error("bottom should be at least as precise as everything")
+	}
+	if got := k.String(); got != "xxx!" {
+		t.Errorf("conflict string = %q", got)
+	}
+}
+
+func TestJoinLattice(t *testing.T) {
+	a := Parse("00xx")
+	b := Parse("0x1x")
+	j := a.Join(b)
+	if got := j.String(); got != "0xxx" {
+		t.Errorf("join = %q, want 0xxx", got)
+	}
+	// Figure 2 laws on the 1-bit lattice: 0 ⊔ 1 = ⊤, x ⊑ ⊤.
+	zero, one, top := Parse("0"), Parse("1"), Parse("x")
+	if !zero.Join(one).Eq(top) {
+		t.Error("0 ⊔ 1 != ⊤")
+	}
+	if !zero.AtLeastAsPreciseAs(top) || !one.AtLeastAsPreciseAs(top) {
+		t.Error("0,1 not ⊑ ⊤")
+	}
+	if top.AtLeastAsPreciseAs(zero) {
+		t.Error("⊤ ⊑ 0 should be false")
+	}
+}
+
+func TestMeet(t *testing.T) {
+	a := Parse("0xxx")
+	b := Parse("xx1x")
+	m := a.Meet(b)
+	if got := m.String(); got != "0x1x" {
+		t.Errorf("meet = %q", got)
+	}
+	// Conflicting meet produces a conflict.
+	c := Parse("1xxx").Meet(Parse("0xxx"))
+	if !c.HasConflict() {
+		t.Error("conflicting meet did not produce conflict")
+	}
+}
+
+func TestPrecisionOrder(t *testing.T) {
+	precise := Parse("xxx00000")
+	vague := Parse("xxxxxxxx")
+	if !precise.AtLeastAsPreciseAs(vague) {
+		t.Error("precise not ⊑ vague")
+	}
+	if vague.AtLeastAsPreciseAs(precise) {
+		t.Error("vague ⊑ precise should fail")
+	}
+	// Incomparable facts (different polarities) are not ordered.
+	p1, p2 := Parse("0xxx"), Parse("1xxx")
+	if p1.AtLeastAsPreciseAs(p2) || p2.AtLeastAsPreciseAs(p1) {
+		t.Error("incomparable facts ordered")
+	}
+	// Same-position different polarity counts as not-at-least-as-precise.
+	if Parse("0x").AtLeastAsPreciseAs(Parse("1x")) {
+		t.Error("polarity mismatch accepted")
+	}
+}
+
+func TestBoundsAndCounts(t *testing.T) {
+	k := Parse("00x1x100")
+	if got := k.UMax().Uint64(); got != 0b00111100 {
+		t.Errorf("UMax = %08b", got)
+	}
+	if got := k.UMin().Uint64(); got != 0b00010100 {
+		t.Errorf("UMin = %08b", got)
+	}
+	if got := k.CountMinTrailingZeros(); got != 2 {
+		t.Errorf("min trailing zeros = %d", got)
+	}
+	if got := k.CountMinLeadingZeros(); got != 2 {
+		t.Errorf("min leading zeros = %d", got)
+	}
+	if got := k.CountMaxTrailingZeros(); got != 2 {
+		t.Errorf("max trailing zeros = %d", got)
+	}
+	if got := FromConst(apint.Zero(8)).CountMinTrailingZeros(); got != 8 {
+		t.Errorf("all-zero min trailing zeros = %d", got)
+	}
+	if got := Unknown(8).CountMaxTrailingZeros(); got != 8 {
+		t.Errorf("unknown max trailing zeros = %d", got)
+	}
+	if got := Parse("111x0000").CountMinLeadingOnes(); got != 3 {
+		t.Errorf("min leading ones = %d", got)
+	}
+}
+
+func TestSignPredicates(t *testing.T) {
+	if !Parse("0xxx").IsNonNegative() || Parse("0xxx").IsNegative() {
+		t.Error("IsNonNegative wrong")
+	}
+	if !Parse("1xxx").IsNegative() || Parse("1xxx").IsNonNegative() {
+		t.Error("IsNegative wrong")
+	}
+	if Parse("xxxx").IsNegative() || Parse("xxxx").IsNonNegative() {
+		t.Error("unknown sign misreported")
+	}
+}
+
+func TestForEachEnumeratesConcretization(t *testing.T) {
+	k := Parse("0x1x")
+	var got []uint64
+	k.ForEach(func(v apint.Int) bool {
+		got = append(got, v.Uint64())
+		return true
+	})
+	want := map[uint64]bool{0b0010: true, 0b0011: true, 0b0110: true, 0b0111: true}
+	if len(got) != len(want) {
+		t.Fatalf("enumerated %d values, want %d: %v", len(got), len(want), got)
+	}
+	for _, v := range got {
+		if !want[v] {
+			t.Errorf("unexpected value %04b", v)
+		}
+	}
+	// Constant fact enumerates exactly one value.
+	n := 0
+	FromConst(apint.New(8, 42)).ForEach(func(v apint.Int) bool { n++; return true })
+	if n != 1 {
+		t.Errorf("constant enumerated %d values", n)
+	}
+	// Conflict enumerates nothing.
+	n = 0
+	Make(apint.One(4), apint.One(4)).ForEach(func(v apint.Int) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("conflict enumerated %d values", n)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	n := 0
+	Unknown(8).ForEach(func(v apint.Int) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Errorf("early stop at %d", n)
+	}
+}
+
+// Property: Join is the least upper bound wrt AtLeastAsPreciseAs, and
+// Contains is monotone: if a ⊑ b then γ(a) ⊆ γ(b).
+func TestQuickLatticeLaws(t *testing.T) {
+	mk := func(zero, one uint8) Bits {
+		// Avoid conflicts for this test.
+		return Make(apint.New(8, uint64(zero&^one)), apint.New(8, uint64(one)))
+	}
+	f := func(z1, o1, z2, o2, v uint8) bool {
+		a, b := mk(z1, o1), mk(z2, o2)
+		j := a.Join(b)
+		// join is an upper bound
+		if !a.AtLeastAsPreciseAs(j) || !b.AtLeastAsPreciseAs(j) {
+			return false
+		}
+		// join is idempotent, commutative
+		if !a.Join(a).Eq(a) || !a.Join(b).Eq(b.Join(a)) {
+			return false
+		}
+		// concretization monotone: a ⊑ j, so Contains(a) ⊆ Contains(j)
+		val := apint.New(8, uint64(v))
+		if a.Contains(val) && !j.Contains(val) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSeparability(t *testing.T) {
+	// Property 3.3.1 of the paper: the order is element-wise over bits.
+	f := func(z1, o1, z2, o2 uint8) bool {
+		a := Make(apint.New(8, uint64(z1)), apint.New(8, uint64(o1&^z1)))
+		b := Make(apint.New(8, uint64(z2)), apint.New(8, uint64(o2&^z2)))
+		whole := a.AtLeastAsPreciseAs(b)
+		bitwise := true
+		for i := uint(0); i < 8; i++ {
+			ka, oa := a.KnownBit(i)
+			kb, ob := b.KnownBit(i)
+			// per-bit order: b known => a known with same value
+			if kb && (!ka || oa != ob) {
+				bitwise = false
+			}
+		}
+		return whole == bitwise
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParsePanicsOnBadChar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Parse of bad char did not panic")
+		}
+	}()
+	Parse("01z")
+}
+
+func TestMakePanicsOnWidthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Make width mismatch did not panic")
+		}
+	}()
+	Make(apint.Zero(4), apint.Zero(8))
+}

@@ -1,0 +1,547 @@
+package llvmport
+
+import (
+	"math/bits"
+
+	"dfcheck/internal/apint"
+	"dfcheck/internal/constrange"
+	"dfcheck/internal/ir"
+	"dfcheck/internal/knownbits"
+)
+
+// computeKnownBits ports LLVM's computeKnownBits / KnownBits.cpp transfer
+// functions as of LLVM 8, including their documented imprecision profile:
+// shifts by non-constant amounts give up entirely (the paper's §4.2.1
+// "shl i8 32, %x" example), and no cross-operand correlation is tracked.
+func (fa *Facts) computeKnownBits(n *ir.Inst) knownbits.Bits {
+	w := n.Width
+	kb := func(i int) knownbits.Bits { return fa.known[n.Args[i]] }
+
+	switch n.Op {
+	case ir.OpConst:
+		return knownbits.FromConst(n.Val)
+
+	case ir.OpVar:
+		// ValueTracking reads range metadata (the paper's §4.2.1 "add
+		// i8 1, %x with %x = range [0,5)" example shows LLVM using it).
+		if n.HasRange {
+			return constrange.NonEmpty(n.Lo, n.Hi).ToKnownBits()
+		}
+		return knownbits.Unknown(w)
+
+	case ir.OpAdd:
+		return computeForAddSub(true, n.Flags&ir.FlagNSW != 0, kb(0), kb(1))
+	case ir.OpSub:
+		if n.Args[0] == n.Args[1] {
+			return knownbits.FromConst(apint.Zero(w))
+		}
+		out := computeForAddSub(false, n.Flags&ir.FlagNSW != 0, kb(0), kb(1))
+		// §4.8 item 3 (now fixed in LLVM): 0 - zext(x) with x non-zero
+		// is 2^w - x, so every extension bit is one.
+		if c, ok := constantOf(n.Args[0]); ok && c.IsZero() && n.Args[1].Op == ir.OpZExt {
+			if src := n.Args[1].Args[0]; fa.nonZero(src, 1) {
+				out = out.Meet(knownbits.Make(apint.Zero(w), highOnes(w, w-src.Width)))
+			}
+		}
+		return out
+
+	case ir.OpMul:
+		// Multiplying by a constant power of two is a left shift of the
+		// known bits.
+		for i := 0; i < 2; i++ {
+			if c, ok := constantOf(n.Args[i]); ok && c.IsPowerOfTwo() {
+				sh := c.CountTrailingZeros()
+				a := kb(1 - i)
+				return knownbits.Make(a.Zero.Shl(sh).Or(lowOnes(w, sh)), a.One.Shl(sh))
+			}
+		}
+		return knownBitsMul(kb(0), kb(1))
+
+	case ir.OpAnd:
+		a, b := kb(0), kb(1)
+		out := knownbits.Make(a.Zero.Or(b.Zero), a.One.And(b.One))
+		// §4.8 item 1 (now fixed in LLVM): x ∧ (x − y) with y odd has a
+		// clear bottom bit — subtracting an odd number flips bit zero.
+		for i := 0; i < 2; i++ {
+			x, sub := n.Args[i], n.Args[1-i]
+			if sub.Op == ir.OpSub && sub.Args[0] == x {
+				if yk := fa.known[sub.Args[1]]; yk.One.Bit(0) {
+					out = out.Meet(knownbits.Make(apint.One(w), apint.Zero(w)))
+				}
+			}
+		}
+		return out
+	case ir.OpOr:
+		a, b := kb(0), kb(1)
+		return knownbits.Make(a.Zero.And(b.Zero), a.One.Or(b.One))
+	case ir.OpXor:
+		if n.Args[0] == n.Args[1] {
+			return knownbits.FromConst(apint.Zero(w))
+		}
+		a, b := kb(0), kb(1)
+		known := a.Zero.Or(a.One).And(b.Zero.Or(b.One))
+		val := a.One.Xor(b.One)
+		return knownbits.Make(val.Not().And(known), val.And(known))
+
+	case ir.OpShl, ir.OpLShr, ir.OpAShr:
+		// LLVM 8 only propagates through constant shift amounts; a
+		// variable amount yields ⊤ (§4.2.1's first two examples). The
+		// modern compiler joins over every feasible amount
+		// (computeKnownBitsFromShiftOperator).
+		a := kb(0)
+		shiftKB := func(s uint) knownbits.Bits {
+			switch n.Op {
+			case ir.OpShl:
+				return knownbits.Make(a.Zero.Shl(s).Or(lowOnes(w, s)), a.One.Shl(s))
+			case ir.OpLShr:
+				return knownbits.Make(a.Zero.LShr(s).Or(highOnes(w, s)), a.One.LShr(s))
+			default: // ashr
+				return knownbits.Make(a.Zero.AShr(s), a.One.AShr(s))
+			}
+		}
+		if c, ok := constantOf(n.Args[1]); ok && c.Uint64() < uint64(w) {
+			return shiftKB(uint(c.Uint64()))
+		}
+		if fa.an.Modern {
+			amt := kb(1)
+			var out knownbits.Bits
+			first := true
+			for s := uint(0); s < w; s++ {
+				if !amt.Contains(apint.New(n.Args[1].Width, uint64(s))) {
+					continue // amount impossible per its known bits
+				}
+				if first {
+					out = shiftKB(s)
+					first = false
+				} else {
+					out = out.Join(shiftKB(s))
+				}
+			}
+			if !first {
+				return out
+			}
+			// Every in-range amount excluded: all executions poison.
+		}
+		return knownbits.Unknown(w)
+
+	case ir.OpUDiv:
+		if n.Args[0] == n.Args[1] {
+			// x/x = 1 on every well-defined input (x != 0).
+			return knownbits.FromConst(apint.One(w))
+		}
+		// Dividing by a constant power of two is a logical right shift.
+		if c, ok := constantOf(n.Args[1]); ok && c.IsPowerOfTwo() {
+			sh := c.CountTrailingZeros()
+			a := kb(0)
+			return knownbits.Make(a.Zero.LShr(sh).Or(highOnes(w, sh)), a.One.LShr(sh))
+		}
+		// The quotient is no larger than the dividend: its leading
+		// zeros carry over.
+		lz := kb(0).CountMinLeadingZeros()
+		return knownbits.Make(highOnes(w, lz), apint.Zero(w))
+
+	case ir.OpURem:
+		if n.Args[0] == n.Args[1] {
+			// x %u x = 0 on every well-defined input.
+			return knownbits.FromConst(apint.Zero(w))
+		}
+		a, b := kb(0), kb(1)
+		if c, ok := constantOf(n.Args[1]); ok && c.IsPowerOfTwo() {
+			// x urem 2^k = x & (2^k - 1).
+			low := c.Sub(apint.One(w))
+			return knownbits.Make(a.Zero.And(low).Or(low.Not()), a.One.And(low))
+		}
+		// The remainder is no larger than the dividend and strictly
+		// smaller than the divisor's maximum: the larger leading-zero
+		// count applies.
+		lz := b.UMax().CountLeadingZeros()
+		if lzA := a.CountMinLeadingZeros(); lzA > lz {
+			lz = lzA
+		}
+		return knownbits.Make(highOnes(w, lz), apint.Zero(w))
+
+	case ir.OpSRem:
+		return fa.knownBitsSRem(n)
+
+	case ir.OpSDiv:
+		return knownbits.Unknown(w)
+
+	case ir.OpSelect:
+		// Join of the two arms; the condition is not correlated.
+		return kb(1).Join(kb(2))
+
+	case ir.OpEq, ir.OpNe, ir.OpULT, ir.OpULE, ir.OpSLT, ir.OpSLE:
+		// Resolvable comparisons fold to a constant (§4.8 item 5): a
+		// position where one side is known 0 and the other known 1
+		// settles eq/ne; unsigned/signed orders settle via KB bounds.
+		a, b := kb(0), kb(1)
+		if res, known := decideICmpFromKnownBits(n.Op, a, b); known {
+			return knownbits.FromConst(boolInt(res))
+		}
+		return knownbits.Unknown(1)
+
+	case ir.OpZExt:
+		a := kb(0)
+		srcW := n.Args[0].Width
+		return knownbits.Make(a.Zero.ZExt(w).Or(highOnes(w, w-srcW)), a.One.ZExt(w))
+	case ir.OpSExt:
+		a := kb(0)
+		srcW := n.Args[0].Width
+		if known, one := a.KnownBit(srcW - 1); known {
+			// Sign known: extension bits are known too.
+			if one {
+				return knownbits.Make(a.Zero.ZExt(w), a.One.SExt(w))
+			}
+			return knownbits.Make(a.Zero.SExt(w), a.One.ZExt(w))
+		}
+		return knownbits.Make(a.Zero.ZExt(w), a.One.ZExt(w))
+	case ir.OpTrunc:
+		a := kb(0)
+		return knownbits.Make(a.Zero.Trunc(w), a.One.Trunc(w))
+
+	case ir.OpCtPop:
+		// ctpop(x) <= width: high bits are zero (§4.8 item 4).
+		maxPop := uint64(w) - uint64(kb(0).Zero.PopCount())
+		return knownbits.Make(highOnes(w, leadingZerosOfBound(w, maxPop)), apint.Zero(w))
+	case ir.OpCttz, ir.OpCtlz:
+		// Result <= width.
+		return knownbits.Make(highOnes(w, leadingZerosOfBound(w, uint64(w))), apint.Zero(w))
+
+	case ir.OpBSwap:
+		// §4.8 item 2: byte-swap permutes known bits.
+		a := kb(0)
+		return knownbits.Make(a.Zero.ByteSwap(), a.One.ByteSwap())
+	case ir.OpBitReverse:
+		a := kb(0)
+		return knownbits.Make(a.Zero.ReverseBits(), a.One.ReverseBits())
+
+	case ir.OpRotL, ir.OpRotR:
+		if c, ok := constantOf(n.Args[1]); ok {
+			s := uint(c.Uint64() % uint64(w))
+			a := kb(0)
+			if n.Op == ir.OpRotL {
+				return knownbits.Make(a.Zero.RotL(s), a.One.RotL(s))
+			}
+			return knownbits.Make(a.Zero.RotR(s), a.One.RotR(s))
+		}
+		return knownbits.Unknown(w)
+
+	case ir.OpUMin:
+		// The result is no larger than either input.
+		lz := maxUint(kb(0).CountMinLeadingZeros(), kb(1).CountMinLeadingZeros())
+		return knownbits.Make(highOnes(w, lz), apint.Zero(w))
+	case ir.OpUMax:
+		lz := minUint(kb(0).CountMinLeadingZeros(), kb(1).CountMinLeadingZeros())
+		return knownbits.Make(highOnes(w, lz), apint.Zero(w))
+	case ir.OpSMin, ir.OpSMax:
+		a, b := kb(0), kb(1)
+		if a.IsNonNegative() && b.IsNonNegative() {
+			return knownbits.Make(apint.SignBitValue(w), apint.Zero(w))
+		}
+		if a.IsNegative() && b.IsNegative() {
+			return knownbits.Make(apint.Zero(w), apint.SignBitValue(w))
+		}
+		return knownbits.Unknown(w)
+	case ir.OpAbs:
+		if kb(0).IsNonNegative() {
+			return kb(0)
+		}
+		return knownbits.Unknown(w)
+
+	case ir.OpFshl, ir.OpFshr:
+		if c, ok := constantOf(n.Args[2]); ok {
+			s := uint(c.Uint64() % uint64(w))
+			if n.Op == ir.OpFshr {
+				s = (w - s) % w
+			}
+			if s == 0 {
+				if n.Op == ir.OpFshl {
+					return kb(0)
+				}
+				return kb(1)
+			}
+			a, b := kb(0), kb(1)
+			return knownbits.Make(a.Zero.Shl(s).Or(b.Zero.LShr(w-s)), a.One.Shl(s).Or(b.One.LShr(w-s)))
+		}
+		return knownbits.Unknown(w)
+
+	case ir.OpUAddO:
+		a, b := kb(0), kb(1)
+		if !a.UMax().UAddOverflow(b.UMax()) {
+			return knownbits.FromConst(apint.Zero(1))
+		}
+		if a.UMin().UAddOverflow(b.UMin()) {
+			return knownbits.FromConst(apint.One(1))
+		}
+		return knownbits.Unknown(1)
+	case ir.OpUSubO:
+		a, b := kb(0), kb(1)
+		if a.UMin().UGE(b.UMax()) {
+			return knownbits.FromConst(apint.Zero(1))
+		}
+		if a.UMax().ULT(b.UMin()) {
+			return knownbits.FromConst(apint.One(1))
+		}
+		return knownbits.Unknown(1)
+	case ir.OpSAddO:
+		a, b := kb(0), kb(1)
+		if !smax(a).SAddOverflow(smax(b)) && !smin(a).SAddOverflow(smin(b)) {
+			return knownbits.FromConst(apint.Zero(1))
+		}
+		return knownbits.Unknown(1)
+	case ir.OpSSubO:
+		a, b := kb(0), kb(1)
+		if !smax(a).SSubOverflow(smin(b)) && !smin(a).SSubOverflow(smax(b)) {
+			return knownbits.FromConst(apint.Zero(1))
+		}
+		return knownbits.Unknown(1)
+	case ir.OpUMulO:
+		a, b := kb(0), kb(1)
+		if !a.UMax().UMulOverflow(b.UMax()) {
+			return knownbits.FromConst(apint.Zero(1))
+		}
+		return knownbits.Unknown(1)
+	case ir.OpSMulO:
+		a, b := kb(0), kb(1)
+		ov := false
+		for _, x := range []apint.Int{smin(a), smax(a)} {
+			for _, y := range []apint.Int{smin(b), smax(b)} {
+				if x.SMulOverflow(y) {
+					ov = true
+				}
+			}
+		}
+		if !ov {
+			return knownbits.FromConst(apint.Zero(1))
+		}
+		return knownbits.Unknown(1)
+	}
+	return knownbits.Unknown(w)
+}
+
+func maxUint(a, b uint) uint {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// knownBitsSRem ports LLVM's srem case, with the PR12541 bug injectable.
+func (fa *Facts) knownBitsSRem(n *ir.Inst) knownbits.Bits {
+	w := n.Width
+	lhs := fa.known[n.Args[0]]
+	zero, one := apint.Zero(w), apint.Zero(w)
+
+	if c, ok := constantOf(n.Args[1]); ok && !c.IsZero() {
+		ra := c.AbsValue()
+		if ra.IsPowerOfTwo() {
+			lowBits := ra.Sub(apint.One(w))
+			// The low bits of the dividend pass through.
+			zero = lhs.Zero.And(lowBits)
+			one = lhs.One.And(lowBits)
+			switch {
+			case lhs.IsNonNegative() || lowBits.And(lhs.Zero).Eq(lowBits):
+				// Non-negative dividend (or low bits all zero):
+				// upper bits are zero.
+				zero = zero.Or(lowBits.Not())
+			case lhs.IsNegative() && !lowBits.And(lhs.One).IsZero():
+				// Negative dividend with a known-set low bit:
+				// upper bits are one.
+				one = one.Or(lowBits.Not())
+			}
+		}
+	}
+
+	// The result's sign follows the dividend (when the remainder is
+	// non-zero); a non-negative dividend gives a non-negative result,
+	// with magnitude no larger than the dividend's.
+	if lhs.IsNonNegative() {
+		zero = zero.Or(highOnes(w, lhs.CountMinLeadingZeros()))
+	}
+
+	if fa.an.Modern {
+		// Post-LLVM-8: trailing zero bits common to both operands are
+		// preserved by the remainder (remainder = a - q*b).
+		if rk, ok := constantOf(n.Args[1]); ok {
+			tz := minUint(lhs.CountMinTrailingZeros(), rk.CountTrailingZeros())
+			zero = zero.Or(lowOnes(w, tz))
+		}
+	}
+
+	if fa.an.Bugs.SRemKnownBits {
+		// PR12541: unsound copy of the dividend's trailing zeros.
+		tz := lhs.CountMinTrailingZeros()
+		zero = zero.Or(lowOnes(w, tz))
+	}
+	return knownbits.Make(zero, one)
+}
+
+// computeForAddSub ports KnownBits::computeForAddSub: carry propagation
+// over known bits, plus the nsw sign refinement.
+func computeForAddSub(add, nsw bool, lhs, rhs knownbits.Bits) knownbits.Bits {
+	if !add {
+		// a - b = a + ~b + 1; the inverted operand makes the nsw sign
+		// rule below apply unchanged.
+		rhs = knownbits.Make(rhs.One, rhs.Zero)
+		return addCarry(lhs, rhs, nsw, true)
+	}
+	return addCarry(lhs, rhs, nsw, false)
+}
+
+func addCarry(lhs, rhs knownbits.Bits, nsw, carryIn bool) knownbits.Bits {
+	w := lhs.Width()
+	one := apint.One(w)
+	carry := apint.Zero(w)
+	if carryIn {
+		carry = one
+	}
+	possibleSumZero := lhs.UMax().Add(rhs.UMax()).Add(carry)
+	possibleSumOne := lhs.UMin().Add(rhs.UMin()).Add(carry)
+
+	carryKnownZero := possibleSumZero.Xor(lhs.Zero).Xor(rhs.Zero).Not()
+	carryKnownOne := possibleSumOne.Xor(lhs.One).Xor(rhs.One)
+
+	lhsKnown := lhs.Zero.Or(lhs.One)
+	rhsKnown := rhs.Zero.Or(rhs.One)
+	carryKnown := carryKnownZero.Or(carryKnownOne)
+	known := lhsKnown.And(rhsKnown).And(carryKnown)
+
+	out := knownbits.Make(possibleSumZero.Not().And(known), possibleSumOne.And(known))
+
+	if nsw {
+		// nsw: same-signed operands force the result's sign.
+		if lhs.IsNonNegative() && rhs.IsNonNegative() {
+			out = out.Meet(knownbits.Make(apint.SignBitValue(w), apint.Zero(w)))
+		} else if lhs.IsNegative() && rhs.IsNegative() {
+			out = out.Meet(knownbits.Make(apint.Zero(w), apint.SignBitValue(w)))
+		}
+	}
+	return out
+}
+
+// knownBitsMul ports LLVM 8's computeKnownBitsMul: trailing zeros add, and
+// leading zeros come from the product of the unsigned bounds when it
+// cannot wrap.
+func knownBitsMul(lhs, rhs knownbits.Bits) knownbits.Bits {
+	w := lhs.Width()
+	tz := lhs.CountMinTrailingZeros() + rhs.CountMinTrailingZeros()
+	if tz > w {
+		tz = w
+	}
+	zero := lowOnes(w, tz)
+	if !lhs.UMax().UMulOverflow(rhs.UMax()) {
+		bound := lhs.UMax().Mul(rhs.UMax())
+		zero = zero.Or(highOnes(w, bound.CountLeadingZeros()))
+	}
+	return knownbits.Make(zero, apint.Zero(w))
+}
+
+// decideICmpFromKnownBits resolves a comparison when the known bits of the
+// operands already force the outcome (§4.8 item 5).
+func decideICmpFromKnownBits(op ir.Op, a, b knownbits.Bits) (bool, bool) {
+	switch op {
+	case ir.OpEq, ir.OpNe:
+		// A position known 0 on one side and known 1 on the other
+		// forces inequality.
+		mismatch := !a.Zero.And(b.One).IsZero() || !a.One.And(b.Zero).IsZero()
+		if mismatch {
+			return op == ir.OpNe, true
+		}
+		if a.IsConstant() && b.IsConstant() {
+			return (op == ir.OpEq) == a.Constant().Eq(b.Constant()), true
+		}
+	case ir.OpULT:
+		if a.UMax().ULT(b.UMin()) {
+			return true, true
+		}
+		if a.UMin().UGE(b.UMax()) {
+			return false, true
+		}
+	case ir.OpULE:
+		if a.UMax().ULE(b.UMin()) {
+			return true, true
+		}
+		if a.UMin().UGT(b.UMax()) {
+			return false, true
+		}
+	case ir.OpSLT:
+		if smax(a).SLT(smin(b)) {
+			return true, true
+		}
+		if smin(a).SGE(smax(b)) {
+			return false, true
+		}
+	case ir.OpSLE:
+		if smax(a).SLE(smin(b)) {
+			return true, true
+		}
+		if smin(a).SGT(smax(b)) {
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// smin and smax give signed bounds implied by known bits.
+func smin(k knownbits.Bits) apint.Int {
+	w := k.Width()
+	v := k.UMin()
+	if known, _ := k.KnownBit(w - 1); !known {
+		v = v.SetBit(w - 1)
+	}
+	return v
+}
+
+func smax(k knownbits.Bits) apint.Int {
+	w := k.Width()
+	v := k.UMax()
+	if known, _ := k.KnownBit(w - 1); !known {
+		v = v.ClearBit(w - 1)
+	}
+	return v
+}
+
+func constantOf(n *ir.Inst) (apint.Int, bool) {
+	if n.Op == ir.OpConst {
+		return n.Val, true
+	}
+	return apint.Int{}, false
+}
+
+func lowOnes(w, n uint) apint.Int {
+	if n >= w {
+		return apint.AllOnes(w)
+	}
+	return apint.One(w).Shl(n).Sub(apint.One(w))
+}
+
+func highOnes(w, n uint) apint.Int {
+	return lowOnes(w, n).Shl(w - minUint(n, w))
+}
+
+func minUint(a, b uint) uint {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// leadingZerosOfBound returns how many leading zeros a value <= bound must
+// have at width w.
+func leadingZerosOfBound(w uint, bound uint64) uint {
+	if bound == 0 {
+		return w
+	}
+	sig := uint(64 - bits.LeadingZeros64(bound))
+	if sig >= w {
+		return 0
+	}
+	return w - sig
+}
+
+func boolInt(b bool) apint.Int {
+	if b {
+		return apint.One(1)
+	}
+	return apint.Zero(1)
+}

@@ -1,0 +1,166 @@
+package llvmport
+
+import (
+	"dfcheck/internal/apint"
+	"dfcheck/internal/constrange"
+	"dfcheck/internal/ir"
+)
+
+// computeRange ports an LLVM-8-era Lazy-Value-Info-style forward range
+// propagation. Coverage mirrors LLVM 8's LVI/ConstantRange support and its
+// documented gaps (§4.5):
+//
+//   - udiv and sdiv are not handled (the "udiv i64 128, %x" example
+//     returns the full set),
+//   - select arms merge without correlating on the condition (the
+//     "select (x == 0), 1, x" example returns the full set),
+//   - srem with a constant divisor C returns [-|C|, |C|) — one wider at
+//     the bottom than necessary (the "srem i32 %x, 8" → [-8,8) example),
+//   - "and" uses the unsigned-max approximation (the "[1,7) & -1" → [0,7)
+//     example).
+func (fa *Facts) computeRange(n *ir.Inst) constrange.Range {
+	w := n.Width
+	rg := func(i int) constrange.Range { return fa.ranges[n.Args[i]] }
+
+	switch n.Op {
+	case ir.OpConst:
+		return constrange.Single(n.Val)
+	case ir.OpVar:
+		if n.HasRange {
+			return constrange.NonEmpty(n.Lo, n.Hi)
+		}
+		return constrange.Full(w)
+
+	case ir.OpAdd:
+		return rg(0).Add(rg(1))
+	case ir.OpSub:
+		return rg(0).Sub(rg(1))
+	case ir.OpMul:
+		return rg(0).Mul(rg(1))
+
+	case ir.OpUDiv, ir.OpSDiv:
+		// Not handled by LLVM 8's LVI.
+		return constrange.Full(w)
+
+	case ir.OpURem:
+		return rg(0).URem(rg(1))
+	case ir.OpSRem:
+		// LLVM-8 shape: constant divisor C bounds the result by
+		// [-|C|, |C|); anything else gives up.
+		if c, ok := constantOf(n.Args[1]); ok && !c.IsZero() {
+			d := c.AbsValue()
+			return constrange.NonEmpty(d.Neg(), d)
+		}
+		return constrange.Full(w)
+
+	case ir.OpAnd:
+		return rg(0).And(rg(1))
+	case ir.OpOr:
+		return rg(0).Or(rg(1))
+	case ir.OpXor:
+		return rg(0).Xor(rg(1))
+
+	case ir.OpShl:
+		return rg(0).Shl(rg(1))
+	case ir.OpLShr:
+		return rg(0).LShr(rg(1))
+	case ir.OpAShr:
+		return rg(0).AShr(rg(1))
+
+	case ir.OpSelect:
+		if fa.an.Modern {
+			// Post-LLVM-8 LVI correlates the arms with an eq/ne
+			// condition against a constant: the paper's §4.5 select
+			// example becomes precise.
+			t, f := rg(1), rg(2)
+			cond := n.Args[0]
+			if cond.Op == ir.OpEq || cond.Op == ir.OpNe {
+				for i := 0; i < 2; i++ {
+					c, ok := constantOf(cond.Args[i])
+					if !ok {
+						continue
+					}
+					x := cond.Args[1-i]
+					eqArm, neArm := &t, &f
+					if cond.Op == ir.OpNe {
+						eqArm, neArm = &f, &t
+					}
+					if n.Args[1] == x || n.Args[2] == x {
+						// On the equal path x is exactly c; on the
+						// not-equal path x excludes c.
+						if n.Args[1] == x {
+							if cond.Op == ir.OpEq {
+								*eqArm = constrange.Single(c)
+							} else {
+								*neArm = (*neArm).Exclude(c)
+							}
+						}
+						if n.Args[2] == x {
+							if cond.Op == ir.OpEq {
+								*neArm = (*neArm).Exclude(c)
+							} else {
+								*eqArm = constrange.Single(c)
+							}
+						}
+					}
+					break
+				}
+			}
+			return t.Union(f)
+		}
+		// No condition correlation: union of the arms.
+		return rg(1).Union(rg(2))
+
+	case ir.OpEq, ir.OpNe, ir.OpULT, ir.OpULE, ir.OpSLT, ir.OpSLE:
+		if res, known := constrange.ICmpDecide(icmpPred(n.Op), rg(0), rg(1)); known {
+			return constrange.Single(boolInt(res))
+		}
+		return constrange.Full(1)
+
+	case ir.OpZExt:
+		return rg(0).ZExt(w)
+	case ir.OpSExt:
+		return rg(0).SExt(w)
+	case ir.OpTrunc:
+		return rg(0).Trunc(w)
+
+	case ir.OpCtPop, ir.OpCttz, ir.OpCtlz:
+		// Result is 0..width (at width 1 that is the full set).
+		return constrange.NonEmpty(apint.Zero(w), apint.New(w, uint64(w)+1))
+
+	case ir.OpUMin:
+		return rg(0).UMin(rg(1))
+	case ir.OpUMax:
+		return rg(0).UMax(rg(1))
+	case ir.OpSMin:
+		return rg(0).SMin(rg(1))
+	case ir.OpSMax:
+		return rg(0).SMax(rg(1))
+	case ir.OpAbs:
+		return rg(0).Abs()
+
+	case ir.OpUAddO, ir.OpSAddO, ir.OpUSubO, ir.OpSSubO, ir.OpUMulO, ir.OpSMulO:
+		// The known-bits port already decides these when possible; LVI
+		// itself treats them as opaque booleans.
+		return constrange.Full(1)
+	}
+	return constrange.Full(w)
+}
+
+func icmpPred(op ir.Op) constrange.Pred {
+	switch op {
+	case ir.OpEq:
+		return constrange.EQ
+	case ir.OpNe:
+		return constrange.NE
+	case ir.OpULT:
+		return constrange.ULT
+	case ir.OpULE:
+		return constrange.ULE
+	case ir.OpSLT:
+		return constrange.SLT
+	case ir.OpSLE:
+		return constrange.SLE
+	}
+	panic("llvmport: not a comparison")
+}

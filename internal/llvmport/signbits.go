@@ -1,0 +1,151 @@
+package llvmport
+
+import (
+	"math/bits"
+
+	"dfcheck/internal/ir"
+)
+
+// computeNumSignBits ports LLVM's ComputeNumSignBits: the number of
+// high-order bits guaranteed to equal the sign bit (always at least 1).
+// The srem-with-constant-divisor case carries the PR23011 bug injectably.
+func (fa *Facts) computeNumSignBits(n *ir.Inst) uint {
+	w := n.Width
+	sb := func(i int) uint { return fa.signBits[n.Args[i]] }
+
+	result := uint(1)
+	switch n.Op {
+	case ir.OpConst:
+		result = n.Val.NumSignBits()
+
+	case ir.OpVar:
+		// Fall back to the known-bits fact derived from range metadata.
+		result = 1
+
+	case ir.OpSExt:
+		srcW := n.Args[0].Width
+		result = sb(0) + (w - srcW)
+
+	case ir.OpZExt:
+		// At least the new zero bits plus... the extended value is
+		// non-negative, so sign bits = new bits + leading zeros of src.
+		srcW := n.Args[0].Width
+		result = w - srcW
+		if lz := fa.known[n.Args[0]].CountMinLeadingZeros(); lz > 0 {
+			result += lz
+		}
+		if result < 1 {
+			result = 1
+		}
+
+	case ir.OpTrunc:
+		src := sb(0)
+		dropped := n.Args[0].Width - w
+		if src > dropped {
+			result = src - dropped
+		}
+
+	case ir.OpAShr:
+		if c, ok := constantOf(n.Args[1]); ok && c.Uint64() < uint64(w) {
+			result = sb(0) + uint(c.Uint64())
+			if result > w {
+				result = w
+			}
+		} else {
+			result = sb(0)
+		}
+
+	case ir.OpShl:
+		if c, ok := constantOf(n.Args[1]); ok && c.Uint64() < uint64(w) {
+			if s := sb(0); s > uint(c.Uint64()) {
+				result = s - uint(c.Uint64())
+			}
+		}
+
+	case ir.OpAdd, ir.OpSub:
+		// Addition can lose at most one sign bit.
+		m := minUint(sb(0), sb(1))
+		if m > 1 {
+			result = m - 1
+		}
+
+	case ir.OpAnd, ir.OpOr, ir.OpXor:
+		result = minUint(sb(0), sb(1))
+
+	case ir.OpUMin, ir.OpUMax, ir.OpSMin, ir.OpSMax:
+		// The result is always one of the operands.
+		result = minUint(sb(0), sb(1))
+
+	case ir.OpSelect:
+		result = minUint(sb(1), sb(2))
+
+	case ir.OpSRem:
+		result = fa.signBitsSRem(n)
+
+	case ir.OpSDiv:
+		// The quotient magnitude is no larger than the dividend's
+		// (divisor of magnitude < 1 is impossible): keep LHS sign bits
+		// minus one for the MinSigned edge.
+		if s := sb(0); s > 1 {
+			result = s - 1
+		}
+
+	case ir.OpEq, ir.OpNe, ir.OpULT, ir.OpULE, ir.OpSLT, ir.OpSLE:
+		result = 1 // i1 always has exactly one sign bit
+
+	default:
+		result = 1
+	}
+
+	// Like LLVM, fall back to known bits when they say more: a run of
+	// equal known high bits is a sign-bit count.
+	kb := fa.known[n]
+	fromKB := uint(1)
+	if lo := kb.CountMinLeadingOnes(); lo > fromKB {
+		fromKB = lo
+	}
+	if lz := kb.CountMinLeadingZeros(); lz > fromKB {
+		fromKB = lz
+	}
+	if fromKB > result {
+		result = fromKB
+	}
+	if result > w {
+		result = w
+	}
+	if result < 1 {
+		result = 1
+	}
+	return result
+}
+
+// signBitsSRem handles "srem X, C": the remainder's magnitude is less than
+// |C|, so at least w - ceil(log2(|C|)) high bits equal the sign bit. The
+// PR23011 bug used the floor instead of the ceiling, over-counting by one
+// for non-power-of-two divisors.
+func (fa *Facts) signBitsSRem(n *ir.Inst) uint {
+	w := n.Width
+	lhsBits := fa.signBits[n.Args[0]]
+	c, ok := constantOf(n.Args[1])
+	if !ok || c.IsZero() {
+		return lhsBits // remainder magnitude never exceeds the dividend's
+	}
+	d := c.AbsValue().Uint64()
+	if d == 0 { // |MinSigned| wrapped: no information beyond the dividend
+		return lhsBits
+	}
+	var log2d uint
+	if fa.an.Bugs.SRemSignBits {
+		log2d = uint(63 - bits.LeadingZeros64(d)) // floor: unsound
+	} else {
+		log2d = uint(64 - bits.LeadingZeros64(d-1)) // ceiling of log2(d)
+	}
+	if log2d >= w {
+		return lhsBits
+	}
+	fromDivisor := w - log2d
+	if fromDivisor > lhsBits {
+		return fromDivisor
+	}
+	return lhsBits
+}

@@ -1,0 +1,151 @@
+package llvmport
+
+import (
+	"dfcheck/internal/apint"
+	"dfcheck/internal/ir"
+)
+
+// This file ports ValueTracking's single-bit predicates. Like LLVM 8:
+//   - isKnownNonZero reads range metadata on the value itself but performs
+//     no relational reasoning;
+//   - isKnownToBeAPowerOfTwo recognizes the syntactic patterns LLVM 8
+//     matched (shl 1, x; zext/sext of a power of two; select of powers of
+//     two) and, as the paper's §4.3 documents, does not combine the
+//     x & -x idiom or truncation with non-zero range information.
+
+// NonZero ports isKnownNonZero for the root value.
+func (fa *Facts) NonZero() bool { return fa.nonZero(fa.f.Root, 0) }
+
+const maxPredDepth = 6 // LLVM's MaxAnalysisRecursionDepth flavor
+
+func (fa *Facts) nonZero(n *ir.Inst, depth int) bool {
+	if depth > maxPredDepth {
+		return false
+	}
+	// Known bits may already settle it.
+	if !fa.known[n].One.IsZero() {
+		return true
+	}
+	switch n.Op {
+	case ir.OpConst:
+		return !n.Val.IsZero()
+	case ir.OpVar:
+		// Range metadata excluding zero (LLVM's
+		// rangeMetadataExcludesValue).
+		return n.HasRange && !fa.ranges[n].Contains(apint.Zero(n.Width))
+	case ir.OpOr:
+		return fa.nonZero(n.Args[0], depth+1) || fa.nonZero(n.Args[1], depth+1)
+	case ir.OpUMax:
+		return fa.nonZero(n.Args[0], depth+1) || fa.nonZero(n.Args[1], depth+1)
+	case ir.OpUMin:
+		return fa.nonZero(n.Args[0], depth+1) && fa.nonZero(n.Args[1], depth+1)
+	case ir.OpAbs, ir.OpBSwap, ir.OpBitReverse:
+		return fa.nonZero(n.Args[0], depth+1)
+	case ir.OpRotL, ir.OpRotR:
+		return fa.nonZero(n.Args[0], depth+1)
+	case ir.OpSelect:
+		return fa.nonZero(n.Args[1], depth+1) && fa.nonZero(n.Args[2], depth+1)
+	case ir.OpZExt, ir.OpSExt:
+		return fa.nonZero(n.Args[0], depth+1)
+	case ir.OpShl:
+		// shl nuw preserves non-zero-ness; so does shl of an odd-or-
+		// known-one-low-bit value... keep the nuw case LLVM has.
+		if n.Flags&ir.FlagNUW != 0 {
+			return fa.nonZero(n.Args[0], depth+1)
+		}
+	case ir.OpLShr, ir.OpAShr:
+		if n.Flags&ir.FlagExact != 0 {
+			return fa.nonZero(n.Args[0], depth+1)
+		}
+	case ir.OpUDiv, ir.OpSDiv:
+		if n.Flags&ir.FlagExact != 0 {
+			return fa.nonZero(n.Args[0], depth+1)
+		}
+	case ir.OpMul:
+		if n.Flags&(ir.FlagNSW|ir.FlagNUW) != 0 {
+			return fa.nonZero(n.Args[0], depth+1) && fa.nonZero(n.Args[1], depth+1)
+		}
+	case ir.OpAdd:
+		if n.Flags&ir.FlagNUW != 0 {
+			// No unsigned wrap: either operand non-zero suffices.
+			if fa.nonZero(n.Args[0], depth+1) || fa.nonZero(n.Args[1], depth+1) {
+				return true
+			}
+		}
+		lhs, rhs := fa.known[n.Args[0]], fa.known[n.Args[1]]
+		if fa.an.Bugs.NonZeroAdd {
+			// r124183: "the sum of two non-negative values is
+			// non-zero" — forgetting both may be zero.
+			if lhs.IsNonNegative() && rhs.IsNonNegative() {
+				return true
+			}
+		}
+		// Fixed rule (r124184/r124188): non-negative operands cannot
+		// wrap to zero, so one of them being non-zero suffices.
+		if lhs.IsNonNegative() && rhs.IsNonNegative() {
+			return fa.nonZero(n.Args[0], depth+1) || fa.nonZero(n.Args[1], depth+1)
+		}
+	}
+	return false
+}
+
+// Negative ports isKnownNegative: the sign bit is known one. Range
+// metadata is already folded into the known-bits fact for variables, which
+// is exactly how much of it ValueTracking sees.
+func (fa *Facts) Negative() bool { return fa.known[fa.f.Root].IsNegative() }
+
+// NonNegative ports isKnownNonNegative: the sign bit is known zero.
+func (fa *Facts) NonNegative() bool { return fa.known[fa.f.Root].IsNonNegative() }
+
+// PowerOfTwo ports isKnownToBeAPowerOfTwo (strict: zero is not a power of
+// two).
+func (fa *Facts) PowerOfTwo() bool { return fa.powerOfTwo(fa.f.Root, 0) }
+
+func (fa *Facts) powerOfTwo(n *ir.Inst, depth int) bool {
+	if depth > maxPredDepth {
+		return false
+	}
+	switch n.Op {
+	case ir.OpConst:
+		return n.Val.IsPowerOfTwo()
+	case ir.OpShl:
+		// shl 1, x is a power of two (or poison, which is excluded).
+		if c, ok := constantOf(n.Args[0]); ok && c.IsOne() {
+			return true
+		}
+		// shl of a power of two with nuw stays a power of two.
+		if n.Flags&ir.FlagNUW != 0 {
+			return fa.powerOfTwo(n.Args[0], depth+1)
+		}
+	case ir.OpLShr:
+		if n.Flags&ir.FlagExact != 0 {
+			return fa.powerOfTwo(n.Args[0], depth+1)
+		}
+	case ir.OpZExt:
+		return fa.powerOfTwo(n.Args[0], depth+1)
+	case ir.OpSelect:
+		return fa.powerOfTwo(n.Args[1], depth+1) && fa.powerOfTwo(n.Args[2], depth+1)
+	case ir.OpUDiv:
+		if n.Flags&ir.FlagExact != 0 {
+			return fa.powerOfTwo(n.Args[0], depth+1)
+		}
+	case ir.OpAnd:
+		// Post-LLVM-8: x & -x isolates the lowest set bit, a power of
+		// two whenever x is non-zero (the fix §4.3's second example
+		// motivated).
+		if fa.an.Modern {
+			for i := 0; i < 2; i++ {
+				x, neg := n.Args[i], n.Args[1-i]
+				if neg.Op == ir.OpSub && neg.Args[1] == x {
+					if c, ok := constantOf(neg.Args[0]); ok && c.IsZero() && fa.nonZero(x, depth+1) {
+						return true
+					}
+				}
+			}
+		}
+		// Note: LLVM 8 has no case for trunc (§4.3's third example), no
+		// case for x & -x without the or-zero caller flag (§4.3's second
+		// example), and no range-metadata case (§4.3's first example).
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+package opt
+
+import (
+	"fmt"
+
+	"dfcheck/internal/eval"
+	"dfcheck/internal/ir"
+)
+
+// Machine is a per-operation cycle model standing in for the paper's two
+// benchmark hosts (an AMD Threadripper 2990WX and an Intel Core
+// i7-5820K). Latencies are in the right relative regime: logic ops are
+// cheap, multiplies cost a few cycles, divisions tens.
+type Machine struct {
+	Name  string
+	costs map[ir.Op]int64
+	deflt int64
+}
+
+// AMD returns the Threadripper-flavored cost model.
+func AMD() Machine {
+	return Machine{
+		Name:  "AMD",
+		deflt: 1,
+		costs: map[ir.Op]int64{
+			ir.OpMul:        3,
+			ir.OpUDiv:       20,
+			ir.OpSDiv:       22,
+			ir.OpURem:       21,
+			ir.OpSRem:       23,
+			ir.OpCtPop:      1,
+			ir.OpCttz:       1,
+			ir.OpCtlz:       1,
+			ir.OpBSwap:      1,
+			ir.OpBitReverse: 4,
+			ir.OpSelect:     1,
+			ir.OpRotL:       1,
+			ir.OpRotR:       1,
+		},
+	}
+}
+
+// Intel returns the Core-i7-flavored cost model: slightly slower divides
+// and multiplies, marginally different intrinsics.
+func Intel() Machine {
+	return Machine{
+		Name:  "Intel",
+		deflt: 1,
+		costs: map[ir.Op]int64{
+			ir.OpMul:        4,
+			ir.OpUDiv:       26,
+			ir.OpSDiv:       28,
+			ir.OpURem:       27,
+			ir.OpSRem:       29,
+			ir.OpCtPop:      1,
+			ir.OpCttz:       2,
+			ir.OpCtlz:       2,
+			ir.OpBSwap:      1,
+			ir.OpBitReverse: 5,
+			ir.OpSelect:     1,
+			ir.OpRotL:       1,
+			ir.OpRotR:       1,
+		},
+	}
+}
+
+// Cost returns the cycle cost of one instruction.
+func (m Machine) Cost(n *ir.Inst) int64 {
+	if n.IsConst() || n.IsVar() {
+		return 0
+	}
+	if c, ok := m.costs[n.Op]; ok {
+		return c
+	}
+	return m.deflt
+}
+
+// StaticCycles sums the cost of every instruction — the cycle count of one
+// straight-line execution of the kernel.
+func (m Machine) StaticCycles(f *ir.Function) int64 {
+	var total int64
+	for _, n := range f.Insts() {
+		total += m.Cost(n)
+	}
+	return total
+}
+
+// RunWorkload executes f on every input environment, charging the static
+// cycle cost per execution, and returns (total cycles, outputs). Inputs
+// whose execution is ill-defined are an error: workloads must exercise
+// defined behaviour only.
+func (m Machine) RunWorkload(f *ir.Function, envs []WorkloadEnv) (int64, []uint64, error) {
+	per := m.StaticCycles(f)
+	outs := make([]uint64, len(envs))
+	for i, we := range envs {
+		env, err := bind(f, we)
+		if err != nil {
+			return 0, nil, err
+		}
+		v, ok := eval.Eval(f, env)
+		if !ok {
+			return 0, nil, fmt.Errorf("opt: workload input %d triggers UB", i)
+		}
+		outs[i] = v.Uint64()
+	}
+	return per * int64(len(envs)), outs, nil
+}
+
+// WorkloadEnv is one kernel input, by variable name.
+type WorkloadEnv map[string]uint64
+
+func bind(f *ir.Function, we WorkloadEnv) (eval.Env, error) {
+	return eval.EnvFromNames(f, we)
+}

@@ -1,0 +1,355 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"dfcheck/internal/eval"
+	"dfcheck/internal/harvest"
+	"dfcheck/internal/ir"
+)
+
+// checkRefines verifies the optimizer's contract: on every input where the
+// original executes without UB, the optimized program is also well-defined
+// and computes the same value.
+func checkRefines(t *testing.T, orig, opt *ir.Function, samples int) {
+	t.Helper()
+	varByName := make(map[string]*ir.Inst)
+	for _, v := range opt.Vars {
+		varByName[v.Name] = v
+	}
+	check := func(env eval.Env) {
+		want, ok := eval.Eval(orig, env)
+		if !ok {
+			return
+		}
+		env2 := make(eval.Env, len(opt.Vars))
+		for _, v := range orig.Vars {
+			if nv, used := varByName[v.Name]; used {
+				env2[nv] = env[v]
+			}
+		}
+		got, ok2 := eval.Eval(opt, env2)
+		if !ok2 {
+			t.Fatalf("optimized program UB where original defined\norig:\n%sopt:\n%s", orig, opt)
+		}
+		if got.Ne(want) {
+			t.Fatalf("optimized %v != original %v\norig:\n%sopt:\n%s", got, want, orig, opt)
+		}
+	}
+	if eval.TotalInputBits(orig) <= 14 {
+		eval.ForEachInput(orig, func(env eval.Env) bool { check(env); return true })
+		return
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < samples; i++ {
+		check(eval.RandomEnv(orig, rng))
+	}
+}
+
+func TestOptimizeBaselineFoldsIdentities(t *testing.T) {
+	cases := []struct {
+		src      string
+		maxInsts int
+	}{
+		{"%x:i8 = var\n%0:i8 = add %x, 0:i8\ninfer %0", 0},
+		{"%x:i8 = var\n%0:i8 = mul %x, 1:i8\ninfer %0", 0},
+		{"%x:i8 = var\n%0:i8 = and %x, 255:i8\ninfer %0", 0},
+		{"%x:i8 = var\n%0:i8 = or %x, 0:i8\ninfer %0", 0},
+		{"%x:i8 = var\n%0:i8 = xor %x, %x\ninfer %0", 0},
+		{"%x:i8 = var\n%0:i8 = sub %x, %x\ninfer %0", 0},
+		{"%x:i8 = var\n%0:i8 = mul %x, 0:i8\ninfer %0", 0},
+		{"%x:i8 = var\n%0:i8 = udiv %x, 1:i8\ninfer %0", 0},
+		{"%x:i8 = var\n%0:i8 = shl %x, 0:i8\ninfer %0", 0},
+		{"%0:i8 = add 3:i8, 4:i8\ninfer %0", 0},
+		{"%c:i1 = var\n%x:i8 = var\n%0:i8 = select %c, %x, %x\ninfer %0", 0},
+	}
+	for _, c := range cases {
+		f := ir.MustParse(c.src)
+		got := Optimize(f, NewBaselineSource(f))
+		if n := got.NumInsts(); n > c.maxInsts {
+			t.Errorf("%s: %d instructions remain, want <= %d:\n%s", c.src, n, c.maxInsts, got)
+		}
+		checkRefines(t, f, got, 100)
+	}
+}
+
+func TestOptimizeUsesRangeFacts(t *testing.T) {
+	// [0,100) < [200,205) folds via LVI even in the baseline.
+	f := ir.MustParse(`
+		%a:i8 = var (range=[0,100))
+		%b:i8 = var (range=[200,205))
+		%0:i1 = ult %a, %b
+		infer %0
+	`)
+	got := Optimize(f, NewBaselineSource(f))
+	if !got.Root.IsConst() || !got.Root.ConstValue().IsOne() {
+		t.Errorf("comparison not folded to true:\n%s", got)
+	}
+}
+
+func TestOptimizePreciseFoldsMore(t *testing.T) {
+	// The §4.2.1 mul/srem cluster folds with oracle facts only.
+	src := "%x:i8 = var\n%0:i8 = mulnsw 10:i8, %x\n%1:i8 = srem %0, 10:i8\n%2:i8 = or %x, %1\ninfer %2"
+	f := ir.MustParse(src)
+	base := Optimize(f, NewBaselineSource(f))
+	if base.NumInsts() < 3 {
+		t.Errorf("baseline unexpectedly folded the cluster:\n%s", base)
+	}
+	f2 := ir.MustParse(src)
+	prec := Optimize(f2, NewOracleSource(f2, 0))
+	if prec.NumInsts() != 0 {
+		t.Errorf("precise facts should reduce to %%x alone:\n%s", prec)
+	}
+	checkRefines(t, f, prec, 0)
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	for _, k := range Kernels {
+		f := k.F()
+		once := Optimize(f, NewBaselineSource(f))
+		twice := Optimize(once, NewBaselineSource(once))
+		if once.String() != twice.String() {
+			t.Errorf("%s: baseline optimization not idempotent:\n%s\nvs\n%s", k.Name, once, twice)
+		}
+	}
+}
+
+func TestOptimizeKernelsRefine(t *testing.T) {
+	for _, k := range Kernels {
+		f := k.F()
+		base := Optimize(f, NewBaselineSource(f))
+		checkRefines(t, f, base, 300)
+		f2 := k.F()
+		prec := Optimize(f2, NewOracleSource(f2, 0))
+		checkRefines(t, f2, prec, 300)
+	}
+}
+
+func TestOptimizeRandomCorpusRefines(t *testing.T) {
+	corpus := harvest.Generate(harvest.Config{
+		Seed: 77, NumExprs: 120, MaxInsts: 6,
+		Widths: []harvest.WidthWeight{{Width: 8, Weight: 1}},
+	})
+	for _, e := range corpus {
+		got := Optimize(e.F, NewBaselineSource(e.F))
+		checkRefines(t, e.F, got, 100)
+	}
+}
+
+func TestMachineModels(t *testing.T) {
+	amd, intel := AMD(), Intel()
+	f := ir.MustParse("%x:i8 = var\n%0:i8 = udiv %x, 3:i8\n%1:i8 = add %0, 1:i8\ninfer %1")
+	if amd.StaticCycles(f) >= intel.StaticCycles(f) {
+		t.Errorf("AMD division should be cheaper: amd=%d intel=%d",
+			amd.StaticCycles(f), intel.StaticCycles(f))
+	}
+	// Constants and vars are free.
+	free := ir.MustParse("%x:i8 = var\ninfer %x")
+	if amd.StaticCycles(free) != 0 {
+		t.Errorf("var-only kernel costs %d", amd.StaticCycles(free))
+	}
+}
+
+func TestRunWorkloadRejectsUB(t *testing.T) {
+	f := ir.MustParse("%x:i8 = var\n%0:i8 = udiv 1:i8, %x\ninfer %0")
+	_, _, err := AMD().RunWorkload(f, []WorkloadEnv{{"x": 0}})
+	if err == nil {
+		t.Error("UB workload input not rejected")
+	}
+	_, outs, err := AMD().RunWorkload(f, []WorkloadEnv{{"x": 2}})
+	if err != nil || outs[0] != 0 {
+		t.Errorf("workload = %v, %v", outs, err)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle-driven optimization is slow")
+	}
+	rows, err := RunTable2(0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Table2Row{}
+	for _, r := range rows {
+		byKey[r.Benchmark+"/"+r.Machine] = r
+	}
+	if len(byKey) != 12 {
+		t.Fatalf("rows = %d, want 12 (6 benchmarks x 2 machines)", len(byKey))
+	}
+
+	for _, m := range []string{"AMD", "Intel"} {
+		bc := byKey["bzip2 compress/"+m]
+		bd := byKey["bzip2 decompress/"+m]
+		gz := byKey["gzip compress/"+m]
+		gd := byKey["gzip decompress/"+m]
+		sf := byKey["Stockfish/"+m]
+		sq := byKey["SQLite/"+m]
+
+		// Paper shape: bzip2 compress wins big; SQLite and Stockfish
+		// small positive; gzip and decompression neutral.
+		if bc.SpeedupPct < 5 {
+			t.Errorf("%s: bzip2 compress speedup = %.2f%%, want substantial", m, bc.SpeedupPct)
+		}
+		if bc.SpeedupPct <= sq.SpeedupPct || bc.SpeedupPct <= sf.SpeedupPct {
+			t.Errorf("%s: bzip2 compress (%.2f%%) should dominate SQLite (%.2f%%) and Stockfish (%.2f%%)",
+				m, bc.SpeedupPct, sq.SpeedupPct, sf.SpeedupPct)
+		}
+		if sq.SpeedupPct <= 0 || sf.SpeedupPct <= 0 {
+			t.Errorf("%s: SQLite (%.2f%%) and Stockfish (%.2f%%) should see small wins",
+				m, sq.SpeedupPct, sf.SpeedupPct)
+		}
+		if sq.SpeedupPct < sf.SpeedupPct {
+			t.Errorf("%s: SQLite (%.2f%%) should beat Stockfish (%.2f%%) as in the paper",
+				m, sq.SpeedupPct, sf.SpeedupPct)
+		}
+		for name, r := range map[string]Table2Row{"bzip2 decompress": bd, "gzip compress": gz, "gzip decompress": gd} {
+			if r.SpeedupPct != 0 {
+				t.Errorf("%s: %s speedup = %.2f%%, want 0 (no foldable redundancy)", m, name, r.SpeedupPct)
+			}
+		}
+		// The precise compiler is the slow one (§4.6: hours per build).
+		if bc.PreciseOptTime <= bc.BaselineOptTime {
+			t.Errorf("%s: precise compile time %v should exceed baseline %v",
+				m, bc.PreciseOptTime, bc.BaselineOptTime)
+		}
+	}
+	// AMD's bzip2-compress win exceeds Intel's, as in Table 2.
+	if byKey["bzip2 compress/AMD"].SpeedupPct <= byKey["bzip2 compress/Intel"].SpeedupPct {
+		t.Errorf("AMD bzip2 compress (%.2f%%) should exceed Intel (%.2f%%)",
+			byKey["bzip2 compress/AMD"].SpeedupPct, byKey["bzip2 compress/Intel"].SpeedupPct)
+	}
+}
+
+func TestInstcombineRules(t *testing.T) {
+	cases := []struct {
+		name, src string
+		maxInsts  int
+	}{
+		{"reassoc add", "%x:i8 = var\n%0:i8 = add %x, 3:i8\n%1:i8 = add %0, 4:i8\ninfer %1", 1},
+		{"reassoc xor cancel", "%x:i8 = var\n%0:i8 = xor %x, 255:i8\n%1:i8 = xor %0, 255:i8\ninfer %1", 0},
+		{"reassoc and", "%x:i8 = var\n%0:i8 = and %x, 240:i8\n%1:i8 = and %0, 60:i8\ninfer %1", 1},
+		{"reassoc or const first", "%x:i8 = var\n%0:i8 = or 1:i8, %x\n%1:i8 = or 2:i8, %0\ninfer %1", 1},
+		{"shl then lshr", "%x:i8 = var\n%0:i8 = shl %x, 3:i8\n%1:i8 = lshr %0, 3:i8\ninfer %1", 1},
+		{"lshr then shl", "%x:i8 = var\n%0:i8 = lshr %x, 2:i8\n%1:i8 = shl %0, 2:i8\ninfer %1", 1},
+		{"trunc of zext to source", "%x:i8 = var\n%0:i16 = zext %x\n%1:i8 = trunc %0\ninfer %1", 0},
+		{"trunc of sext below source", "%x:i8 = var\n%0:i16 = sext %x\n%1:i4 = trunc %0\ninfer %1", 1},
+		{"trunc of zext to intermediate", "%x:i4 = var\n%0:i16 = zext %x\n%1:i8 = trunc %0\ninfer %1", 1},
+		{"zext of zext", "%x:i4 = var\n%0:i8 = zext %x\n%1:i16 = zext %0\ninfer %1", 1},
+		{"sext of sext", "%x:i4 = var\n%0:i8 = sext %x\n%1:i16 = sext %0\ninfer %1", 1},
+		{"sext of zext", "%x:i4 = var\n%0:i8 = zext %x\n%1:i16 = sext %0\ninfer %1", 1},
+		{"trunc of trunc", "%x:i32 = var\n%0:i16 = trunc %x\n%1:i8 = trunc %0\ninfer %1", 1},
+	}
+	for _, c := range cases {
+		f := ir.MustParse(c.src)
+		got := Optimize(f, NewBaselineSource(f))
+		if n := got.NumInsts(); n > c.maxInsts {
+			t.Errorf("%s: %d instructions remain, want <= %d:\n%s", c.name, n, c.maxInsts, got)
+		}
+		checkRefines(t, f, got, 200)
+	}
+	// Flagged ops must not reassociate (the rule drops flags only when
+	// there are none to drop).
+	f := ir.MustParse("%x:i8 = var\n%0:i8 = addnsw %x, 3:i8\n%1:i8 = addnsw %0, 4:i8\ninfer %1")
+	got := Optimize(f, NewBaselineSource(f))
+	checkRefines(t, f, got, 200)
+}
+
+// TestConstantFoldMatchesInterpreter pins evalConst (the optimizer's
+// folder) to eval.Eval (the semantics of record): for every op, random
+// constant operands must fold to exactly what execution produces, and be
+// rejected exactly when execution is ill-defined.
+func TestConstantFoldMatchesInterpreter(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	ops := []struct {
+		src   string
+		nVars int
+	}{
+		{"%a:i8 = var\n%b:i8 = var\n%0:i8 = add %a, %b\ninfer %0", 2},
+		{"%a:i8 = var\n%b:i8 = var\n%0:i8 = addnsw %a, %b\ninfer %0", 2},
+		{"%a:i8 = var\n%b:i8 = var\n%0:i8 = subnuw %a, %b\ninfer %0", 2},
+		{"%a:i8 = var\n%b:i8 = var\n%0:i8 = mulnw %a, %b\ninfer %0", 2},
+		{"%a:i8 = var\n%b:i8 = var\n%0:i8 = udiv %a, %b\ninfer %0", 2},
+		{"%a:i8 = var\n%b:i8 = var\n%0:i8 = sdiv %a, %b\ninfer %0", 2},
+		{"%a:i8 = var\n%b:i8 = var\n%0:i8 = urem %a, %b\ninfer %0", 2},
+		{"%a:i8 = var\n%b:i8 = var\n%0:i8 = srem %a, %b\ninfer %0", 2},
+		{"%a:i8 = var\n%b:i8 = var\n%0:i8 = shl %a, %b\ninfer %0", 2},
+		{"%a:i8 = var\n%b:i8 = var\n%0:i8 = lshrexact %a, %b\ninfer %0", 2},
+		{"%a:i8 = var\n%b:i8 = var\n%0:i8 = ashr %a, %b\ninfer %0", 2},
+		{"%a:i8 = var\n%b:i8 = var\n%0:i1 = slt %a, %b\ninfer %0", 2},
+		{"%a:i8 = var\n%b:i8 = var\n%0:i8 = umin %a, %b\ninfer %0", 2},
+		{"%a:i8 = var\n%b:i8 = var\n%0:i8 = smax %a, %b\ninfer %0", 2},
+		{"%a:i8 = var\n%0:i8 = abs %a\ninfer %0", 1},
+		{"%a:i8 = var\n%0:i8 = ctpop %a\ninfer %0", 1},
+		{"%a:i8 = var\n%0:i8 = bitreverse %a\ninfer %0", 1},
+		{"%a:i8 = var\n%b:i8 = var\n%0:i8 = rotl %a, %b\ninfer %0", 2},
+		{"%a:i8 = var\n%b:i8 = var\n%0:i1 = uaddo %a, %b\ninfer %0", 2},
+		{"%a:i8 = var\n%b:i8 = var\n%0:i1 = smulo %a, %b\ninfer %0", 2},
+		{"%a:i8 = var\n%b:i8 = var\n%s:i8 = var\n%0:i8 = fshr %a, %b, %s\ninfer %0", 3},
+	}
+	names := []string{"a", "b", "s"}
+	for _, op := range ops {
+		f := ir.MustParse(op.src)
+		for trial := 0; trial < 300; trial++ {
+			vals := map[string]uint64{}
+			for i := 0; i < op.nVars; i++ {
+				vals[names[i]] = rng.Uint64() & 0xFF
+			}
+			env, err := eval.EnvFromNames(f, vals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantOK := eval.Eval(f, env)
+
+			// Rebuild the root with constant operands and fold it.
+			b := ir.NewBuilder()
+			args := make([]*ir.Inst, len(f.Root.Args))
+			for i, a := range f.Root.Args {
+				if a.IsVar() {
+					args[i] = b.Const(env[a])
+				} else {
+					args[i] = b.Const(a.ConstValue())
+				}
+			}
+			got, ok := foldConstants(f.Root, args)
+			if ok != wantOK {
+				t.Fatalf("%s on %v: fold ok=%v, eval ok=%v", op.src, vals, ok, wantOK)
+			}
+			if ok && got.Ne(want) {
+				t.Fatalf("%s on %v: fold=%v, eval=%v", op.src, vals, got, want)
+			}
+		}
+	}
+}
+
+// TestSimplifyDemandedBits: instructions whose influence is masked away
+// downstream collapse (SimplifyDemandedBits-lite).
+func TestSimplifyDemandedBits(t *testing.T) {
+	cases := []struct {
+		name, src string
+		maxInsts  int
+	}{
+		// High-byte junk OR'd in, then truncated away.
+		{"or above trunc", "%x:i16 = var\n%y:i16 = var\n%0:i16 = shl %y, 8:i16\n%1:i16 = or %x, %0\n%2:i8 = trunc %1\ninfer %2", 1},
+		// XOR with bits that the final mask clears.
+		{"xor masked off", "%x:i8 = var\n%y:i8 = var\n%0:i8 = shl %y, 4:i8\n%1:i8 = xor %x, %0\n%2:i8 = and %1, 15:i8\ninfer %2", 2},
+		// Adding a 256-aligned value cannot change the low byte.
+		{"add aligned", "%x:i16 = var\n%y:i16 = var\n%0:i16 = shl %y, 8:i16\n%1:i16 = add %x, %0\n%2:i8 = trunc %1\ninfer %2", 1},
+	}
+	for _, c := range cases {
+		f := ir.MustParse(c.src)
+		got := Optimize(f, NewBaselineSource(f))
+		if n := got.NumInsts(); n > c.maxInsts {
+			t.Errorf("%s: %d instructions remain, want <= %d:\n%s", c.name, n, c.maxInsts, got)
+		}
+		checkRefines(t, f, got, 300)
+	}
+	// A demanded operand must NOT be dropped.
+	f := ir.MustParse("%x:i16 = var\n%y:i16 = var\n%0:i16 = shl %y, 4:i16\n%1:i16 = or %x, %0\n%2:i8 = trunc %1\ninfer %2")
+	got := Optimize(f, NewBaselineSource(f))
+	if got.NumInsts() < 3 {
+		t.Errorf("overlapping or was incorrectly dropped:\n%s", got)
+	}
+	checkRefines(t, f, got, 300)
+}

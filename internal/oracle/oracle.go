@@ -1,0 +1,563 @@
+// Package oracle implements the paper's contribution: solver-based
+// algorithms that compute sound and maximally precise dataflow facts for
+// every analysis under test (§3.3). Each algorithm is engine-agnostic: it
+// can run over the SAT-backed engine (production) or the enumeration
+// engine (testing), both of which quantify over well-defined inputs only.
+//
+//   - KnownBits is Algorithm 1: two validity queries per output bit. Its
+//     maximal precision follows from the separability of the known-bits
+//     lattice (§3.3.1, Figure 2).
+//   - DemandedBits is Algorithm 2: two equivalence queries per input bit.
+//   - IntegerRange is Algorithm 3: binary search on the range size with a
+//     CEGIS loop synthesizing the base (synthesizeBase).
+//   - SignBits tries each count from most precise downward (§3.3).
+//   - The single-bit analyses are one validity query each (§3.3).
+//
+// Whenever the engine exhausts its budget, the algorithms degrade soundly:
+// the affected bit stays unknown, the range widens, the predicate stays
+// unproven — and the result is flagged Exhausted, which the comparator
+// reports as Table 1's "resource exhaustion" column.
+package oracle
+
+import (
+	"dfcheck/internal/apint"
+	"dfcheck/internal/constrange"
+	"dfcheck/internal/ir"
+	"dfcheck/internal/knownbits"
+	"dfcheck/internal/solver"
+)
+
+// Outcome carries the quantifier context shared by all results.
+type Outcome struct {
+	// Feasible is false when no well-defined input exists (dead code);
+	// every fact is then vacuously the bottom element.
+	Feasible bool
+	// Exhausted is true when at least one solver query ran out of
+	// budget, in which case the result is sound but possibly imprecise.
+	Exhausted bool
+}
+
+// MaxRangeTries caps the CEGIS iterations per synthesizeBase call,
+// mirroring the artifact's -souper-range-max-tries flag. Proving that NO
+// window of size C exists requires on the order of 2^w/(2^w-C) spread
+// counterexamples, so sizes whose complement is tiny relative to the
+// space are declared exhausted up front rather than ground out (the
+// paper's §3.3 makes the same concession: maximal precision is contingent
+// on every query completing, and Table 1 reports 42.9% resource
+// exhaustion for integer ranges).
+const MaxRangeTries = 1000
+
+// KnownBitsResult is a maximally precise known-bits fact.
+type KnownBitsResult struct {
+	Outcome
+	Bits knownbits.Bits
+}
+
+// KnownBits runs Algorithm 1.
+func KnownBits(e solver.Engine, f *ir.Function) KnownBitsResult {
+	w := f.Width()
+	res := KnownBitsResult{Bits: knownbits.Unknown(w)}
+	feasible, ok := e.Feasible()
+	if !ok {
+		res.Exhausted = true
+		res.Feasible = true // unknown: assume live, stay sound
+		return res
+	}
+	res.Feasible = feasible
+	if !feasible {
+		// Dead code: bottom (every bit claimable; report known zero
+		// with a conflict-free convention of all-zero).
+		res.Bits = knownbits.FromConst(apint.Zero(w))
+		return res
+	}
+	zero, one := apint.Zero(w), apint.Zero(w)
+	for i := uint(0); i < w; i++ {
+		canBeOne, ok := e.OutputBitCanBe(i, true)
+		if !ok {
+			res.Exhausted = true
+			continue
+		}
+		if !canBeOne {
+			zero = zero.SetBit(i)
+			continue
+		}
+		canBeZero, ok := e.OutputBitCanBe(i, false)
+		if !ok {
+			res.Exhausted = true
+			continue
+		}
+		if !canBeZero {
+			one = one.SetBit(i)
+		}
+	}
+	res.Bits = knownbits.Make(zero, one)
+	return res
+}
+
+// SignBitsResult is a maximally precise sign-bit count.
+type SignBitsResult struct {
+	Outcome
+	NumSignBits uint
+}
+
+// SignBits tries each candidate count from the most precise downward.
+func SignBits(e solver.Engine, f *ir.Function) SignBitsResult {
+	w := f.Width()
+	res := SignBitsResult{NumSignBits: 1}
+	feasible, ok := e.Feasible()
+	if !ok {
+		res.Exhausted = true
+		res.Feasible = true
+		return res
+	}
+	res.Feasible = feasible
+	if !feasible {
+		res.NumSignBits = w
+		return res
+	}
+	for k := w; k >= 2; k-- {
+		violated, ok := e.SignBitsViolated(k)
+		if !ok {
+			res.Exhausted = true
+			continue // a weaker claim may still be provable
+		}
+		if !violated {
+			res.NumSignBits = k
+			return res
+		}
+	}
+	return res
+}
+
+// BoolResult is a maximally precise single-bit fact: Proved means the
+// property holds on every well-defined input.
+type BoolResult struct {
+	Outcome
+	Proved bool
+}
+
+func boolQuery(e solver.Engine, refute func() (bool, bool)) BoolResult {
+	var res BoolResult
+	feasible, ok := e.Feasible()
+	if !ok {
+		res.Exhausted = true
+		res.Feasible = true
+		return res
+	}
+	res.Feasible = feasible
+	if !feasible {
+		res.Proved = true // vacuous
+		return res
+	}
+	violated, ok := refute()
+	if !ok {
+		res.Exhausted = true
+		return res
+	}
+	res.Proved = !violated
+	return res
+}
+
+// NonZero proves the output is never zero.
+func NonZero(e solver.Engine, f *ir.Function) BoolResult {
+	return boolQuery(e, e.CanBeZero)
+}
+
+// Negative proves the output's sign bit is always one.
+func Negative(e solver.Engine, f *ir.Function) BoolResult {
+	w := f.Width()
+	return boolQuery(e, func() (bool, bool) { return e.OutputBitCanBe(w-1, false) })
+}
+
+// NonNegative proves the output's sign bit is always zero.
+func NonNegative(e solver.Engine, f *ir.Function) BoolResult {
+	w := f.Width()
+	return boolQuery(e, func() (bool, bool) { return e.OutputBitCanBe(w-1, true) })
+}
+
+// PowerOfTwo proves the output is always a (non-zero) power of two.
+func PowerOfTwo(e solver.Engine, f *ir.Function) BoolResult {
+	return boolQuery(e, e.CanBeNonPowerOfTwo)
+}
+
+// DemandedBitsResult maps each input variable to its demanded mask (a set
+// bit means demanded).
+type DemandedBitsResult struct {
+	Outcome
+	Demanded map[string]apint.Int
+}
+
+// DemandedBits runs Algorithm 2.
+func DemandedBits(e solver.Engine, f *ir.Function) DemandedBitsResult {
+	res := DemandedBitsResult{Demanded: make(map[string]apint.Int, len(f.Vars))}
+	feasible, ok := e.Feasible()
+	if !ok {
+		res.Exhausted = true
+		res.Feasible = true
+		for _, v := range f.Vars {
+			res.Demanded[v.Name] = apint.AllOnes(v.Width)
+		}
+		return res
+	}
+	res.Feasible = feasible
+	if !feasible {
+		for _, v := range f.Vars {
+			res.Demanded[v.Name] = apint.Zero(v.Width) // dead: nothing demanded
+		}
+		return res
+	}
+	for _, v := range f.Vars {
+		mask := apint.Zero(v.Width)
+		for i := uint(0); i < v.Width; i++ {
+			demanded := false
+			for _, val := range []bool{false, true} {
+				matters, ok := e.ForcedBitMatters(v, i, val)
+				if !ok {
+					res.Exhausted = true
+					demanded = true // sound fallback
+					break
+				}
+				if matters {
+					demanded = true
+					break
+				}
+			}
+			if demanded {
+				mask = mask.SetBit(i)
+			}
+		}
+		res.Demanded[v.Name] = mask
+	}
+	return res
+}
+
+// RangeResult is a maximally precise integer range.
+type RangeResult struct {
+	Outcome
+	Range constrange.Range
+}
+
+// IntegerRange runs Algorithm 3: binary search for the smallest size C
+// such that some base X makes [X, X+C) a sound fact, with synthesizeBase
+// finding X by CEGIS. To keep the CEGIS loop convergent on near-full
+// ranges, the search is seeded with the exact unsigned and signed hulls
+// (each bound found by its own monotone binary search); the CEGIS phase
+// then only explores sizes strictly below the better hull, where
+// counterexamples spread quickly.
+func IntegerRange(e solver.Engine, f *ir.Function) RangeResult {
+	w := f.Width()
+	res := RangeResult{Range: constrange.Full(w)}
+	feasible, ok := e.Feasible()
+	if !ok {
+		res.Exhausted = true
+		res.Feasible = true
+		return res
+	}
+	res.Feasible = feasible
+	if !feasible {
+		res.Range = constrange.Empty(w)
+		return res
+	}
+
+	bounds, ok := hullBounds(e, w)
+	if !ok {
+		res.Exhausted = true
+		return res
+	}
+	one := apint.One(w)
+	best := constrange.NonEmpty(bounds.umin, bounds.umax.Add(one))
+	if sh := constrange.NonEmpty(bounds.smin, bounds.smax.Add(one)); sh.SizeLT(best) {
+		best = sh
+	}
+
+	// Algorithm 3 proper, below the hull size.
+	samples := []apint.Int{bounds.umin, bounds.umax, bounds.smin, bounds.smax}
+	lo := uint64(1)
+	var hi uint64
+	if n, huge := best.Size(); huge {
+		hi = apint.AllOnes(w).Uint64()
+	} else {
+		hi = n - 1
+	}
+	for lo <= hi {
+		mid := lo + (hi-lo)/2
+		base, found, exhausted := synthesizeBase(e, w, apint.New(w, mid), &samples)
+		if exhausted {
+			res.Exhausted = true
+		}
+		if found {
+			best = constrange.NonEmpty(base, base.Add(apint.New(w, mid)))
+			if mid == 1 {
+				break
+			}
+			hi = mid - 1
+		} else {
+			if mid == apint.AllOnes(w).Uint64() {
+				break
+			}
+			lo = mid + 1
+		}
+	}
+	res.Range = best
+	return res
+}
+
+// IntegerRangeNaive runs the paper's Algorithm 3 literally: binary search
+// over the full size space with CEGIS base synthesis and no hull seeding.
+// It exists as the ablation for the hull-seeding design choice: on
+// near-full result ranges the naive search must prove "no window of size
+// C exists" for C close to 2^w, which needs counterexamples at
+// complement-arc granularity and therefore exhausts its budget, while the
+// seeded version gets the same range from four cheap bound searches.
+func IntegerRangeNaive(e solver.Engine, f *ir.Function) RangeResult {
+	w := f.Width()
+	res := RangeResult{Range: constrange.Full(w)}
+	feasible, ok := e.Feasible()
+	if !ok {
+		res.Exhausted = true
+		res.Feasible = true
+		return res
+	}
+	res.Feasible = feasible
+	if !feasible {
+		res.Range = constrange.Empty(w)
+		return res
+	}
+	var samples []apint.Int
+	lo := uint64(1)
+	hi := apint.AllOnes(w).Uint64()
+	for lo <= hi {
+		mid := lo + (hi-lo)/2
+		base, found, exhausted := synthesizeBase(e, w, apint.New(w, mid), &samples)
+		if exhausted {
+			res.Exhausted = true
+		}
+		if found {
+			res.Range = constrange.NonEmpty(base, base.Add(apint.New(w, mid)))
+			if mid == 1 {
+				break
+			}
+			hi = mid - 1
+		} else {
+			if mid == apint.AllOnes(w).Uint64() {
+				break
+			}
+			lo = mid + 1
+		}
+	}
+	return res
+}
+
+type hulls struct {
+	umin, umax, smin, smax apint.Int
+}
+
+// existsIn asks whether some well-defined output lies in the (possibly
+// wrapped) interval [lo, hi); lo == hi denotes the full set.
+func existsIn(e solver.Engine, lo, hi apint.Int) (bool, bool) {
+	if lo.Eq(hi) {
+		return true, true // full interval; the caller checked feasibility
+	}
+	// out ∈ [lo, hi) ⟺ out ∉ [hi, lo): complement of a circular arc.
+	_, found, ok := e.OutputOutside(hi, lo.Sub(hi))
+	return found, ok
+}
+
+// hullBounds computes the exact unsigned and signed extrema of the
+// achievable outputs, each by a monotone binary search.
+func hullBounds(e solver.Engine, w uint) (hulls, bool) {
+	var h hulls
+	maxv := apint.AllOnes(w).Uint64()
+	signBit := apint.SignBitValue(w).Uint64()
+	one := apint.One(w)
+
+	// Smallest unsigned: least m such that ∃ out ∈ [0, m].
+	umin, ok := searchLeast(maxv, func(m uint64) (bool, bool) {
+		return existsIn(e, apint.Zero(w), apint.New(w, m).Add(one))
+	})
+	if !ok {
+		return h, false
+	}
+	// Largest unsigned: greatest m such that ∃ out ∈ [m, MAX].
+	umax, ok := searchGreatest(maxv, func(m uint64) (bool, bool) {
+		return existsIn(e, apint.New(w, m), apint.Zero(w))
+	})
+	if !ok {
+		return h, false
+	}
+	// Signed bounds via the order-preserving offset map v = offset ^ sign.
+	sminOff, ok := searchLeast(maxv, func(off uint64) (bool, bool) {
+		s := apint.New(w, off^signBit)
+		return existsIn(e, apint.MinSigned(w), s.Add(one))
+	})
+	if !ok {
+		return h, false
+	}
+	smaxOff, ok := searchGreatest(maxv, func(off uint64) (bool, bool) {
+		s := apint.New(w, off^signBit)
+		return existsIn(e, s, apint.MinSigned(w))
+	})
+	if !ok {
+		return h, false
+	}
+	h.umin = apint.New(w, umin)
+	h.umax = apint.New(w, umax)
+	h.smin = apint.New(w, sminOff^signBit)
+	h.smax = apint.New(w, smaxOff^signBit)
+	return h, true
+}
+
+// searchLeast finds the least m in [0, max] with pred(m) true; pred must
+// be monotone (false then true) and true at max.
+func searchLeast(max uint64, pred func(uint64) (bool, bool)) (uint64, bool) {
+	lo, hi := uint64(0), max
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		res, ok := pred(mid)
+		if !ok {
+			return 0, false
+		}
+		if res {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, true
+}
+
+// searchGreatest finds the greatest m in [0, max] with pred(m) true; pred
+// must be monotone (true then false) and true at 0.
+func searchGreatest(max uint64, pred func(uint64) (bool, bool)) (uint64, bool) {
+	lo, hi := uint64(0), max
+	for lo < hi {
+		mid := lo + (hi-lo+1)/2
+		res, ok := pred(mid)
+		if !ok {
+			return 0, false
+		}
+		if res {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, true
+}
+
+// synthesizeBase finds X such that every well-defined output lies in
+// [X, X+C), by counterexample-guided search: cover the known sample
+// outputs with a window of size C (the window may start at any sample),
+// then ask the solver to refute; counterexamples enlarge the sample set.
+func synthesizeBase(e solver.Engine, w uint, c apint.Int, samples *[]apint.Int) (apint.Int, bool, bool) {
+	exhausted := false
+	// A failure proof needs counterexamples spread at complement-arc
+	// granularity; bail out (exhausted) when that cannot fit the try
+	// budget.
+	compVal := c.Neg().Uint64() // 2^w - C
+	if compVal == 0 {
+		compVal = 1
+	}
+	needed := apint.AllOnes(w).Uint64()/compVal + 1
+	if needed > uint64(MaxRangeTries/3) {
+		return apint.Int{}, false, true
+	}
+	tries := int(needed*3 + 16)
+	if tries > MaxRangeTries {
+		tries = MaxRangeTries
+	}
+	if len(*samples) == 0 {
+		// Seed with any achievable output (the empty interval makes
+		// everything "outside").
+		ex, found, ok := e.OutputOutside(apint.Zero(w), apint.Zero(w))
+		if !ok {
+			return apint.Int{}, false, true
+		}
+		if !found {
+			// No achievable output at all; callers handle infeasible
+			// before this, so treat as failure.
+			return apint.Int{}, false, exhausted
+		}
+		*samples = append(*samples, ex)
+	}
+	for try := 0; try < tries; try++ {
+		base, coverable := coverWindow(w, c, *samples)
+		if !coverable {
+			return apint.Int{}, false, exhausted
+		}
+		// Probe an interior quarter of the complement arc first: a
+		// counterexample from there splits the remaining space evenly,
+		// which keeps the loop convergent (an adversarial solver model
+		// just past the window edge would otherwise shrink progress to
+		// one value per iteration).
+		compSize := c.Neg() // 2^w - C
+		third := compSize.LShr(2)
+		if !third.IsZero() {
+			m1 := base.Add(c).Add(third)
+			m2 := m1.Add(third)
+			if ex, found, ok := e.OutputOutside(m2, m1.Sub(m2)); ok && found {
+				*samples = append(*samples, ex)
+				continue
+			} else if !ok {
+				exhausted = true
+			}
+		}
+		ex, found, ok := e.OutputOutside(base, c)
+		if !ok {
+			return apint.Int{}, false, true
+		}
+		if !found {
+			return base, true, exhausted
+		}
+		*samples = append(*samples, ex)
+	}
+	return apint.Int{}, false, true // CEGIS budget exhausted
+}
+
+// coverWindow finds a window [X, X+C) covering all samples, if one exists.
+// A minimal covering window can always start at a sample, so only sample
+// values are candidate bases.
+func coverWindow(w uint, c apint.Int, samples []apint.Int) (apint.Int, bool) {
+	for _, base := range samples {
+		covered := true
+		for _, s := range samples {
+			// s ∈ [base, base+c) ⟺ s - base <u c.
+			if !s.Sub(base).ULT(c) {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			return base, true
+		}
+	}
+	return apint.Int{}, false
+}
+
+// All bundles every oracle fact for one function, computed with a shared
+// engine budget — the facts the paper's tool infers per Souper expression.
+type All struct {
+	Known       KnownBitsResult
+	Sign        SignBitsResult
+	NonZero     BoolResult
+	Negative    BoolResult
+	NonNegative BoolResult
+	PowerOfTwo  BoolResult
+	Range       RangeResult
+	Demanded    DemandedBitsResult
+}
+
+// AnalyzeAll computes every fact with fresh SAT engines at the given
+// per-query conflict budget (0 selects the default).
+func AnalyzeAll(f *ir.Function, budget int64) All {
+	return All{
+		Known:       KnownBits(solver.NewSAT(f, budget), f),
+		Sign:        SignBits(solver.NewSAT(f, budget), f),
+		NonZero:     NonZero(solver.NewSAT(f, budget), f),
+		Negative:    Negative(solver.NewSAT(f, budget), f),
+		NonNegative: NonNegative(solver.NewSAT(f, budget), f),
+		PowerOfTwo:  PowerOfTwo(solver.NewSAT(f, budget), f),
+		Range:       IntegerRange(solver.NewSAT(f, budget), f),
+		Demanded:    DemandedBits(solver.NewSAT(f, budget), f),
+	}
+}

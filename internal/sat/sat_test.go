@@ -1,0 +1,509 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refSolve is a brute-force reference: tries all assignments.
+func refSolve(numVars int, clauses [][]Lit, assumptions []Lit) bool {
+	if numVars > 24 {
+		panic("refSolve: too many variables")
+	}
+	for m := uint64(0); m < 1<<numVars; m++ {
+		val := func(l Lit) bool {
+			bit := m>>uint(l.Var())&1 == 1
+			if l.IsNeg() {
+				return !bit
+			}
+			return bit
+		}
+		ok := true
+		for _, a := range assumptions {
+			if !val(a) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, c := range clauses {
+			sat := false
+			for _, l := range c {
+				if val(l) {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func newWithVars(n int) (*Solver, []Var) {
+	s := New()
+	vars := make([]Var, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	return s, vars
+}
+
+func TestLitEncoding(t *testing.T) {
+	v := Var(3)
+	if PosLit(v).Var() != v || NegLit(v).Var() != v {
+		t.Error("Var() roundtrip wrong")
+	}
+	if PosLit(v).IsNeg() || !NegLit(v).IsNeg() {
+		t.Error("IsNeg wrong")
+	}
+	if PosLit(v).Not() != NegLit(v) || NegLit(v).Not() != PosLit(v) {
+		t.Error("Not wrong")
+	}
+	if PosLit(v).String() != "x3" || NegLit(v).String() != "~x3" {
+		t.Error("String wrong")
+	}
+}
+
+func TestTrivial(t *testing.T) {
+	s, vs := newWithVars(1)
+	s.AddClause(PosLit(vs[0]))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+	if !s.Value(vs[0]) {
+		t.Error("model wrong")
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s, vs := newWithVars(1)
+	s.AddClause(PosLit(vs[0]))
+	if !s.AddClause(NegLit(vs[0])) {
+		// AddClause may already detect the conflict.
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("Solve = %v, want unsat", got)
+		}
+		return
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v, want unsat", got)
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s, _ := newWithVars(1)
+	if s.AddClause() {
+		t.Error("empty clause accepted")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Errorf("Solve = %v", got)
+	}
+}
+
+func TestUnitPropagationChain(t *testing.T) {
+	// x0 and a chain x_i -> x_{i+1}.
+	s, vs := newWithVars(20)
+	s.AddClause(PosLit(vs[0]))
+	for i := 0; i < 19; i++ {
+		s.AddClause(NegLit(vs[i]), PosLit(vs[i+1]))
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+	for i := range vs {
+		if !s.Value(vs[i]) {
+			t.Fatalf("x%d should be true", i)
+		}
+	}
+	if s.Decisions != 0 {
+		t.Errorf("chain needed %d decisions, want 0", s.Decisions)
+	}
+}
+
+func TestXorChain(t *testing.T) {
+	// XOR constraints force search; parity makes it UNSAT.
+	// x0 ^ x1 = 1, x1 ^ x2 = 1, x2 ^ x0 = 1 is unsatisfiable (odd cycle).
+	s, vs := newWithVars(3)
+	addXor := func(a, b Var) {
+		s.AddClause(PosLit(a), PosLit(b))
+		s.AddClause(NegLit(a), NegLit(b))
+	}
+	addXor(vs[0], vs[1])
+	addXor(vs[1], vs[2])
+	addXor(vs[2], vs[0])
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("odd xor cycle = %v, want unsat", got)
+	}
+}
+
+// pigeonhole n+1 pigeons, n holes: classic hard UNSAT family.
+func pigeonhole(t *testing.T, n int) {
+	t.Helper()
+	s := New()
+	// vars[p][h]: pigeon p in hole h.
+	vars := make([][]Var, n+1)
+	for p := range vars {
+		vars[p] = make([]Var, n)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ {
+		lits := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			lits[h] = PosLit(vars[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(NegLit(vars[p1][h]), NegLit(vars[p2][h]))
+			}
+		}
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("PHP(%d) = %v, want unsat", n, got)
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	for n := 2; n <= 7; n++ {
+		pigeonhole(t, n)
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s, vs := newWithVars(3)
+	// (x0 | x1) & (~x0 | x2)
+	s.AddClause(PosLit(vs[0]), PosLit(vs[1]))
+	s.AddClause(NegLit(vs[0]), PosLit(vs[2]))
+	if got := s.Solve(PosLit(vs[0]), NegLit(vs[2])); got != Unsat {
+		t.Errorf("assumptions x0,~x2 = %v, want unsat", got)
+	}
+	// The solver is reusable after an assumption-unsat.
+	if got := s.Solve(PosLit(vs[0])); got != Sat {
+		t.Errorf("assumption x0 = %v, want sat", got)
+	}
+	if !s.Value(vs[0]) || !s.Value(vs[2]) {
+		t.Error("model under assumptions wrong")
+	}
+	if got := s.Solve(NegLit(vs[0]), NegLit(vs[1])); got != Unsat {
+		t.Errorf("assumptions ~x0,~x1 = %v, want unsat", got)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Errorf("no assumptions = %v, want sat", got)
+	}
+}
+
+func TestContradictoryAssumptions(t *testing.T) {
+	s, vs := newWithVars(2)
+	s.AddClause(PosLit(vs[0]), PosLit(vs[1]))
+	if got := s.Solve(PosLit(vs[0]), NegLit(vs[0])); got != Unsat {
+		t.Errorf("contradictory assumptions = %v, want unsat", got)
+	}
+}
+
+func TestModelValidRandom3SAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 5 + rng.Intn(13)
+		numClauses := 2 + rng.Intn(5*n)
+		clauses := make([][]Lit, numClauses)
+		for i := range clauses {
+			c := make([]Lit, 3)
+			for j := range c {
+				v := Var(rng.Intn(n))
+				if rng.Intn(2) == 0 {
+					c[j] = PosLit(v)
+				} else {
+					c[j] = NegLit(v)
+				}
+			}
+			clauses[i] = c
+		}
+		s := New()
+		for i := 0; i < n; i++ {
+			s.NewVar()
+		}
+		ok := true
+		for _, c := range clauses {
+			if !s.AddClause(c...) {
+				ok = false
+				break
+			}
+		}
+		want := refSolve(n, clauses, nil)
+		if !ok {
+			if want {
+				t.Fatalf("trial %d: AddClause says unsat, reference says sat", trial)
+			}
+			continue
+		}
+		got := s.Solve()
+		if (got == Sat) != want {
+			t.Fatalf("trial %d: Solve = %v, reference = %v", trial, got, want)
+		}
+		if got == Sat {
+			// The model must satisfy every clause.
+			for _, c := range clauses {
+				sat := false
+				for _, l := range c {
+					v := s.Value(l.Var())
+					if (v && !l.IsNeg()) || (!v && l.IsNeg()) {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("trial %d: model does not satisfy %v", trial, c)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomWithAssumptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 100; trial++ {
+		n := 4 + rng.Intn(8)
+		clauses := make([][]Lit, 3*n)
+		for i := range clauses {
+			c := make([]Lit, 1+rng.Intn(3))
+			for j := range c {
+				v := Var(rng.Intn(n))
+				if rng.Intn(2) == 0 {
+					c[j] = PosLit(v)
+				} else {
+					c[j] = NegLit(v)
+				}
+			}
+			clauses[i] = c
+		}
+		s := New()
+		for i := 0; i < n; i++ {
+			s.NewVar()
+		}
+		ok := true
+		for _, c := range clauses {
+			if !s.AddClause(c...) {
+				ok = false
+				break
+			}
+		}
+		// Try three different assumption sets against the reference.
+		for k := 0; k < 3; k++ {
+			var asm []Lit
+			seen := map[Var]bool{}
+			for j := 0; j < rng.Intn(3); j++ {
+				v := Var(rng.Intn(n))
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				if rng.Intn(2) == 0 {
+					asm = append(asm, PosLit(v))
+				} else {
+					asm = append(asm, NegLit(v))
+				}
+			}
+			want := refSolve(n, clauses, asm)
+			var got Status
+			if !ok {
+				got = Unsat
+			} else {
+				got = s.Solve(asm...)
+			}
+			if (got == Sat) != want {
+				t.Fatalf("trial %d asm %v: Solve = %v, reference = %v", trial, asm, got, want)
+			}
+		}
+	}
+}
+
+func TestConflictBudget(t *testing.T) {
+	s := New()
+	// A hard instance: PHP(8) without enough budget.
+	n := 8
+	vars := make([][]Var, n+1)
+	for p := range vars {
+		vars[p] = make([]Var, n)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ {
+		lits := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			lits[h] = PosLit(vars[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(NegLit(vars[p1][h]), NegLit(vars[p2][h]))
+			}
+		}
+	}
+	s.ConflictBudget = 50
+	if got := s.Solve(); got != Unknown {
+		t.Errorf("budgeted PHP(8) = %v, want unknown", got)
+	}
+	if s.Conflicts < 50 {
+		t.Errorf("conflicts = %d, want >= 50", s.Conflicts)
+	}
+}
+
+func TestTautologyAndDuplicates(t *testing.T) {
+	s, vs := newWithVars(2)
+	if !s.AddClause(PosLit(vs[0]), NegLit(vs[0])) {
+		t.Error("tautology rejected")
+	}
+	if !s.AddClause(PosLit(vs[1]), PosLit(vs[1]), PosLit(vs[1])) {
+		t.Error("duplicate literals rejected")
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+	if !s.Value(vs[1]) {
+		t.Error("deduplicated unit not propagated")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	s, _ := newWithVars(0)
+	_ = s
+	s2 := New()
+	vs := make([]Var, 30)
+	for i := range vs {
+		vs[i] = s2.NewVar()
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 120; i++ {
+		a, b, c := Var(rng.Intn(30)), Var(rng.Intn(30)), Var(rng.Intn(30))
+		s2.AddClause(PosLit(a), NegLit(b), PosLit(c))
+		s2.AddClause(NegLit(a), PosLit(b), NegLit(c))
+	}
+	s2.Solve()
+	if s2.Propagations == 0 {
+		t.Error("no propagations recorded")
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestClauseDBReduction(t *testing.T) {
+	// Force aggressive reduction and cross-check answers against the
+	// reference on instances hard enough to learn many clauses.
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		n := 12 + rng.Intn(8)
+		var clauses [][]Lit
+		for i := 0; i < 8*n; i++ {
+			c := make([]Lit, 3)
+			for j := range c {
+				v := Var(rng.Intn(n))
+				if rng.Intn(2) == 0 {
+					c[j] = PosLit(v)
+				} else {
+					c[j] = NegLit(v)
+				}
+			}
+			clauses = append(clauses, c)
+		}
+		s := New()
+		s.maxLearn = 20 // reduce constantly
+		for i := 0; i < n; i++ {
+			s.NewVar()
+		}
+		ok := true
+		for _, c := range clauses {
+			if !s.AddClause(c...) {
+				ok = false
+				break
+			}
+		}
+		want := refSolve(n, clauses, nil)
+		var got Status
+		if !ok {
+			got = Unsat
+		} else {
+			got = s.Solve()
+		}
+		if (got == Sat) != want {
+			t.Fatalf("trial %d: Solve = %v, reference = %v", trial, got, want)
+		}
+		if got == Sat {
+			for _, c := range clauses {
+				satisfied := false
+				for _, l := range c {
+					v := s.Value(l.Var())
+					if (v && !l.IsNeg()) || (!v && l.IsNeg()) {
+						satisfied = true
+					}
+				}
+				if !satisfied {
+					t.Fatalf("trial %d: model violates clause after reduction", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestReductionActuallyFires(t *testing.T) {
+	// PHP(7) learns far more than 30 clauses; with maxLearn 30 the DB must
+	// shrink at least once and the result stay unsat.
+	s := New()
+	s.maxLearn = 30
+	n := 7
+	vars := make([][]Var, n+1)
+	for p := range vars {
+		vars[p] = make([]Var, n)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ {
+		lits := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			lits[h] = PosLit(vars[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(NegLit(vars[p1][h]), NegLit(vars[p2][h]))
+			}
+		}
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("PHP(7) = %v", got)
+	}
+	deleted := 0
+	for _, d := range s.deleted {
+		if d {
+			deleted++
+		}
+	}
+	if deleted == 0 {
+		t.Error("no clauses were reduced despite tiny maxLearn")
+	}
+}

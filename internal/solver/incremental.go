@@ -1,0 +1,211 @@
+package solver
+
+import (
+	"dfcheck/internal/apint"
+	"dfcheck/internal/bitblast"
+	"dfcheck/internal/ir"
+	"dfcheck/internal/sat"
+)
+
+// This file implements the incremental query path of SATEngine: instead of
+// bit-blasting a fresh solver per query, one solver holds the circuit and
+// each query is posed through assumptions, so learned clauses carry over
+// between the 2w known-bits queries, the sign-bit ladder, and the range
+// search — the same trick incremental SMT solvers play under the paper's
+// algorithms.
+//
+// For ForcedBitMatters (Algorithm 2), the second program copy reads its
+// inputs through per-bit selector muxes:
+//
+//	x2[i] = selLo[i] ? 0 : (selHi[i] ? 1 : x[i])
+//
+// so one miter circuit serves all 2·w queries for a variable, each query
+// asserting exactly one selector through assumptions.
+
+// outputSession is the shared circuit for queries about the root value.
+type outputSession struct {
+	s        *sat.Solver
+	b        *bitblast.Blasted
+	signEq   map[uint]sat.Lit // k -> "top k bits all equal"
+	zeroLit  sat.Lit
+	pow2Lit  sat.Lit
+	haveZero bool
+	havePow2 bool
+}
+
+func (e *SATEngine) output() *outputSession {
+	if e.out == nil {
+		s := sat.New()
+		e.out = &outputSession{
+			s:      s,
+			b:      bitblast.Blast(s, e.f),
+			signEq: make(map[uint]sat.Lit),
+		}
+	}
+	return e.out
+}
+
+// solveAssuming runs one budgeted query on a shared solver, accumulating
+// the per-query statistics deltas.
+func (e *SATEngine) solveAssuming(s *sat.Solver, assumptions ...sat.Lit) (bool, bool) {
+	if e.pastDeadline() {
+		return false, false
+	}
+	beforeC, beforeP := s.Conflicts, s.Propagations
+	s.ConflictBudget = s.Conflicts + e.budget
+	st := s.Solve(assumptions...)
+	e.stats.Queries++
+	e.stats.Conflicts += s.Conflicts - beforeC
+	e.stats.Propagations += s.Propagations - beforeP
+	if st == sat.Unknown {
+		e.stats.Exhausted++
+		return false, false
+	}
+	return st == sat.Sat, true
+}
+
+func (e *SATEngine) incFeasible() (bool, bool) {
+	o := e.output()
+	return e.solveAssuming(o.s, o.b.WellDefined)
+}
+
+func (e *SATEngine) incOutputBitCanBe(i uint, val bool) (bool, bool) {
+	o := e.output()
+	l := o.b.Output[i]
+	if !val {
+		l = l.Not()
+	}
+	return e.solveAssuming(o.s, o.b.WellDefined, l)
+}
+
+func (e *SATEngine) incSignBitsViolated(k uint) (bool, bool) {
+	o := e.output()
+	eq, ok := o.signEq[k]
+	if !ok {
+		w := uint(len(o.b.Output))
+		sign := o.b.Output[w-1]
+		eq = o.b.C.True()
+		for i := w - k; i < w-1; i++ {
+			eq = o.b.C.And(eq, o.b.C.Xnor(o.b.Output[i], sign))
+		}
+		o.signEq[k] = eq
+	}
+	return e.solveAssuming(o.s, o.b.WellDefined, eq.Not())
+}
+
+func (e *SATEngine) incCanBeZero() (bool, bool) {
+	o := e.output()
+	if !o.haveZero {
+		o.zeroLit = o.b.C.OrN(o.b.Output...).Not()
+		o.haveZero = true
+	}
+	return e.solveAssuming(o.s, o.b.WellDefined, o.zeroLit)
+}
+
+func (e *SATEngine) incCanBeNonPowerOfTwo() (bool, bool) {
+	o := e.output()
+	if !o.havePow2 {
+		c := o.b.C
+		w := uint(len(o.b.Output))
+		nonZero := c.OrN(o.b.Output...)
+		minusOne, _ := c.Sub(o.b.Output, c.ConstWord(apint.One(w)))
+		masked := c.AndWord(o.b.Output, minusOne)
+		o.pow2Lit = c.And(nonZero, c.OrN(masked...).Not())
+		o.havePow2 = true
+	}
+	return e.solveAssuming(o.s, o.b.WellDefined, o.pow2Lit.Not())
+}
+
+func (e *SATEngine) incOutputOutside(lo, size apint.Int) (apint.Int, bool, bool) {
+	o := e.output()
+	c := o.b.C
+	var outside sat.Lit
+	if size.IsZero() {
+		outside = c.True() // empty window: everything is outside
+	} else {
+		hi := lo.Add(size)
+		if hi.Eq(lo) {
+			return apint.Int{}, false, true // full window: nothing outside
+		}
+		geLo := c.ULT(o.b.Output, c.ConstWord(lo)).Not()
+		ltHi := c.ULT(o.b.Output, c.ConstWord(hi))
+		if lo.ULT(hi) {
+			outside = c.And(geLo, ltHi).Not()
+		} else {
+			outside = c.Or(geLo, ltHi).Not()
+		}
+	}
+	res, ok := e.solveAssuming(o.s, o.b.WellDefined, outside)
+	if !ok || !res {
+		return apint.Int{}, res, ok
+	}
+	return c.Value(o.b.Output), true, true
+}
+
+// miterSession is the per-variable shared circuit for demanded-bits
+// queries: a second copy of the function whose inputs run through
+// selector muxes.
+type miterSession struct {
+	s      *sat.Solver
+	differ sat.Lit // outputs differ ∧ both copies well-defined
+	selLo  []sat.Lit
+	selHi  []sat.Lit
+	allSel []sat.Lit // every selector, for building assumption sets
+}
+
+func (e *SATEngine) miter(v *ir.Inst) *miterSession {
+	if m, ok := e.miters[v]; ok {
+		return m
+	}
+	s := sat.New()
+	b1 := bitblast.Blast(s, e.f)
+	c := b1.C
+
+	w := v.Width
+	selLo := make([]sat.Lit, w)
+	selHi := make([]sat.Lit, w)
+	forced := make(bitblast.Word, w)
+	orig := b1.Inputs[v]
+	for i := uint(0); i < w; i++ {
+		selLo[i] = c.Lit()
+		selHi[i] = c.Lit()
+		forced[i] = c.Mux(selLo[i], c.False(), c.Mux(selHi[i], c.True(), orig[i]))
+	}
+	inputs2 := make(map[*ir.Inst]bitblast.Word, len(b1.Inputs))
+	for iv, word := range b1.Inputs {
+		inputs2[iv] = word
+	}
+	inputs2[v] = forced
+	b2 := bitblast.BlastWith(c, e.f, inputs2)
+
+	m := &miterSession{
+		s:      s,
+		differ: c.AndN(b1.WellDefined, b2.WellDefined, c.Eq(b1.Output, b2.Output).Not()),
+		selLo:  selLo,
+		selHi:  selHi,
+	}
+	m.allSel = append(append([]sat.Lit{}, selLo...), selHi...)
+	if e.miters == nil {
+		e.miters = make(map[*ir.Inst]*miterSession)
+	}
+	e.miters[v] = m
+	return m
+}
+
+func (e *SATEngine) incForcedBitMatters(v *ir.Inst, bit uint, val bool) (bool, bool) {
+	m := e.miter(v)
+	assumptions := make([]sat.Lit, 0, len(m.allSel)+1)
+	assumptions = append(assumptions, m.differ)
+	for i := range m.selLo {
+		lo, hi := m.selLo[i].Not(), m.selHi[i].Not()
+		if uint(i) == bit {
+			if val {
+				hi = m.selHi[i]
+			} else {
+				lo = m.selLo[i]
+			}
+		}
+		assumptions = append(assumptions, lo, hi)
+	}
+	return e.solveAssuming(m.s, assumptions...)
+}

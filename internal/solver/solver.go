@@ -1,0 +1,390 @@
+// Package solver answers the dataflow queries the oracle algorithms pose,
+// in terms of a single abstract Engine interface with two implementations:
+//
+//   - SATEngine bit-blasts the function and decides each query with the
+//     CDCL solver — the production path, standing in for the paper's Z3.
+//   - EnumEngine decides queries by exhaustive input enumeration — usable
+//     only at small widths, and used to cross-check SATEngine in tests.
+//
+// Every query is implicitly conjoined with "the execution is well-defined"
+// (no UB, range metadata satisfied), mirroring Souper's UB-aware
+// quantification. Answers carry an ok flag: ok=false means the engine's
+// resource budget was exhausted (the paper's 30-second solver timeout,
+// surfaced in Table 1's "resource exhaustion" column).
+package solver
+
+import (
+	"time"
+
+	"dfcheck/internal/apint"
+	"dfcheck/internal/bitblast"
+	"dfcheck/internal/eval"
+	"dfcheck/internal/ir"
+	"dfcheck/internal/sat"
+)
+
+// Engine answers existential queries about a function's output over
+// well-defined inputs. Each method's first result is meaningful only when
+// ok is true.
+type Engine interface {
+	// Feasible reports whether any well-defined input exists.
+	Feasible() (feasible, ok bool)
+
+	// OutputBitCanBe reports whether some well-defined input makes
+	// output bit i equal to val.
+	OutputBitCanBe(i uint, val bool) (sat, ok bool)
+
+	// SignBitsViolated reports whether some well-defined input makes the
+	// top k bits of the output not all equal (i.e. refutes "at least k
+	// sign bits").
+	SignBitsViolated(k uint) (sat, ok bool)
+
+	// CanBeZero reports whether the output can be zero.
+	CanBeZero() (sat, ok bool)
+
+	// CanBeNonPowerOfTwo reports whether the output can be anything
+	// other than a power of two (zero included).
+	CanBeNonPowerOfTwo() (sat, ok bool)
+
+	// OutputOutside reports whether the output can lie outside the
+	// wrapped interval [lo, lo+size), and if so returns one such output
+	// value (the CEGIS counterexample for Algorithm 3).
+	OutputOutside(lo, size apint.Int) (example apint.Int, sat, ok bool)
+
+	// ForcedBitMatters reports whether forcing bit `bit` of input v to
+	// val can change the output, comparing only executions where both
+	// the original and the forced run are well-defined (Algorithm 2's
+	// equivalence check).
+	ForcedBitMatters(v *ir.Inst, bit uint, val bool) (sat, ok bool)
+
+	// Stats returns cumulative query statistics.
+	Stats() Stats
+}
+
+// Stats are cumulative per-engine counters.
+type Stats struct {
+	Queries      int64
+	Conflicts    int64
+	Propagations int64
+	Exhausted    int64 // queries that ran out of budget
+}
+
+// DefaultConflictBudget bounds each SAT query, standing in for the paper's
+// 30-second Z3 timeout.
+const DefaultConflictBudget = 200000
+
+// SATEngine decides queries by bit-blasting. By default it runs
+// incrementally: one shared solver holds the circuit, each query is posed
+// through assumptions, and learned clauses carry over between the many
+// related queries an oracle algorithm issues (see incremental.go). Set
+// Fresh to give every query its own solver instead (the simpler mode the
+// incremental path is cross-checked against).
+type SATEngine struct {
+	f      *ir.Function
+	budget int64
+	stats  Stats
+
+	// Fresh disables incremental solving.
+	Fresh bool
+
+	// Deadline, when non-zero, makes every query after that instant
+	// return unknown — the paper's five-minute cap on the total dataflow
+	// computation per expression (§4.1).
+	Deadline time.Time
+
+	out    *outputSession
+	miters map[*ir.Inst]*miterSession
+}
+
+// NewSAT returns a SAT-backed engine. budget <= 0 selects
+// DefaultConflictBudget.
+func NewSAT(f *ir.Function, budget int64) *SATEngine {
+	if budget <= 0 {
+		budget = DefaultConflictBudget
+	}
+	return &SATEngine{f: f, budget: budget}
+}
+
+// Stats returns cumulative counters.
+func (e *SATEngine) Stats() Stats { return e.stats }
+
+// pastDeadline reports (and counts) a query issued after the per-
+// expression time budget ran out.
+func (e *SATEngine) pastDeadline() bool {
+	if e.Deadline.IsZero() || time.Now().Before(e.Deadline) {
+		return false
+	}
+	e.stats.Queries++
+	e.stats.Exhausted++
+	return true
+}
+
+// query solves WellDefined ∧ pred(blasted) on a fresh solver.
+func (e *SATEngine) query(pred func(c *bitblast.Circuit, b *bitblast.Blasted) sat.Lit) (*bitblast.Blasted, bool, bool) {
+	if e.pastDeadline() {
+		return nil, false, false
+	}
+	s := sat.New()
+	s.ConflictBudget = e.budget
+	b := bitblast.Blast(s, e.f)
+	cond := b.C.And(b.WellDefined, pred(b.C, b))
+	s.AddClause(cond)
+	st := s.Solve()
+	e.stats.Queries++
+	e.stats.Conflicts += s.Conflicts
+	e.stats.Propagations += s.Propagations
+	if st == sat.Unknown {
+		e.stats.Exhausted++
+		return nil, false, false
+	}
+	return b, st == sat.Sat, true
+}
+
+// Feasible implements Engine.
+func (e *SATEngine) Feasible() (bool, bool) {
+	if !e.Fresh {
+		return e.incFeasible()
+	}
+	_, res, ok := e.query(func(c *bitblast.Circuit, b *bitblast.Blasted) sat.Lit {
+		return c.True()
+	})
+	return res, ok
+}
+
+// OutputBitCanBe implements Engine.
+func (e *SATEngine) OutputBitCanBe(i uint, val bool) (bool, bool) {
+	if !e.Fresh {
+		return e.incOutputBitCanBe(i, val)
+	}
+	_, res, ok := e.query(func(c *bitblast.Circuit, b *bitblast.Blasted) sat.Lit {
+		l := b.Output[i]
+		if !val {
+			l = l.Not()
+		}
+		return l
+	})
+	return res, ok
+}
+
+// SignBitsViolated implements Engine.
+func (e *SATEngine) SignBitsViolated(k uint) (bool, bool) {
+	if !e.Fresh {
+		return e.incSignBitsViolated(k)
+	}
+	_, res, ok := e.query(func(c *bitblast.Circuit, b *bitblast.Blasted) sat.Lit {
+		w := uint(len(b.Output))
+		sign := b.Output[w-1]
+		allEq := c.True()
+		for i := w - k; i < w-1; i++ {
+			allEq = c.And(allEq, c.Xnor(b.Output[i], sign))
+		}
+		return allEq.Not()
+	})
+	return res, ok
+}
+
+// CanBeZero implements Engine.
+func (e *SATEngine) CanBeZero() (bool, bool) {
+	if !e.Fresh {
+		return e.incCanBeZero()
+	}
+	_, res, ok := e.query(func(c *bitblast.Circuit, b *bitblast.Blasted) sat.Lit {
+		return c.OrN(b.Output...).Not()
+	})
+	return res, ok
+}
+
+// CanBeNonPowerOfTwo implements Engine.
+func (e *SATEngine) CanBeNonPowerOfTwo() (bool, bool) {
+	if !e.Fresh {
+		return e.incCanBeNonPowerOfTwo()
+	}
+	_, res, ok := e.query(func(c *bitblast.Circuit, b *bitblast.Blasted) sat.Lit {
+		// pow2(x): x != 0 and x & (x-1) == 0.
+		w := uint(len(b.Output))
+		nonZero := c.OrN(b.Output...)
+		minusOne, _ := c.Sub(b.Output, c.ConstWord(apint.One(w)))
+		masked := c.AndWord(b.Output, minusOne)
+		isPow2 := c.And(nonZero, c.OrN(masked...).Not())
+		return isPow2.Not()
+	})
+	return res, ok
+}
+
+// OutputOutside implements Engine.
+func (e *SATEngine) OutputOutside(lo, size apint.Int) (apint.Int, bool, bool) {
+	if !e.Fresh {
+		return e.incOutputOutside(lo, size)
+	}
+	if size.IsZero() {
+		// [lo, lo+0) is empty: everything is outside; find any output.
+		b, res, ok := e.query(func(c *bitblast.Circuit, b *bitblast.Blasted) sat.Lit {
+			return c.True()
+		})
+		if !ok || !res {
+			return apint.Int{}, res, ok
+		}
+		return b.C.Value(b.Output), true, true
+	}
+	hi := lo.Add(size) // exclusive; lo == hi means the full set
+	if hi.Eq(lo) {
+		return apint.Int{}, false, true // full set: nothing outside
+	}
+	b, res, ok := e.query(func(c *bitblast.Circuit, bl *bitblast.Blasted) sat.Lit {
+		geLo := c.ULT(bl.Output, c.ConstWord(lo)).Not()
+		ltHi := c.ULT(bl.Output, c.ConstWord(hi))
+		var inside sat.Lit
+		if lo.ULT(hi) {
+			inside = c.And(geLo, ltHi)
+		} else {
+			inside = c.Or(geLo, ltHi)
+		}
+		return inside.Not()
+	})
+	if !ok || !res {
+		return apint.Int{}, res, ok
+	}
+	return b.C.Value(b.Output), true, true
+}
+
+// ForcedBitMatters implements Engine.
+func (e *SATEngine) ForcedBitMatters(v *ir.Inst, bit uint, val bool) (bool, bool) {
+	if !e.Fresh {
+		return e.incForcedBitMatters(v, bit, val)
+	}
+	if e.pastDeadline() {
+		return false, false
+	}
+	s := sat.New()
+	s.ConflictBudget = e.budget
+	b1 := bitblast.Blast(s, e.f)
+	c := b1.C
+
+	inputs2 := make(map[*ir.Inst]bitblast.Word, len(b1.Inputs))
+	for iv, word := range b1.Inputs {
+		inputs2[iv] = word
+	}
+	forced := append(bitblast.Word{}, b1.Inputs[v]...)
+	forced[bit] = c.LitFromBool(val)
+	inputs2[v] = forced
+	b2 := bitblast.BlastWith(c, e.f, inputs2)
+
+	differ := c.Eq(b1.Output, b2.Output).Not()
+	cond := c.AndN(b1.WellDefined, b2.WellDefined, differ)
+	s.AddClause(cond)
+	st := s.Solve()
+	e.stats.Queries++
+	e.stats.Conflicts += s.Conflicts
+	e.stats.Propagations += s.Propagations
+	if st == sat.Unknown {
+		e.stats.Exhausted++
+		return false, false
+	}
+	return st == sat.Sat, true
+}
+
+// EnumEngine answers queries by exhaustive enumeration; only usable when
+// the summed input width is small (eval.MaxEnumBits).
+type EnumEngine struct {
+	f     *ir.Function
+	stats Stats
+}
+
+// NewEnum returns an enumeration-backed engine.
+func NewEnum(f *ir.Function) *EnumEngine {
+	if eval.TotalInputBits(f) > eval.MaxEnumBits {
+		panic("solver: function too wide for EnumEngine")
+	}
+	return &EnumEngine{f: f}
+}
+
+// Stats returns cumulative counters.
+func (e *EnumEngine) Stats() Stats { return e.stats }
+
+// exists scans for a well-defined input whose output satisfies pred.
+func (e *EnumEngine) exists(pred func(v apint.Int) bool) (found bool) {
+	e.stats.Queries++
+	eval.ForEachInput(e.f, func(env eval.Env) bool {
+		if v, ok := eval.Eval(e.f, env); ok && pred(v) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Feasible implements Engine.
+func (e *EnumEngine) Feasible() (bool, bool) {
+	return e.exists(func(apint.Int) bool { return true }), true
+}
+
+// OutputBitCanBe implements Engine.
+func (e *EnumEngine) OutputBitCanBe(i uint, val bool) (bool, bool) {
+	return e.exists(func(v apint.Int) bool { return v.Bit(i) == val }), true
+}
+
+// SignBitsViolated implements Engine.
+func (e *EnumEngine) SignBitsViolated(k uint) (bool, bool) {
+	return e.exists(func(v apint.Int) bool { return v.NumSignBits() < k }), true
+}
+
+// CanBeZero implements Engine.
+func (e *EnumEngine) CanBeZero() (bool, bool) {
+	return e.exists(apint.Int.IsZero), true
+}
+
+// CanBeNonPowerOfTwo implements Engine.
+func (e *EnumEngine) CanBeNonPowerOfTwo() (bool, bool) {
+	return e.exists(func(v apint.Int) bool { return !v.IsPowerOfTwo() }), true
+}
+
+// OutputOutside implements Engine.
+func (e *EnumEngine) OutputOutside(lo, size apint.Int) (apint.Int, bool, bool) {
+	hi := lo.Add(size)
+	var example apint.Int
+	found := e.exists(func(v apint.Int) bool {
+		if !size.IsZero() && hi.Eq(lo) {
+			return false // full interval
+		}
+		inside := false
+		if size.IsZero() {
+			inside = false // empty interval
+		} else if lo.ULT(hi) {
+			inside = v.UGE(lo) && v.ULT(hi)
+		} else {
+			inside = v.UGE(lo) || v.ULT(hi)
+		}
+		if !inside {
+			example = v
+			return true
+		}
+		return false
+	})
+	return example, found, true
+}
+
+// ForcedBitMatters implements Engine.
+func (e *EnumEngine) ForcedBitMatters(v *ir.Inst, bit uint, val bool) (bool, bool) {
+	e.stats.Queries++
+	found := false
+	eval.ForEachInput(e.f, func(env eval.Env) bool {
+		orig, ok1 := eval.Eval(e.f, env)
+		env2 := make(eval.Env, len(env))
+		for k, x := range env {
+			env2[k] = x
+		}
+		if val {
+			env2[v] = env[v].SetBit(bit)
+		} else {
+			env2[v] = env[v].ClearBit(bit)
+		}
+		forced, ok2 := eval.Eval(e.f, env2)
+		if ok1 && ok2 && orig.Ne(forced) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found, true
+}
