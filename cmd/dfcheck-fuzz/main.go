@@ -21,24 +21,26 @@ import (
 	"dfcheck/internal/harvest"
 	"dfcheck/internal/ir"
 	"dfcheck/internal/llvmport"
+	"dfcheck/internal/rescache"
 )
 
 func main() {
 	var (
-		batches  = flag.Int("batches", 10, "number of corpus batches to run (0 = run forever)")
-		n        = flag.Int("n", 50, "expressions per batch")
-		seed     = flag.Int64("seed", time.Now().UnixNano()&0xFFFFFF, "starting seed")
-		maxInsts = flag.Int("max-insts", 6, "max instructions per expression")
-		maxWidth = flag.Uint("max-width", 16, "largest base width")
-		budget   = flag.Int64("solver-budget", 0, "per-query conflict budget")
-		bug1     = flag.Bool("bug1", false, "inject the r124183 isKnownNonZero bug")
-		bug2     = flag.Bool("bug2", false, "inject the PR23011 srem sign-bits bug")
-		bug3     = flag.Bool("bug3", false, "inject the PR12541 srem known-bits bug")
-		modern   = flag.Bool("modern", false, "use the post-LLVM-8 compiler (the §4.8 improvements applied)")
-		workers  = flag.Int("j", runtime.NumCPU(), "expressions compared concurrently")
-		exprCap  = flag.Duration("expr-timeout", 5*time.Minute, "total oracle time per expression (0 disables)")
-		canaries = flag.Bool("canaries", false, "seed every batch with the §4.7 trigger expressions (verifies the loop catches injected bugs)")
-		mutants  = flag.Int("mutants", 1, "mutated variants added per generated expression (Csmith-style seed mutation)")
+		batches   = flag.Int("batches", 10, "number of corpus batches to run (0 = run forever)")
+		n         = flag.Int("n", 50, "expressions per batch")
+		seed      = flag.Int64("seed", time.Now().UnixNano()&0xFFFFFF, "starting seed")
+		maxInsts  = flag.Int("max-insts", 6, "max instructions per expression")
+		maxWidth  = flag.Uint("max-width", 16, "largest base width")
+		budget    = flag.Int64("solver-budget", 0, "per-query conflict budget")
+		bug1      = flag.Bool("bug1", false, "inject the r124183 isKnownNonZero bug")
+		bug2      = flag.Bool("bug2", false, "inject the PR23011 srem sign-bits bug")
+		bug3      = flag.Bool("bug3", false, "inject the PR12541 srem known-bits bug")
+		modern    = flag.Bool("modern", false, "use the post-LLVM-8 compiler (the §4.8 improvements applied)")
+		workers   = flag.Int("j", runtime.NumCPU(), "expressions compared concurrently")
+		exprCap   = flag.Duration("expr-timeout", 5*time.Minute, "total oracle time per expression (0 disables)")
+		canaries  = flag.Bool("canaries", false, "seed every batch with the §4.7 trigger expressions (verifies the loop catches injected bugs)")
+		mutants   = flag.Int("mutants", 1, "mutated variants added per generated expression (Csmith-style seed mutation)")
+		cacheFile = flag.String("cache", "", "persist oracle results to this file across batches and runs (the artifact's Redis dump analog)")
 	)
 	flag.Parse()
 
@@ -58,6 +60,15 @@ func main() {
 		Budget:      *budget,
 		Workers:     *workers,
 		ExprTimeout: *exprCap,
+	}
+	if *cacheFile != "" {
+		// One cache shared across all batches: mutants and cross-batch
+		// duplicates hit results memoized by earlier batches.
+		cache := rescache.New()
+		if err := cache.LoadFile(*cacheFile); err != nil && !os.IsNotExist(err) {
+			fmt.Fprintln(os.Stderr, "dfcheck-fuzz: ignoring cache:", err)
+		}
+		c.Cache = cache
 	}
 
 	var totalExprs, totalFindings int
@@ -101,6 +112,15 @@ func main() {
 		fmt.Printf("batch %4d seed %8d: %4d exprs, %2d findings, %3d exhausted, %6.1f exprs/min\n",
 			batch, *seed+int64(batch), len(corpus), len(rep.Findings), exhausted,
 			float64(totalExprs)/time.Since(start).Minutes())
+	}
+
+	if c.Cache != nil {
+		if err := c.Cache.SaveFile(*cacheFile); err != nil {
+			fmt.Fprintln(os.Stderr, "dfcheck-fuzz:", err)
+		}
+		st := c.Cache.Stats()
+		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses (%.1f%% hit rate), %d entries\n",
+			st.Hits, st.Misses, 100*st.HitRate(), c.Cache.Len())
 	}
 
 	fmt.Printf("\ntotal: %d expressions, %d soundness findings\n", totalExprs, totalFindings)

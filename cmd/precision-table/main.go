@@ -16,25 +16,27 @@ import (
 	"dfcheck/internal/compare"
 	"dfcheck/internal/harvest"
 	"dfcheck/internal/llvmport"
+	"dfcheck/internal/rescache"
 )
 
 func main() {
 	var (
-		n        = flag.Int("n", 300, "number of generated expressions")
-		seed     = flag.Int64("seed", 2020, "generator seed")
-		maxInsts = flag.Int("max-insts", 8, "max instructions per expression")
-		maxWidth = flag.Uint("max-width", 16, "largest base bit width (keep small: the oracle bit-blasts every query)")
-		budget   = flag.Int64("solver-budget", 0, "per-query conflict budget (0 = default)")
-		fragsToo = flag.Bool("paper-fragments", true, "include the paper's §4.2–4.5 fragments in the corpus")
-		bug1     = flag.Bool("bug1", false, "re-introduce the r124183 isKnownNonZero bug")
-		bug2     = flag.Bool("bug2", false, "re-introduce the PR23011 srem sign-bits bug")
-		bug3     = flag.Bool("bug3", false, "re-introduce the PR12541 srem known-bits bug")
-		modern   = flag.Bool("modern", false, "use the post-LLVM-8 compiler (the §4.8 improvements applied)")
-		loadFile = flag.String("corpus", "", "load the corpus from this file instead of generating (see -save-corpus)")
-		saveFile = flag.String("save-corpus", "", "write the corpus to this file before running (the artifact's dump.rdb analog)")
-		asJSON   = flag.Bool("json", false, "emit the report as JSON instead of the table")
-		workers  = flag.Int("j", runtime.NumCPU(), "expressions compared concurrently")
-		exprCap  = flag.Duration("expr-timeout", 5*time.Minute, "total oracle time per expression (the paper's 5-minute cap; 0 disables)")
+		n         = flag.Int("n", 300, "number of generated expressions")
+		seed      = flag.Int64("seed", 2020, "generator seed")
+		maxInsts  = flag.Int("max-insts", 8, "max instructions per expression")
+		maxWidth  = flag.Uint("max-width", 16, "largest base bit width (keep small: the oracle bit-blasts every query)")
+		budget    = flag.Int64("solver-budget", 0, "per-query conflict budget (0 = default)")
+		fragsToo  = flag.Bool("paper-fragments", true, "include the paper's §4.2–4.5 fragments in the corpus")
+		bug1      = flag.Bool("bug1", false, "re-introduce the r124183 isKnownNonZero bug")
+		bug2      = flag.Bool("bug2", false, "re-introduce the PR23011 srem sign-bits bug")
+		bug3      = flag.Bool("bug3", false, "re-introduce the PR12541 srem known-bits bug")
+		modern    = flag.Bool("modern", false, "use the post-LLVM-8 compiler (the §4.8 improvements applied)")
+		loadFile  = flag.String("corpus", "", "load the corpus from this file instead of generating (see -save-corpus)")
+		saveFile  = flag.String("save-corpus", "", "write the corpus to this file before running (the artifact's dump.rdb analog)")
+		asJSON    = flag.Bool("json", false, "emit the report as JSON instead of the table")
+		cacheFile = flag.String("cache", "", "persist oracle results to this file across runs (the artifact's Redis dump analog); also dedups the corpus by canonical form")
+		workers   = flag.Int("j", runtime.NumCPU(), "expressions compared concurrently")
+		exprCap   = flag.Duration("expr-timeout", 5*time.Minute, "total oracle time per expression (the paper's 5-minute cap; 0 disables)")
 	)
 	flag.Parse()
 
@@ -102,7 +104,23 @@ func main() {
 		Workers:     *workers,
 		ExprTimeout: *exprCap,
 	}
+	if *cacheFile != "" {
+		cache := rescache.New()
+		if err := cache.LoadFile(*cacheFile); err != nil && !os.IsNotExist(err) {
+			// A corrupt or mismatched cache file means a cold start, not a
+			// failed run.
+			fmt.Fprintln(os.Stderr, "precision-table: ignoring cache:", err)
+		}
+		c.Cache = cache
+	}
 	rep := c.Run(corpus)
+	if c.Cache != nil {
+		if err := c.Cache.SaveFile(*cacheFile); err != nil {
+			fmt.Fprintln(os.Stderr, "precision-table:", err)
+		}
+		// Stderr, so stdout stays byte-identical between cold and warm runs.
+		fmt.Fprintln(os.Stderr, rep.CacheSummary())
+	}
 	if *asJSON {
 		data, err := rep.JSON()
 		if err != nil {

@@ -1,0 +1,215 @@
+package canon
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dfcheck/internal/harvest"
+	"dfcheck/internal/ir"
+)
+
+func mustCanon(t *testing.T, src string) *Canon {
+	t.Helper()
+	return Canonicalize(ir.MustParse(src))
+}
+
+func requireSameKey(t *testing.T, a, b string) {
+	t.Helper()
+	ca, cb := mustCanon(t, a), mustCanon(t, b)
+	if ca.Key != cb.Key {
+		t.Errorf("keys differ:\n%q\n  -> %q\n%q\n  -> %q", a, ca.Key, b, cb.Key)
+	}
+	if ca.Hash != cb.Hash {
+		t.Errorf("hashes differ: %#x vs %#x", ca.Hash, cb.Hash)
+	}
+}
+
+func requireDifferentKey(t *testing.T, a, b string) {
+	t.Helper()
+	ca, cb := mustCanon(t, a), mustCanon(t, b)
+	if ca.Key == cb.Key {
+		t.Errorf("keys equal (%q) for:\n%q\n%q", ca.Key, a, b)
+	}
+}
+
+func TestCommutativeSwapInvariance(t *testing.T) {
+	cases := [][2]string{
+		{
+			"%x:i8 = var\n%y:i8 = var\n%0:i8 = add %x, %y\ninfer %0",
+			"%x:i8 = var\n%y:i8 = var\n%0:i8 = add %y, %x\ninfer %0",
+		},
+		{
+			"%x:i8 = var\n%0:i8 = mul 10:i8, %x\ninfer %0",
+			"%x:i8 = var\n%0:i8 = mul %x, 10:i8\ninfer %0",
+		},
+		{
+			"%x:i8 = var\n%y:i8 = var\n%0:i1 = eq %x, %y\ninfer %0",
+			"%x:i8 = var\n%y:i8 = var\n%0:i1 = eq %y, %x\ninfer %0",
+		},
+		{
+			"%x:i8 = var\n%y:i8 = var\n%0:i8 = umax %x, %y\ninfer %0",
+			"%x:i8 = var\n%y:i8 = var\n%0:i8 = umax %y, %x\ninfer %0",
+		},
+		{
+			// Nested swaps at both levels.
+			"%a:i8 = var\n%b:i8 = var\n%c:i8 = var\n%0:i8 = and %a, %b\n%1:i8 = or %0, %c\ninfer %1",
+			"%a:i8 = var\n%b:i8 = var\n%c:i8 = var\n%0:i8 = and %b, %a\n%1:i8 = or %c, %0\ninfer %1",
+		},
+	}
+	for i, c := range cases {
+		t.Run(fmt.Sprint(i), func(t *testing.T) { requireSameKey(t, c[0], c[1]) })
+	}
+}
+
+func TestVariableRenameInvariance(t *testing.T) {
+	requireSameKey(t,
+		"%x:i8 = var\n%y:i8 = var\n%0:i8 = sub %x, %y\ninfer %0",
+		"%p:i8 = var\n%q:i8 = var\n%0:i8 = sub %p, %q\ninfer %0")
+	requireSameKey(t,
+		"%x:i8 = var (range=[0,5))\n%0:i8 = add 1:i8, %x\ninfer %0",
+		"%zzz:i8 = var (range=[0,5))\n%0:i8 = add 1:i8, %zzz\ninfer %0")
+}
+
+// The adversarial case: the add's operands are interchangeable on their
+// own, but the sub's use sites distinguish x from y, so the swapped add
+// must still land on the same canonical form.
+func TestSwapUnderDistinguishingSibling(t *testing.T) {
+	requireSameKey(t,
+		"%x:i8 = var\n%y:i8 = var\n%0:i8 = add %x, %y\n%1:i8 = sub %x, %y\n%2:i8 = xor %0, %1\ninfer %2",
+		"%x:i8 = var\n%y:i8 = var\n%0:i8 = add %y, %x\n%1:i8 = sub %x, %y\n%2:i8 = xor %0, %1\ninfer %2")
+	// And the renamed+swapped combination.
+	requireSameKey(t,
+		"%x:i8 = var\n%y:i8 = var\n%0:i8 = add %x, %y\n%1:i8 = sub %x, %y\n%2:i8 = xor %0, %1\ninfer %2",
+		"%q:i8 = var\n%p:i8 = var\n%0:i8 = add %p, %q\n%1:i8 = sub %q, %p\n%2:i8 = xor %1, %0\ninfer %2")
+}
+
+func TestStructuralDifferencesDistinguished(t *testing.T) {
+	// Different op.
+	requireDifferentKey(t,
+		"%x:i8 = var\n%y:i8 = var\n%0:i8 = add %x, %y\ninfer %0",
+		"%x:i8 = var\n%y:i8 = var\n%0:i8 = sub %x, %y\ninfer %0")
+	// Different flags.
+	requireDifferentKey(t,
+		"%x:i8 = var\n%0:i8 = add %x, 1:i8\ninfer %0",
+		"%x:i8 = var\n%0:i8 = addnsw %x, 1:i8\ninfer %0")
+	// Different width.
+	requireDifferentKey(t,
+		"%x:i8 = var\n%0:i8 = add %x, 1:i8\ninfer %0",
+		"%x:i16 = var\n%0:i16 = add %x, 1:i16\ninfer %0")
+	// Different constant.
+	requireDifferentKey(t,
+		"%x:i8 = var\n%0:i8 = add %x, 1:i8\ninfer %0",
+		"%x:i8 = var\n%0:i8 = add %x, 2:i8\ninfer %0")
+	// Range metadata present vs absent, and different ranges.
+	requireDifferentKey(t,
+		"%x:i8 = var\ninfer %x",
+		"%x:i8 = var (range=[0,5))\ninfer %x")
+	requireDifferentKey(t,
+		"%x:i8 = var (range=[0,5))\ninfer %x",
+		"%x:i8 = var (range=[0,6))\ninfer %x")
+	// Non-commutative operand order matters. (Note xor(sub(x,y),x) vs
+	// xor(sub(y,x),x): no renaming maps one to the other.)
+	requireDifferentKey(t,
+		"%x:i8 = var\n%y:i8 = var\n%0:i8 = sub %x, %y\n%1:i8 = xor %0, %x\ninfer %1",
+		"%x:i8 = var\n%y:i8 = var\n%0:i8 = sub %y, %x\n%1:i8 = xor %0, %x\ninfer %1")
+}
+
+func TestVarNameMappingBijective(t *testing.T) {
+	cn := mustCanon(t, "%b:i8 = var\n%a:i8 = var\n%0:i8 = sub %b, %a\ninfer %0")
+	if len(cn.F.Vars) != 2 {
+		t.Fatalf("canonical function has %d vars, want 2", len(cn.F.Vars))
+	}
+	for _, v := range cn.F.Vars {
+		orig := cn.OrigName(v.Name)
+		if cn.CanonName(orig) != v.Name {
+			t.Errorf("round trip %q -> %q -> %q", v.Name, orig, cn.CanonName(orig))
+		}
+	}
+	if cn.CanonName("nosuch") != "nosuch" || cn.OrigName("nosuch") != "nosuch" {
+		t.Error("unknown names should map to themselves")
+	}
+}
+
+func TestCanonicalizeIdempotent(t *testing.T) {
+	srcs := []string{
+		"%x:i8 = var\n%y:i8 = var\n%0:i8 = add %y, %x\n%1:i8 = sub %x, %y\n%2:i8 = xor %0, %1\ninfer %2",
+		"%x:i4 = var\n%y:i8 = var\n%0:i8 = zext %x\n%1:i8 = lshr %0, %y\ninfer %1",
+	}
+	for _, src := range srcs {
+		cn := mustCanon(t, src)
+		again := Canonicalize(cn.F)
+		if again.Key != cn.Key {
+			t.Errorf("not idempotent:\n%q\n%q", cn.Key, again.Key)
+		}
+	}
+}
+
+func TestCanonicalFunctionsVerify(t *testing.T) {
+	for _, fr := range harvest.PaperFragments {
+		cn := Canonicalize(fr.TestF())
+		if err := ir.Verify(cn.F); err != nil {
+			t.Errorf("%s: canonical form fails Verify: %v", fr.Name, err)
+		}
+	}
+}
+
+// generated builds a deterministic pile of DAGs covering the whole op mix.
+func generated(n int) []harvest.Expr {
+	return harvest.Generate(harvest.Config{
+		Seed:     7,
+		NumExprs: n,
+		MaxInsts: 10,
+		Widths:   []harvest.WidthWeight{{Width: 8, Weight: 3}, {Width: 16, Weight: 1}, {Width: 4, Weight: 1}},
+	})
+}
+
+// Property: the canonical key is invariant under ShuffledCopy (variable
+// renaming plus random commutative swaps) across 1k generated DAGs.
+func TestShuffleInvarianceProperty(t *testing.T) {
+	exprs := generated(1000)
+	rng := rand.New(rand.NewSource(99))
+	for _, e := range exprs {
+		want := Canonicalize(e.F).Key
+		for trial := 0; trial < 3; trial++ {
+			got := Canonicalize(harvest.ShuffledCopy(e.F, rng)).Key
+			if got != want {
+				t.Fatalf("%s trial %d: shuffled copy canonicalizes differently:\n%s\nwant %q\ngot  %q",
+					e.Name, trial, e.F, want, got)
+			}
+		}
+	}
+}
+
+// Property: distinct canonical keys never collide in the 64-bit hash
+// across the paper fragments, the soundness triggers, and 1k DAGs.
+func TestHashCollisionFree(t *testing.T) {
+	byHash := make(map[uint64]string)
+	check := func(name string, f *ir.Function) {
+		cn := Canonicalize(f)
+		if prev, ok := byHash[cn.Hash]; ok && prev != cn.Key {
+			t.Fatalf("%s: hash %#x collides:\n%q\n%q", name, cn.Hash, prev, cn.Key)
+		}
+		byHash[cn.Hash] = cn.Key
+	}
+	for _, fr := range harvest.PaperFragments {
+		check("paper-"+fr.Name, fr.TestF())
+	}
+	for _, tr := range harvest.SoundnessTriggers {
+		check("trigger-"+tr.Name, ir.MustParse(tr.Source))
+	}
+	for _, e := range generated(1000) {
+		check(e.Name, e.F)
+	}
+	if len(byHash) < 500 {
+		t.Fatalf("only %d distinct canonical forms — generator or canonicalizer is collapsing too much", len(byHash))
+	}
+}
+
+func BenchmarkCanonHash(b *testing.B) {
+	exprs := generated(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Canonicalize(exprs[i%len(exprs)].F)
+	}
+}

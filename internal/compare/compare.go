@@ -11,10 +11,12 @@ import (
 	"sync"
 	"time"
 
+	"dfcheck/internal/canon"
 	"dfcheck/internal/harvest"
 	"dfcheck/internal/ir"
 	"dfcheck/internal/llvmport"
 	"dfcheck/internal/oracle"
+	"dfcheck/internal/rescache"
 	"dfcheck/internal/solver"
 )
 
@@ -54,7 +56,8 @@ type Result struct {
 	Var string
 	// Elapsed is the oracle computation time attributed to this result
 	// (for demanded bits, the whole per-expression time is attributed to
-	// the first variable's entry).
+	// the first variable's entry). Cache hits replay the time the
+	// original computation took, keeping cached reports deterministic.
 	Elapsed time.Duration
 }
 
@@ -72,6 +75,13 @@ type Comparator struct {
 	// beyond it come back as resource exhaustion, like the paper's
 	// five-minute cap (§4.1). Zero means no cap.
 	ExprTimeout time.Duration
+	// Cache, when set, switches Run to the duplication-aware path: the
+	// corpus is grouped by canonical form (internal/canon), each unique
+	// expression is analyzed once, and oracle results are memoized in
+	// the cache — within the run and, if the cache is persisted, across
+	// runs. This exploits the §3.1 duplication statistics the way the
+	// original artifact's Redis store did.
+	Cache *rescache.Cache
 }
 
 // newEngine builds a SAT engine honoring the per-expression deadline.
@@ -81,58 +91,139 @@ func (c *Comparator) newEngine(f *ir.Function, deadline time.Time) *solver.SATEn
 	return e
 }
 
+// oracleSet bundles the eight oracle facts for one expression, plus the
+// time each took. Indices into Elapsed follow the Table 1 analysis order.
+type oracleSet struct {
+	Known    oracle.KnownBitsResult
+	Sign     oracle.SignBitsResult
+	NonZero  oracle.BoolResult
+	Negative oracle.BoolResult
+	NonNeg   oracle.BoolResult
+	Pow2     oracle.BoolResult
+	Range    oracle.RangeResult
+	Demanded oracle.DemandedBitsResult
+	Elapsed  [8]time.Duration
+}
+
+// computeOracle runs all eight oracle algorithms on f under the
+// per-expression deadline, timing each.
+func (c *Comparator) computeOracle(f *ir.Function) *oracleSet {
+	var deadline time.Time
+	if c.ExprTimeout > 0 {
+		deadline = time.Now().Add(c.ExprTimeout)
+	}
+	o := &oracleSet{}
+	run := func(i int, compute func()) {
+		start := time.Now()
+		compute()
+		o.Elapsed[i] = time.Since(start)
+	}
+	run(0, func() { o.Known = oracle.KnownBits(c.newEngine(f, deadline), f) })
+	run(1, func() { o.Sign = oracle.SignBits(c.newEngine(f, deadline), f) })
+	run(2, func() { o.NonZero = oracle.NonZero(c.newEngine(f, deadline), f) })
+	run(3, func() { o.Negative = oracle.Negative(c.newEngine(f, deadline), f) })
+	run(4, func() { o.NonNeg = oracle.NonNegative(c.newEngine(f, deadline), f) })
+	run(5, func() { o.Pow2 = oracle.PowerOfTwo(c.newEngine(f, deadline), f) })
+	run(6, func() { o.Range = oracle.IntegerRange(c.newEngine(f, deadline), f) })
+	run(7, func() { o.Demanded = oracle.DemandedBits(c.newEngine(f, deadline), f) })
+	return o
+}
+
+// cacheConfig renders the comparator configuration that oracle cache
+// entries are keyed under. The oracle itself is independent of the
+// compiler under test, but keying on the full configuration keeps cache
+// files unambiguous about what produced them (as the artifact's Redis
+// keys did) at the cost of re-running when a bug flag changes.
+func (c *Comparator) cacheConfig() string {
+	var an llvmport.Analyzer
+	if c.Analyzer != nil {
+		an = *c.Analyzer
+	}
+	return fmt.Sprintf("bug-nonzero=%t;bug-sremsign=%t;bug-sremknown=%t;modern=%t;timeout=%s",
+		an.Bugs.NonZeroAdd, an.Bugs.SRemSignBits, an.Bugs.SRemKnownBits, an.Modern, c.ExprTimeout)
+}
+
+// oracleCached assembles the oracle set for a canonical expression,
+// consulting the cache per analysis and computing (then storing) the
+// misses. Demanded-bits entries are stored in the canonical variable
+// namespace, so they apply to every alpha-variant of the expression.
+func (c *Comparator) oracleCached(cn *canon.Canon) *oracleSet {
+	f := cn.F
+	var deadline time.Time
+	if c.ExprTimeout > 0 {
+		deadline = time.Now().Add(c.ExprTimeout)
+	}
+	cfg := c.cacheConfig()
+	o := &oracleSet{}
+	step := func(i int, a harvest.Analysis, fromCache func(any) bool, compute func() any) {
+		k := rescache.Key{Expr: cn.Key, Analysis: string(a), Budget: c.Budget, Config: cfg}
+		if e, ok := c.Cache.Get(k); ok && fromCache(e.Value) {
+			o.Elapsed[i] = e.Elapsed
+			return
+		}
+		start := time.Now()
+		v := compute()
+		o.Elapsed[i] = time.Since(start)
+		c.Cache.Put(k, rescache.Entry{Value: v, Elapsed: o.Elapsed[i]})
+	}
+	step(0, harvest.KnownBits,
+		func(v any) (ok bool) { o.Known, ok = v.(oracle.KnownBitsResult); return },
+		func() any { o.Known = oracle.KnownBits(c.newEngine(f, deadline), f); return o.Known })
+	step(1, harvest.SignBits,
+		func(v any) (ok bool) { o.Sign, ok = v.(oracle.SignBitsResult); return },
+		func() any { o.Sign = oracle.SignBits(c.newEngine(f, deadline), f); return o.Sign })
+	step(2, harvest.NonZero,
+		func(v any) (ok bool) { o.NonZero, ok = v.(oracle.BoolResult); return },
+		func() any { o.NonZero = oracle.NonZero(c.newEngine(f, deadline), f); return o.NonZero })
+	step(3, harvest.Negative,
+		func(v any) (ok bool) { o.Negative, ok = v.(oracle.BoolResult); return },
+		func() any { o.Negative = oracle.Negative(c.newEngine(f, deadline), f); return o.Negative })
+	step(4, harvest.NonNegative,
+		func(v any) (ok bool) { o.NonNeg, ok = v.(oracle.BoolResult); return },
+		func() any { o.NonNeg = oracle.NonNegative(c.newEngine(f, deadline), f); return o.NonNeg })
+	step(5, harvest.PowerOfTwo,
+		func(v any) (ok bool) { o.Pow2, ok = v.(oracle.BoolResult); return },
+		func() any { o.Pow2 = oracle.PowerOfTwo(c.newEngine(f, deadline), f); return o.Pow2 })
+	step(6, harvest.IntegerRange,
+		func(v any) (ok bool) { o.Range, ok = v.(oracle.RangeResult); return },
+		func() any { o.Range = oracle.IntegerRange(c.newEngine(f, deadline), f); return o.Range })
+	step(7, harvest.DemandedBits,
+		func(v any) (ok bool) { o.Demanded, ok = v.(oracle.DemandedBitsResult); return },
+		func() any { o.Demanded = oracle.DemandedBits(c.newEngine(f, deadline), f); return o.Demanded })
+	return o
+}
+
+// classify turns the oracle facts and the LLVM-port facts for f into the
+// Table 1 result list: one entry per forward analysis plus one entry per
+// input variable for demanded bits.
+func (c *Comparator) classify(f *ir.Function, fa *llvmport.Facts, o *oracleSet) []Result {
+	out := make([]Result, 0, 7+len(f.Vars))
+	add := func(i int, r Result) {
+		r.Elapsed = o.Elapsed[i]
+		out = append(out, r)
+	}
+	add(0, compareKnownBits(o.Known, fa))
+	add(1, compareSignBits(o.Sign, fa))
+	add(2, compareBool(harvest.NonZero, o.NonZero, fa.NonZero()))
+	add(3, compareBool(harvest.Negative, o.Negative, fa.Negative()))
+	add(4, compareBool(harvest.NonNegative, o.NonNeg, fa.NonNegative()))
+	add(5, compareBool(harvest.PowerOfTwo, o.Pow2, fa.PowerOfTwo()))
+	add(6, compareRange(o.Range, fa))
+	dm := compareDemanded(o.Demanded, fa, f)
+	if len(dm) > 0 {
+		dm[0].Elapsed = o.Elapsed[7]
+	}
+	out = append(out, dm...)
+	return out
+}
+
 // CompareExpr runs all eight analyses of Table 1 on one expression. The
 // returned results contain one entry per forward analysis plus one entry
 // per input variable for demanded bits (the paper counts demanded-bits
 // comparisons per variable).
 func (c *Comparator) CompareExpr(f *ir.Function) []Result {
 	fa := c.Analyzer.Analyze(f)
-	var out []Result
-	timed := func(r Result, start time.Time) Result {
-		r.Elapsed = time.Since(start)
-		return r
-	}
-	var deadline time.Time
-	if c.ExprTimeout > 0 {
-		deadline = time.Now().Add(c.ExprTimeout)
-	}
-
-	start := time.Now()
-	kb := oracle.KnownBits(c.newEngine(f, deadline), f)
-	out = append(out, timed(compareKnownBits(kb, fa), start))
-
-	start = time.Now()
-	sb := oracle.SignBits(c.newEngine(f, deadline), f)
-	out = append(out, timed(compareSignBits(sb, fa), start))
-
-	start = time.Now()
-	nz := oracle.NonZero(c.newEngine(f, deadline), f)
-	out = append(out, timed(compareBool(harvest.NonZero, nz, fa.NonZero()), start))
-
-	start = time.Now()
-	ng := oracle.Negative(c.newEngine(f, deadline), f)
-	out = append(out, timed(compareBool(harvest.Negative, ng, fa.Negative()), start))
-
-	start = time.Now()
-	nn := oracle.NonNegative(c.newEngine(f, deadline), f)
-	out = append(out, timed(compareBool(harvest.NonNegative, nn, fa.NonNegative()), start))
-
-	start = time.Now()
-	p2 := oracle.PowerOfTwo(c.newEngine(f, deadline), f)
-	out = append(out, timed(compareBool(harvest.PowerOfTwo, p2, fa.PowerOfTwo()), start))
-
-	start = time.Now()
-	rg := oracle.IntegerRange(c.newEngine(f, deadline), f)
-	out = append(out, timed(compareRange(rg, fa), start))
-
-	start = time.Now()
-	dm := oracle.DemandedBits(c.newEngine(f, deadline), f)
-	dmResults := compareDemanded(dm, fa, f)
-	if len(dmResults) > 0 {
-		dmResults[0].Elapsed = time.Since(start)
-	}
-	out = append(out, dmResults...)
-	return out
+	return c.classify(f, fa, c.computeOracle(f))
 }
 
 func compareKnownBits(o oracle.KnownBitsResult, fa *llvmport.Facts) Result {
@@ -296,25 +387,84 @@ type Row struct {
 // Total returns the number of comparisons in the row.
 func (r Row) Total() int { return r.Same + r.OracleMP + r.LLVMMP + r.Exhausted }
 
+// CacheStats reports how the duplication-aware cached path performed for
+// one Run: cache traffic, and how far canonical grouping shrank the
+// corpus before any oracle work was dispatched.
+type CacheStats struct {
+	// Hits and Misses count oracle result lookups during this run.
+	Hits, Misses uint64
+	// Entries is the cache size after the run.
+	Entries int
+	// TotalExprs and UniqueExprs measure canonical deduplication:
+	// TotalExprs corpus entries collapsed to UniqueExprs canonical forms.
+	TotalExprs, UniqueExprs int
+}
+
+// HitRate returns the hit fraction of this run's lookups, in [0,1].
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
 // Report is a full Table 1 run.
 type Report struct {
 	Rows     map[harvest.Analysis]*Row
 	Findings []Finding
+	// Cache is set by cached runs (Comparator.Cache != nil).
+	Cache *CacheStats
 }
 
-// Run compares every expression in the corpus and aggregates Table 1.
-// With Workers > 1, expressions are compared concurrently; aggregation
-// order (and thus the report) stays deterministic.
-func (c *Comparator) Run(corpus []harvest.Expr) *Report {
+func newReport() *Report {
 	rep := &Report{Rows: make(map[harvest.Analysis]*Row)}
 	for _, a := range harvest.AllAnalyses {
 		rep.Rows[a] = &Row{Analysis: a}
 	}
+	return rep
+}
 
+// absorb aggregates one expression's results into the report. Cached and
+// uncached runs share this, so their Table 1 counts agree by construction.
+func (rep *Report) absorb(e harvest.Expr, results []Result) {
+	seen := map[harvest.Analysis]bool{}
+	for _, r := range results {
+		row := rep.Rows[r.Analysis]
+		switch r.Outcome {
+		case Same:
+			row.Same++
+		case OracleMorePrecise:
+			row.OracleMP++
+		case LLVMMorePrecise:
+			row.LLVMMP++
+			rep.Findings = append(rep.Findings, Finding{ExprName: e.Name, Source: e.F.String(), Result: r})
+		case ResourceExhausted:
+			row.Exhausted++
+		}
+		row.CPUTime += r.Elapsed
+		if !seen[r.Analysis] {
+			seen[r.Analysis] = true
+			row.Exprs++
+		}
+	}
+}
+
+// Run compares every expression in the corpus and aggregates Table 1.
+// With Workers > 1, expressions are compared concurrently; aggregation
+// order (and thus the report) stays deterministic. With Cache set, the
+// corpus is first grouped by canonical form and each unique expression
+// is analyzed once (see runCached); the aggregated counts and findings
+// are identical to the uncached path.
+func (c *Comparator) Run(corpus []harvest.Expr) *Report {
+	if c.Cache != nil {
+		return c.runCached(corpus)
+	}
 	perExpr := make([][]Result, len(corpus))
 	if c.Workers > 1 {
 		var wg sync.WaitGroup
-		jobs := make(chan int)
+		// Buffered so the dispatcher never serializes on slow workers.
+		jobs := make(chan int, len(corpus))
 		for w := 0; w < c.Workers; w++ {
 			wg.Add(1)
 			go func() {
@@ -335,28 +485,112 @@ func (c *Comparator) Run(corpus []harvest.Expr) *Report {
 		}
 	}
 
+	rep := newReport()
 	for i, e := range corpus {
-		results := perExpr[i]
-		seen := map[harvest.Analysis]bool{}
-		for _, r := range results {
-			row := rep.Rows[r.Analysis]
-			switch r.Outcome {
-			case Same:
-				row.Same++
-			case OracleMorePrecise:
-				row.OracleMP++
-			case LLVMMorePrecise:
-				row.LLVMMP++
-				rep.Findings = append(rep.Findings, Finding{ExprName: e.Name, Source: e.F.String(), Result: r})
-			case ResourceExhausted:
-				row.Exhausted++
-			}
-			row.CPUTime += r.Elapsed
-			if !seen[r.Analysis] {
-				seen[r.Analysis] = true
-				row.Exprs++
+		rep.absorb(e, perExpr[i])
+	}
+	return rep
+}
+
+// groupResult is one canonical group's classification: the seven scalar
+// results shared verbatim by every member, and the demanded-bits results
+// in the canonical variable namespace, remapped per member at fold-back.
+type groupResult struct {
+	scalar   []Result
+	demanded map[string]Result // canonical var name -> result (Elapsed zeroed)
+	demTime  time.Duration     // attributed to each member's first variable
+}
+
+// runCached is the duplication-aware path: group by canonical key,
+// analyze each unique expression once (memoizing oracle results in the
+// cache), then fold results back onto every corpus entry with its own
+// name, source text, and variable names.
+func (c *Comparator) runCached(corpus []harvest.Expr) *Report {
+	before := c.Cache.Stats()
+
+	cns := make([]*canon.Canon, len(corpus))
+	for i := range corpus {
+		cns[i] = canon.Canonicalize(corpus[i].F)
+	}
+	groupOf := make(map[string]int, len(corpus))
+	gidx := make([]int, len(corpus))
+	var reps []int // representative corpus index per group, first-appearance order
+	for i := range corpus {
+		if g, ok := groupOf[cns[i].Key]; ok {
+			gidx[i] = g
+			continue
+		}
+		g := len(reps)
+		groupOf[cns[i].Key] = g
+		reps = append(reps, i)
+		gidx[i] = g
+	}
+
+	groups := make([]*groupResult, len(reps))
+	analyzeGroup := func(g int) {
+		cn := cns[reps[g]]
+		fa := c.Analyzer.Analyze(cn.F)
+		o := c.oracleCached(cn)
+		gr := &groupResult{demanded: make(map[string]Result, len(cn.F.Vars)), demTime: o.Elapsed[7]}
+		for _, r := range c.classify(cn.F, fa, o) {
+			if r.Analysis == harvest.DemandedBits {
+				r.Elapsed = 0
+				gr.demanded[r.Var] = r
+			} else {
+				gr.scalar = append(gr.scalar, r)
 			}
 		}
+		groups[g] = gr
+	}
+	if c.Workers > 1 {
+		var wg sync.WaitGroup
+		jobs := make(chan int, len(reps))
+		for w := 0; w < c.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for g := range jobs {
+					analyzeGroup(g)
+				}
+			}()
+		}
+		for g := range reps {
+			jobs <- g
+		}
+		close(jobs)
+		wg.Wait()
+	} else {
+		for g := range reps {
+			analyzeGroup(g)
+		}
+	}
+
+	rep := newReport()
+	for i, e := range corpus {
+		gr := groups[gidx[i]]
+		results := make([]Result, 0, len(gr.scalar)+len(e.F.Vars))
+		results = append(results, gr.scalar...)
+		for vi, v := range e.F.Vars {
+			r, ok := gr.demanded[cns[i].CanonName(v.Name)]
+			if !ok {
+				continue
+			}
+			r.Var = v.Name
+			if vi == 0 {
+				r.Elapsed = gr.demTime
+			}
+			results = append(results, r)
+		}
+		rep.absorb(e, results)
+	}
+
+	after := c.Cache.Stats()
+	rep.Cache = &CacheStats{
+		Hits:        after.Hits - before.Hits,
+		Misses:      after.Misses - before.Misses,
+		Entries:     c.Cache.Len(),
+		TotalExprs:  len(corpus),
+		UniqueExprs: len(reps),
 	}
 	return rep
 }

@@ -28,9 +28,19 @@ type jsonFinding struct {
 	Source     string `json:"source"`
 }
 
+type jsonCache struct {
+	Hits        uint64  `json:"hits"`
+	Misses      uint64  `json:"misses"`
+	HitRate     float64 `json:"hit_rate"`
+	Entries     int     `json:"entries"`
+	TotalExprs  int     `json:"total_exprs"`
+	UniqueExprs int     `json:"unique_exprs"`
+}
+
 type jsonReport struct {
 	Rows     []jsonRow     `json:"rows"`
 	Findings []jsonFinding `json:"soundness_findings"`
+	Cache    *jsonCache    `json:"cache,omitempty"`
 }
 
 // JSON renders the report as machine-readable JSON, rows in Table 1 order.
@@ -64,7 +74,29 @@ func (rep *Report) JSON() ([]byte, error) {
 			Source:     f.Source,
 		})
 	}
+	if rep.Cache != nil {
+		out.Cache = &jsonCache{
+			Hits:        rep.Cache.Hits,
+			Misses:      rep.Cache.Misses,
+			HitRate:     rep.Cache.HitRate(),
+			Entries:     rep.Cache.Entries,
+			TotalExprs:  rep.Cache.TotalExprs,
+			UniqueExprs: rep.Cache.UniqueExprs,
+		}
+	}
 	return json.MarshalIndent(out, "", "  ")
+}
+
+// CacheSummary renders the cache statistics of a cached run in one line,
+// or "" for uncached runs. Callers print it to stderr so that the table
+// on stdout stays byte-identical between cold and warm runs.
+func (rep *Report) CacheSummary() string {
+	s := rep.Cache
+	if s == nil {
+		return ""
+	}
+	return fmt.Sprintf("cache: %d/%d exprs unique; %d hits, %d misses (%.1f%% hit rate), %d entries",
+		s.UniqueExprs, s.TotalExprs, s.Hits, s.Misses, 100*s.HitRate(), s.Entries)
 }
 
 // Table renders the report in the layout of the paper's Table 1.

@@ -216,6 +216,21 @@ func (op Op) IsBinary() bool {
 	return op.Arity() == 2 && !op.HasBoolResult()
 }
 
+// IsCommutative reports whether the op's two operands can be swapped
+// without changing the result: the arithmetic/bitwise commutative ops,
+// the symmetric comparisons, min/max, and the symmetric overflow
+// predicates. Canonicalization (internal/canon) sorts the operands of
+// these ops so that structurally equivalent expressions hash alike.
+func (op Op) IsCommutative() bool {
+	switch op {
+	case OpAdd, OpMul, OpAnd, OpOr, OpXor, OpEq, OpNe,
+		OpUMin, OpUMax, OpSMin, OpSMax,
+		OpUAddO, OpSAddO, OpUMulO, OpSMulO:
+		return true
+	}
+	return false
+}
+
 // IsDivRem reports whether the op is a division or remainder (divisor must
 // be non-zero for the execution to be well defined).
 func (op Op) IsDivRem() bool {

@@ -1,0 +1,132 @@
+// Package rescache memoizes oracle results across expressions and runs.
+// It is the in-process analog of the original artifact's Redis store: the
+// paper's corpus statistics (§3.1) show 71.6% of harvested expressions
+// recur, and every recurrence would otherwise re-pay dozens of SAT
+// queries. Results are keyed by the expression's canonical form
+// (internal/canon), the analysis name, the solver budget, and the
+// compiler-under-test configuration, and each entry carries the original
+// computation time so that cached reports replay deterministic timings.
+//
+// The cache is safe for concurrent use by the comparator's worker pool,
+// and persists to a versioned on-disk format (persist.go) — the analog of
+// the artifact's dump.rdb — so cmd/precision-table and cmd/dfcheck-fuzz
+// amortize oracle work across process runs via their -cache flag.
+package rescache
+
+import (
+	"sync"
+	"time"
+)
+
+// Key identifies one memoized oracle result.
+type Key struct {
+	// Expr is the canonical Souper text of the expression (canon.Canon.Key).
+	Expr string
+	// Analysis is the analysis name (a harvest.Analysis value).
+	Analysis string
+	// Budget is the per-query solver conflict budget the result was
+	// computed under.
+	Budget int64
+	// Config encodes the comparator configuration (bug injection, modern
+	// mode, expression timeout) the result was computed under.
+	Config string
+}
+
+// Entry is a memoized result: one of the oracle result types
+// (oracle.KnownBitsResult, oracle.RangeResult, ...) plus the time the
+// original computation took. Replaying Elapsed on hits keeps cached
+// reports byte-identical across runs.
+type Entry struct {
+	Value   any
+	Elapsed time.Duration
+}
+
+// Stats counts cache traffic.
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// HitRate returns the hit fraction in [0,1], or 0 with no traffic.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a concurrency-safe result cache.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]Entry
+	stats   Stats
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	return &Cache{entries: make(map[Key]Entry)}
+}
+
+// Get returns the entry for k, counting a hit or miss.
+func (c *Cache) Get(k Key) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if ok {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+	}
+	return e, ok
+}
+
+// Put stores (or replaces) the entry for k.
+func (c *Cache) Put(k Key, e Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[k] = e
+}
+
+// Len returns the number of stored entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns the cumulative hit/miss counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ResetStats zeroes the hit/miss counters, keeping the entries.
+func (c *Cache) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = Stats{}
+}
+
+// snapshot copies the entry map for persistence.
+func (c *Cache) snapshot() map[Key]Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[Key]Entry, len(c.entries))
+	for k, e := range c.entries {
+		out[k] = e
+	}
+	return out
+}
+
+// commit installs loaded entries, replacing any existing ones with the
+// same key. It is called only after a load fully validates, so a corrupt
+// file never leaves the cache half-populated.
+func (c *Cache) commit(entries map[Key]Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range entries {
+		c.entries[k] = e
+	}
+}
