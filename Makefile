@@ -3,7 +3,14 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race race-all bench
+
+# The packages with real concurrency: the comparator worker pool, the
+# engine's cross-goroutine cancellation, the campaign loop, the metrics
+# instruments, and the cache. The full suite under the race detector is
+# the race-all target; it takes many minutes.
+RACE_PKGS = ./internal/compare ./internal/solver ./internal/sat \
+            ./internal/campaign ./internal/metrics ./internal/rescache
 
 check: fmt vet build race
 
@@ -23,6 +30,9 @@ test:
 	$(GO) test ./...
 
 race:
+	$(GO) test -race $(RACE_PKGS)
+
+race-all:
 	$(GO) test -race ./...
 
 bench:

@@ -5,44 +5,73 @@
 // is the workflow the authors ran over Csmith- and Yarpgen-generated
 // programs after exhausting SPEC (§4.7).
 //
+// The loop is built for long unattended runs: Ctrl-C (or SIGTERM) stops
+// it cleanly mid-batch, -checkpoint persists the campaign state so
+// -resume continues to the exact report an uninterrupted run would have
+// produced, -events streams JSONL batch/finding records, and -metrics
+// snapshots the instrument registry on exit.
+//
 //	dfcheck-fuzz -batches 20 -n 50
 //	dfcheck-fuzz -bug3          # verify the loop catches an injected bug
+//	dfcheck-fuzz -batches 0 -checkpoint state.json -events events.jsonl
+//	dfcheck-fuzz -resume state.json   # continue where the kill landed
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
+	"dfcheck/internal/campaign"
 	"dfcheck/internal/compare"
 	"dfcheck/internal/harvest"
-	"dfcheck/internal/ir"
 	"dfcheck/internal/llvmport"
+	"dfcheck/internal/metrics"
 	"dfcheck/internal/rescache"
 )
 
 func main() {
 	var (
-		batches   = flag.Int("batches", 10, "number of corpus batches to run (0 = run forever)")
-		n         = flag.Int("n", 50, "expressions per batch")
-		seed      = flag.Int64("seed", time.Now().UnixNano()&0xFFFFFF, "starting seed")
-		maxInsts  = flag.Int("max-insts", 6, "max instructions per expression")
-		maxWidth  = flag.Uint("max-width", 16, "largest base width")
-		budget    = flag.Int64("solver-budget", 0, "per-query conflict budget")
-		bug1      = flag.Bool("bug1", false, "inject the r124183 isKnownNonZero bug")
-		bug2      = flag.Bool("bug2", false, "inject the PR23011 srem sign-bits bug")
-		bug3      = flag.Bool("bug3", false, "inject the PR12541 srem known-bits bug")
-		modern    = flag.Bool("modern", false, "use the post-LLVM-8 compiler (the §4.8 improvements applied)")
-		workers   = flag.Int("j", runtime.NumCPU(), "expressions compared concurrently")
-		exprCap   = flag.Duration("expr-timeout", 5*time.Minute, "total oracle time per expression (0 disables)")
-		canaries  = flag.Bool("canaries", false, "seed every batch with the §4.7 trigger expressions (verifies the loop catches injected bugs)")
-		mutants   = flag.Int("mutants", 1, "mutated variants added per generated expression (Csmith-style seed mutation)")
-		cacheFile = flag.String("cache", "", "persist oracle results to this file across batches and runs (the artifact's Redis dump analog)")
+		batches    = flag.Int("batches", 10, "number of corpus batches to run (0 = run until interrupted)")
+		n          = flag.Int("n", 50, "expressions per batch")
+		seed       = flag.Int64("seed", 0, "campaign master seed (0 = draw a fresh 63-bit seed)")
+		maxInsts   = flag.Int("max-insts", 6, "max instructions per expression")
+		maxWidth   = flag.Uint("max-width", 16, "largest base width")
+		budget     = flag.Int64("solver-budget", 0, "per-query conflict budget")
+		bug1       = flag.Bool("bug1", false, "inject the r124183 isKnownNonZero bug")
+		bug2       = flag.Bool("bug2", false, "inject the PR23011 srem sign-bits bug")
+		bug3       = flag.Bool("bug3", false, "inject the PR12541 srem known-bits bug")
+		modern     = flag.Bool("modern", false, "use the post-LLVM-8 compiler (the §4.8 improvements applied)")
+		workers    = flag.Int("j", runtime.NumCPU(), "expressions compared concurrently")
+		exprCap    = flag.Duration("expr-timeout", 5*time.Minute, "total oracle time per expression (0 disables)")
+		canaries   = flag.Bool("canaries", false, "seed every batch with the §4.7 trigger expressions (verifies the loop catches injected bugs)")
+		mutants    = flag.Int("mutants", 1, "mutated variants added per generated expression (Csmith-style seed mutation)")
+		cacheFile  = flag.String("cache", "", "persist oracle results to this file across batches and runs (the artifact's Redis dump analog)")
+		checkpoint = flag.String("checkpoint", "", "write campaign state to this file (periodically and on interrupt)")
+		ckptEvery  = flag.Int("checkpoint-every", 10, "batches between periodic checkpoint saves (0 = only on interrupt/exit)")
+		resume     = flag.String("resume", "", "resume the campaign from this state file (implies -checkpoint with the same file)")
+		eventsFile = flag.String("events", "", "append JSONL batch and finding records to this file")
+		metricsOut = flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
+		httpAddr   = flag.String("http", "", "serve expvar metrics on this address (e.g. :8125, endpoint /debug/vars)")
 	)
 	flag.Parse()
+
+	// The master seed covers the full non-negative 63-bit range (the old
+	// 24-bit default meant long campaigns revisited seeds). Campaigns are
+	// reproducible from the printed value alone.
+	if *seed == 0 {
+		*seed = rand.New(rand.NewSource(time.Now().UnixNano())).Int63()
+	}
+	if *resume != "" && *checkpoint == "" {
+		*checkpoint = *resume
+	}
 
 	widths := []harvest.WidthWeight{{Width: 4, Weight: 1}, {Width: 8, Weight: 3}}
 	if *maxWidth >= 13 {
@@ -50,6 +79,17 @@ func main() {
 	}
 	if *maxWidth >= 16 {
 		widths = append(widths, harvest.WidthWeight{Width: 16, Weight: 2})
+	}
+
+	reg := metrics.NewRegistry()
+	reg.PublishExpvar("dfcheck")
+	if *httpAddr != "" {
+		// expvar registers /debug/vars on the default mux.
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "dfcheck-fuzz: metrics server:", err)
+			}
+		}()
 	}
 
 	c := &compare.Comparator{
@@ -60,71 +100,98 @@ func main() {
 		Budget:      *budget,
 		Workers:     *workers,
 		ExprTimeout: *exprCap,
+		Metrics:     reg,
 	}
 	if *cacheFile != "" {
 		// One cache shared across all batches: mutants and cross-batch
 		// duplicates hit results memoized by earlier batches.
 		cache := rescache.New()
-		if err := cache.LoadFile(*cacheFile); err != nil && !os.IsNotExist(err) {
-			fmt.Fprintln(os.Stderr, "dfcheck-fuzz: ignoring cache:", err)
+		switch err := cache.LoadFile(*cacheFile); {
+		case err == nil:
+		case os.IsNotExist(err):
+			fmt.Fprintf(os.Stderr, "dfcheck-fuzz: cache %s not found, starting cold\n", *cacheFile)
+		default:
+			fmt.Fprintf(os.Stderr, "dfcheck-fuzz: WARNING: cache %s unusable, starting cold: %v\n", *cacheFile, err)
 		}
 		c.Cache = cache
 	}
 
-	var totalExprs, totalFindings int
-	start := time.Now()
-	for batch := 0; *batches == 0 || batch < *batches; batch++ {
-		corpus := harvest.Generate(harvest.Config{
-			Seed:         *seed + int64(batch),
-			NumExprs:     *n,
-			MaxInsts:     *maxInsts,
-			Widths:       widths,
-			MaxCastWidth: *maxWidth,
-		})
-		if *mutants > 0 {
-			mrng := rand.New(rand.NewSource(*seed + int64(batch)*7919))
-			base := corpus
-			for _, e := range base {
-				for m := 0; m < *mutants; m++ {
-					corpus = append(corpus, harvest.Expr{
-						Name: fmt.Sprintf("%s-mut%d", e.Name, m),
-						F:    harvest.Mutate(e.F, mrng),
-						Freq: 1,
-					})
-				}
-			}
+	var events *metrics.EventLog
+	if *eventsFile != "" {
+		f, err := os.OpenFile(*eventsFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dfcheck-fuzz:", err)
+			os.Exit(2)
 		}
-		if *canaries {
-			for _, tr := range harvest.SoundnessTriggers {
-				corpus = append(corpus, harvest.Expr{Name: "canary-" + tr.Name, F: ir.MustParse(tr.Source), Freq: 1})
-			}
-		}
-		rep := c.Run(corpus)
-		totalExprs += len(corpus)
-		totalFindings += len(rep.Findings)
-		for _, f := range rep.Findings {
-			fmt.Printf("=== SOUNDNESS FINDING (batch %d, %s) ===\n%s\n", batch, f.ExprName, f)
-		}
-		var exhausted int
-		for _, row := range rep.Rows {
-			exhausted += row.Exhausted
-		}
-		fmt.Printf("batch %4d seed %8d: %4d exprs, %2d findings, %3d exhausted, %6.1f exprs/min\n",
-			batch, *seed+int64(batch), len(corpus), len(rep.Findings), exhausted,
-			float64(totalExprs)/time.Since(start).Minutes())
+		defer f.Close()
+		events = metrics.NewEventLog(f)
 	}
+
+	camp := campaign.New(campaign.Config{
+		Seed:            *seed,
+		Batches:         *batches,
+		NumExprs:        *n,
+		MaxInsts:        *maxInsts,
+		Widths:          widths,
+		MaxCastWidth:    *maxWidth,
+		Mutants:         *mutants,
+		Canaries:        *canaries,
+		CheckpointPath:  *checkpoint,
+		CheckpointEvery: *ckptEvery,
+		Events:          events,
+		Metrics:         reg,
+		Progress:        os.Stdout,
+	}, c)
+	if *resume != "" {
+		if err := camp.Resume(*resume); err != nil {
+			fmt.Fprintln(os.Stderr, "dfcheck-fuzz:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("resumed from %s: %d batches done, continuing at batch %d\n",
+			*resume, camp.Totals.Batches, camp.NextBatch)
+	}
+	fmt.Printf("campaign seed %d (reproduce with -seed %d)\n", *seed, *seed)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	runErr := camp.Run(ctx)
+	stop() // a second Ctrl-C past this point kills the process normally
 
 	if c.Cache != nil {
 		if err := c.Cache.SaveFile(*cacheFile); err != nil {
-			fmt.Fprintln(os.Stderr, "dfcheck-fuzz:", err)
+			fmt.Fprintf(os.Stderr, "dfcheck-fuzz: WARNING: cache not saved: %v\n", err)
 		}
 		st := c.Cache.Stats()
 		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses (%.1f%% hit rate), %d entries\n",
 			st.Hits, st.Misses, 100*st.HitRate(), c.Cache.Len())
 	}
+	if *metricsOut != "" {
+		if data, err := reg.JSON(); err == nil {
+			if err := os.WriteFile(*metricsOut, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "dfcheck-fuzz: WARNING: metrics not saved: %v\n", err)
+			}
+		}
+	}
+	if events != nil {
+		if err := events.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "dfcheck-fuzz: WARNING: event log incomplete: %v\n", err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "metrics:", reg.String())
 
-	fmt.Printf("\ntotal: %d expressions, %d soundness findings\n", totalExprs, totalFindings)
-	if totalFindings > 0 {
+	fmt.Printf("\ntotal: %d batches, %d expressions, %d soundness findings\n",
+		camp.Totals.Batches, camp.Totals.Exprs, len(camp.Totals.Findings))
+	if runErr != nil {
+		if *checkpoint != "" {
+			fmt.Printf("interrupted; resume with: dfcheck-fuzz -resume %s <same flags>\n", *checkpoint)
+		} else {
+			fmt.Println("interrupted (no -checkpoint file; this campaign cannot be resumed)")
+		}
+	}
+	if len(camp.Totals.Findings) > 0 {
 		os.Exit(1)
+	}
+	if runErr != nil {
+		os.Exit(130)
 	}
 }

@@ -106,17 +106,21 @@ func main() {
 	}
 	if *cacheFile != "" {
 		cache := rescache.New()
-		if err := cache.LoadFile(*cacheFile); err != nil && !os.IsNotExist(err) {
+		switch err := cache.LoadFile(*cacheFile); {
+		case err == nil:
+		case os.IsNotExist(err):
+			// First run: cold start is the expected path, stay quiet.
+		default:
 			// A corrupt or mismatched cache file means a cold start, not a
-			// failed run.
-			fmt.Fprintln(os.Stderr, "precision-table: ignoring cache:", err)
+			// failed run — but say so, since the warm-up work is lost.
+			fmt.Fprintf(os.Stderr, "precision-table: WARNING: cache %s unusable, starting cold: %v\n", *cacheFile, err)
 		}
 		c.Cache = cache
 	}
 	rep := c.Run(corpus)
 	if c.Cache != nil {
 		if err := c.Cache.SaveFile(*cacheFile); err != nil {
-			fmt.Fprintln(os.Stderr, "precision-table:", err)
+			fmt.Fprintf(os.Stderr, "precision-table: WARNING: cache not saved: %v\n", err)
 		}
 		// Stderr, so stdout stays byte-identical between cold and warm runs.
 		fmt.Fprintln(os.Stderr, rep.CacheSummary())

@@ -1,0 +1,332 @@
+package campaign
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dfcheck/internal/compare"
+	"dfcheck/internal/harvest"
+	"dfcheck/internal/llvmport"
+	"dfcheck/internal/metrics"
+	"dfcheck/internal/rescache"
+)
+
+// testConfig is a small, fast campaign: narrow widths keep solver
+// queries trivial, and bug3+canaries guarantee at least one finding per
+// batch so the findings path is exercised.
+func testConfig(seed int64, batches int) Config {
+	return Config{
+		Seed:     seed,
+		Batches:  batches,
+		NumExprs: 4,
+		MaxInsts: 3,
+		Widths:   []harvest.WidthWeight{{Width: 4, Weight: 2}, {Width: 8, Weight: 1}},
+		Mutants:  1,
+		Canaries: true,
+	}
+}
+
+func testComparator() *compare.Comparator {
+	return &compare.Comparator{
+		Analyzer: &llvmport.Analyzer{Bugs: llvmport.BugConfig{SRemKnownBits: true}},
+		// A small conflict budget keeps hard queries cheap while staying
+		// deterministic (unlike a wall-clock timeout): exhaustion counts
+		// must agree between the runs the tests compare.
+		Budget:  500,
+		Workers: 4,
+	}
+}
+
+// comparableTotals strips CPU time — the only non-deterministic part of
+// the tallies — so interrupted-and-resumed totals can be compared to
+// uninterrupted ones with reflect.DeepEqual.
+func comparableTotals(t Totals) Totals {
+	rows := make(map[harvest.Analysis]*compare.Row, len(t.Rows))
+	for a, row := range t.Rows {
+		cp := *row
+		cp.CPUTime = 0
+		rows[a] = &cp
+	}
+	findings := make([]compare.Finding, len(t.Findings))
+	for i, f := range t.Findings {
+		f.Result.Elapsed = 0
+		// Outcome is implied (every finding is LLVMMorePrecise) and is
+		// reconstructed, not stored, by Resume.
+		f.Result.Outcome = compare.LLVMMorePrecise
+		findings[i] = f
+	}
+	return Totals{Batches: t.Batches, Exprs: t.Exprs, Rows: rows, Findings: findings}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := New(testConfig(7, 3), testComparator())
+	b := New(testConfig(7, 3), testComparator())
+	for batch := 0; batch < 3; batch++ {
+		ca, cb := a.Corpus(batch), b.Corpus(batch)
+		if len(ca) != len(cb) {
+			t.Fatalf("batch %d: corpus sizes %d vs %d", batch, len(ca), len(cb))
+		}
+		for i := range ca {
+			if ca[i].Name != cb[i].Name || ca[i].F.String() != cb[i].F.String() {
+				t.Fatalf("batch %d entry %d differs:\n%s\nvs\n%s", batch, i, ca[i].F, cb[i].F)
+			}
+		}
+	}
+	if got := a.Corpus(0)[0].F.String(); got == b.Corpus(1)[0].F.String() {
+		t.Fatal("different batches generated identical corpora; batch seed not applied")
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	c := New(testConfig(11, 2), testComparator())
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Totals.Findings) == 0 {
+		t.Fatal("test campaign produced no findings; canaries+bug3 broken")
+	}
+	if err := c.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+
+	r := New(testConfig(11, 2), testComparator())
+	if err := r.Resume(path); err != nil {
+		t.Fatal(err)
+	}
+	if r.NextBatch != c.NextBatch {
+		t.Fatalf("NextBatch = %d, want %d", r.NextBatch, c.NextBatch)
+	}
+	if !reflect.DeepEqual(comparableTotals(r.Totals), comparableTotals(c.Totals)) {
+		t.Fatalf("totals did not round-trip:\nsaved:   %+v\nresumed: %+v", c.Totals, r.Totals)
+	}
+	// CPU time is preserved byte-for-byte through the checkpoint too.
+	for a, row := range c.Totals.Rows {
+		if r.Totals.Rows[a].CPUTime != row.CPUTime {
+			t.Fatalf("row %s CPU time %v != %v", a, r.Totals.Rows[a].CPUTime, row.CPUTime)
+		}
+	}
+}
+
+func TestResumeRejectsConfigMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	c := New(testConfig(11, 2), testComparator())
+	if err := c.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+
+	other := New(testConfig(12, 2), testComparator()) // different seed
+	err := other.Resume(path)
+	if err == nil || !strings.Contains(err.Error(), "different configuration") {
+		t.Fatalf("seed mismatch not rejected: %v", err)
+	}
+
+	sameCfg := New(testConfig(11, 2), &compare.Comparator{
+		Analyzer: &llvmport.Analyzer{}, // bug flag dropped
+	})
+	err = sameCfg.Resume(path)
+	if err == nil || !strings.Contains(err.Error(), "different configuration") {
+		t.Fatalf("bug-flag mismatch not rejected: %v", err)
+	}
+}
+
+func TestResumeRejectsCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	c := New(testConfig(11, 1), testComparator())
+
+	if err := c.Resume(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file not rejected")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := writeFile(bad, `{"version":1,"tool":"dfcheck-campaign","config":`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Resume(bad); err == nil {
+		t.Fatal("truncated JSON not rejected")
+	}
+	wrongTool := filepath.Join(dir, "tool.json")
+	if err := writeFile(wrongTool, `{"version":1,"tool":"other"}`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Resume(wrongTool); err == nil || !strings.Contains(err.Error(), "tool") {
+		t.Fatalf("wrong tool not rejected: %v", err)
+	}
+	// A failed Resume leaves the campaign untouched.
+	if c.NextBatch != 0 || c.Totals.Batches != 0 {
+		t.Fatalf("failed resume modified campaign: next=%d totals=%+v", c.NextBatch, c.Totals)
+	}
+}
+
+// TestInterruptResumeEquivalence is the acceptance test for
+// checkpoint/resume: a campaign killed mid-run and resumed from its
+// checkpoint produces the identical final report — tallies and findings
+// — to one that was never interrupted.
+func TestInterruptResumeEquivalence(t *testing.T) {
+	const seed, batches = 20260806, 3
+
+	// Reference: uninterrupted run.
+	ref := New(testConfig(seed, batches), testComparator())
+	if err := ref.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if ref.Totals.Batches != batches || len(ref.Totals.Findings) == 0 {
+		t.Fatalf("reference run: %d batches, %d findings", ref.Totals.Batches, len(ref.Totals.Findings))
+	}
+
+	// Interrupted run: cancel after batch 1 completes, so batch 2 is
+	// dispatched under a cancelled context and discarded whole.
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := testConfig(seed, batches)
+	cfg.CheckpointPath = path
+	cfg.AfterBatch = func(b int) {
+		if b == 1 {
+			cancel()
+		}
+	}
+	interrupted := New(cfg, testComparator())
+	if err := interrupted.Run(ctx); err != context.Canceled {
+		t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+	}
+	if got := interrupted.Totals.Batches; got != 2 {
+		t.Fatalf("interrupted run folded %d batches, want 2", got)
+	}
+	if got := len(interrupted.Totals.Findings); got == 0 {
+		t.Fatal("interrupted run carried no findings into the checkpoint")
+	}
+
+	// Resumed run: a fresh campaign restores the checkpoint and runs
+	// the remaining batches.
+	rcfg := testConfig(seed, batches)
+	rcfg.CheckpointPath = path
+	resumed := New(rcfg, testComparator())
+	if err := resumed.Resume(path); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.NextBatch != 2 {
+		t.Fatalf("resumed at batch %d, want 2", resumed.NextBatch)
+	}
+	if err := resumed.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(comparableTotals(resumed.Totals), comparableTotals(ref.Totals)) {
+		t.Fatalf("resumed final report differs from uninterrupted run:\nresumed:      %+v\nuninterrupted: %+v",
+			comparableTotals(resumed.Totals), comparableTotals(ref.Totals))
+	}
+	// And the rendered reports agree too (modulo CPU-time columns, so
+	// compare the findings sections, which are timing-free).
+	refRep, resRep := ref.Report(), resumed.Report()
+	if len(refRep.Findings) != len(resRep.Findings) {
+		t.Fatalf("findings: %d vs %d", len(refRep.Findings), len(resRep.Findings))
+	}
+	for i := range refRep.Findings {
+		if refRep.Findings[i].String() != resRep.Findings[i].String() {
+			t.Fatalf("finding %d differs:\n%s\nvs\n%s", i, refRep.Findings[i], resRep.Findings[i])
+		}
+	}
+}
+
+// TestInterruptResumeEquivalenceCached runs the same equivalence check
+// through the duplication-aware cached path, where the
+// never-memoize-cancelled guard is what keeps the resumed run honest.
+func TestInterruptResumeEquivalenceCached(t *testing.T) {
+	const seed, batches = 31337, 3
+
+	mk := func() *compare.Comparator {
+		c := testComparator()
+		c.Cache = rescache.New()
+		return c
+	}
+	ref := New(testConfig(seed, batches), mk())
+	if err := ref.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := testConfig(seed, batches)
+	cfg.CheckpointPath = path
+	cfg.AfterBatch = func(b int) {
+		if b == 0 {
+			cancel()
+		}
+	}
+	interrupted := New(cfg, mk())
+	if err := interrupted.Run(ctx); err != context.Canceled {
+		t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+	}
+
+	rcfg := testConfig(seed, batches)
+	resumed := New(rcfg, mk())
+	if err := resumed.Resume(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(comparableTotals(resumed.Totals), comparableTotals(ref.Totals)) {
+		t.Fatalf("cached resumed report differs:\nresumed:      %+v\nuninterrupted: %+v",
+			comparableTotals(resumed.Totals), comparableTotals(ref.Totals))
+	}
+}
+
+// TestRunEmitsEvents checks the JSONL stream: one batch record per
+// batch, one self-contained finding record per finding.
+func TestRunEmitsEvents(t *testing.T) {
+	var sb strings.Builder
+	cfg := testConfig(5, 2)
+	cfg.Events = metrics.NewEventLog(&sb)
+	cfg.Metrics = metrics.NewRegistry()
+	c := New(cfg, testComparator())
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	var batchEvents, findingEvents int
+	for _, line := range lines {
+		switch {
+		case strings.Contains(line, `"event":"batch"`):
+			batchEvents++
+		case strings.Contains(line, `"event":"finding"`):
+			findingEvents++
+			// Self-contained: seed and source present.
+			if !strings.Contains(line, `"seed"`) || !strings.Contains(line, `"source"`) {
+				t.Fatalf("finding record not self-contained: %s", line)
+			}
+		}
+	}
+	if batchEvents != 2 {
+		t.Fatalf("%d batch events, want 2", batchEvents)
+	}
+	if findingEvents != len(c.Totals.Findings) {
+		t.Fatalf("%d finding events, want %d", findingEvents, len(c.Totals.Findings))
+	}
+	if got := cfg.Metrics.Counter("batches").Value(); got != 2 {
+		t.Fatalf("batches counter = %d, want 2", got)
+	}
+}
+
+func TestCheckpointSaveErrorIsWarning(t *testing.T) {
+	var out strings.Builder
+	cfg := testConfig(5, 1)
+	cfg.CheckpointPath = filepath.Join(t.TempDir(), "no-such-dir", "ckpt.json")
+	cfg.Progress = &out
+	c := New(cfg, testComparator())
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatalf("checkpoint failure aborted campaign: %v", err)
+	}
+	if !strings.Contains(out.String(), "warning: checkpoint not saved") {
+		t.Fatalf("checkpoint failure not surfaced:\n%s", out.String())
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

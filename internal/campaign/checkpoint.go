@@ -1,0 +1,218 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dfcheck/internal/compare"
+	"dfcheck/internal/harvest"
+	"dfcheck/internal/llvmport"
+)
+
+// The checkpoint file is one JSON document: a version/tool header, the
+// configuration fingerprint it was produced under, the next batch to
+// run, and the cumulative tallies and findings. Like the result cache it
+// is written atomically (temp file + rename) so a kill mid-write leaves
+// the previous checkpoint intact, and loading validates everything
+// before touching the campaign.
+
+// CheckpointVersion identifies the state-file layout. Any other version
+// fails to load rather than being misinterpreted.
+const CheckpointVersion = 1
+
+const checkpointTool = "dfcheck-campaign"
+
+type wireRow struct {
+	Analysis  string `json:"analysis"`
+	Same      int    `json:"same"`
+	OracleMP  int    `json:"oracle_more_precise"`
+	LLVMMP    int    `json:"llvm_more_precise"`
+	Exhausted int    `json:"resource_exhausted"`
+	Exprs     int    `json:"exprs"`
+	CPUTimeNs int64  `json:"cpu_time_ns"`
+}
+
+type wireFinding struct {
+	Expr       string `json:"expr"`
+	Source     string `json:"source"`
+	Analysis   string `json:"analysis"`
+	Var        string `json:"var,omitempty"`
+	OracleFact string `json:"oracle_fact"`
+	LLVMFact   string `json:"llvm_fact"`
+}
+
+type wireCheckpoint struct {
+	Version   int           `json:"version"`
+	Tool      string        `json:"tool"`
+	Config    string        `json:"config"`
+	Seed      int64         `json:"seed"`
+	NextBatch int           `json:"next_batch"`
+	Batches   int           `json:"batches_done"`
+	Exprs     int           `json:"exprs"`
+	Rows      []wireRow     `json:"rows"`
+	Findings  []wireFinding `json:"findings"`
+}
+
+// Fingerprint renders every configuration knob that determines the
+// campaign's results. A checkpoint only resumes under the fingerprint it
+// was written with: resuming a -bug3 campaign without -bug3 would
+// silently change what the remaining batches test.
+func (c *Campaign) Fingerprint() string {
+	var an llvmport.Analyzer
+	if c.Comparator != nil && c.Comparator.Analyzer != nil {
+		an = *c.Comparator.Analyzer
+	}
+	var budget int64
+	var exprTimeout time.Duration
+	if c.Comparator != nil {
+		budget = c.Comparator.Budget
+		exprTimeout = c.Comparator.ExprTimeout
+	}
+	widths := ""
+	for _, w := range c.Widths {
+		widths += fmt.Sprintf("%d:%d,", w.Width, w.Weight)
+	}
+	return fmt.Sprintf("seed=%d;batches=%d;n=%d;max-insts=%d;widths=%s;max-width=%d;mutants=%d;canaries=%t;"+
+		"budget=%d;expr-timeout=%s;bug-nonzero=%t;bug-sremsign=%t;bug-sremknown=%t;modern=%t",
+		c.Seed, c.Batches, c.NumExprs, c.MaxInsts, widths, c.MaxCastWidth, c.Mutants, c.Canaries,
+		budget, exprTimeout, an.Bugs.NonZeroAdd, an.Bugs.SRemSignBits, an.Bugs.SRemKnownBits, an.Modern)
+}
+
+// SaveCheckpoint writes the campaign state to path atomically: the file
+// either holds the previous checkpoint or the new one, never a torn mix.
+func (c *Campaign) SaveCheckpoint(path string) error {
+	w := wireCheckpoint{
+		Version:   CheckpointVersion,
+		Tool:      checkpointTool,
+		Config:    c.Fingerprint(),
+		Seed:      c.Seed,
+		NextBatch: c.NextBatch,
+		Batches:   c.Totals.Batches,
+		Exprs:     c.Totals.Exprs,
+		Findings:  []wireFinding{},
+	}
+	for _, a := range harvest.AllAnalyses {
+		row := c.Totals.Rows[a]
+		if row == nil {
+			continue
+		}
+		w.Rows = append(w.Rows, wireRow{
+			Analysis:  string(a),
+			Same:      row.Same,
+			OracleMP:  row.OracleMP,
+			LLVMMP:    row.LLVMMP,
+			Exhausted: row.Exhausted,
+			Exprs:     row.Exprs,
+			CPUTimeNs: int64(row.CPUTime),
+		})
+	}
+	for _, f := range c.Totals.Findings {
+		w.Findings = append(w.Findings, wireFinding{
+			Expr:       f.ExprName,
+			Source:     f.Source,
+			Analysis:   string(f.Result.Analysis),
+			Var:        f.Result.Var,
+			OracleFact: f.Result.OracleFact,
+			LLVMFact:   f.Result.LLVMFact,
+		})
+	}
+	data, err := json.MarshalIndent(w, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	data = append(data, '\n')
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Resume restores the campaign state from a checkpoint file written by
+// SaveCheckpoint. The checkpoint's configuration fingerprint must match
+// this campaign's exactly; a mismatch is an error, not a silent restart
+// under different settings. Resume validates the whole file before
+// modifying the campaign.
+func (c *Campaign) Resume(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	var w wireCheckpoint
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if w.Tool != checkpointTool {
+		return fmt.Errorf("checkpoint %s: not a %s state file (tool %q)", path, checkpointTool, w.Tool)
+	}
+	if w.Version != CheckpointVersion {
+		return fmt.Errorf("checkpoint %s: version %d, want %d", path, w.Version, CheckpointVersion)
+	}
+	if got := c.Fingerprint(); w.Config != got {
+		return fmt.Errorf("checkpoint %s was written under a different configuration:\n  checkpoint: %s\n  current:    %s",
+			path, w.Config, got)
+	}
+	valid := make(map[string]bool, len(harvest.AllAnalyses))
+	for _, a := range harvest.AllAnalyses {
+		valid[string(a)] = true
+	}
+	for _, row := range w.Rows {
+		if !valid[row.Analysis] {
+			return fmt.Errorf("checkpoint %s: unknown analysis %q", path, row.Analysis)
+		}
+	}
+	for _, f := range w.Findings {
+		if !valid[f.Analysis] {
+			return fmt.Errorf("checkpoint %s: unknown analysis %q in finding", path, f.Analysis)
+		}
+	}
+
+	t := newTotals()
+	t.Batches = w.Batches
+	t.Exprs = w.Exprs
+	for _, row := range w.Rows {
+		t.Rows[harvest.Analysis(row.Analysis)] = &compare.Row{
+			Analysis:  harvest.Analysis(row.Analysis),
+			Same:      row.Same,
+			OracleMP:  row.OracleMP,
+			LLVMMP:    row.LLVMMP,
+			Exhausted: row.Exhausted,
+			Exprs:     row.Exprs,
+			CPUTime:   time.Duration(row.CPUTimeNs),
+		}
+	}
+	for _, f := range w.Findings {
+		t.Findings = append(t.Findings, compare.Finding{
+			ExprName: f.Expr,
+			Source:   f.Source,
+			Result: compare.Result{
+				Analysis:   harvest.Analysis(f.Analysis),
+				Outcome:    compare.LLVMMorePrecise,
+				Var:        f.Var,
+				OracleFact: f.OracleFact,
+				LLVMFact:   f.LLVMFact,
+			},
+		})
+	}
+	c.Totals = t
+	c.NextBatch = w.NextBatch
+	return nil
+}

@@ -7,6 +7,7 @@
 package compare
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"dfcheck/internal/harvest"
 	"dfcheck/internal/ir"
 	"dfcheck/internal/llvmport"
+	"dfcheck/internal/metrics"
 	"dfcheck/internal/oracle"
 	"dfcheck/internal/rescache"
 	"dfcheck/internal/solver"
@@ -82,17 +84,52 @@ type Comparator struct {
 	// runs. This exploits the §3.1 duplication statistics the way the
 	// original artifact's Redis store did.
 	Cache *rescache.Cache
+	// Metrics, when set, is instrumented with solver query counters,
+	// per-expression latency histograms, worker utilization, cache
+	// traffic, and finding counts — the observability a long unattended
+	// campaign needs. Nil disables instrumentation at zero cost.
+	Metrics *metrics.Registry
 }
 
-// newEngine builds a SAT engine honoring the per-expression deadline.
-func (c *Comparator) newEngine(f *ir.Function, deadline time.Time) *solver.SATEngine {
+// newEngine builds a SAT engine honoring the per-expression deadline and
+// the run's cancellation context.
+func (c *Comparator) newEngine(ctx context.Context, f *ir.Function, deadline time.Time) *solver.SATEngine {
 	e := solver.NewSAT(f, c.Budget)
 	e.Deadline = deadline
+	if ctx != nil && ctx != context.Background() {
+		e.Ctx = ctx
+	}
 	return e
 }
 
+// recordOracle rolls one expression's solver work into the metrics
+// registry (worker goroutine; all instruments are atomic).
+func (c *Comparator) recordOracle(o *oracleSet) {
+	if c.Metrics == nil {
+		return
+	}
+	var total time.Duration
+	for _, d := range o.Elapsed {
+		total += d
+	}
+	c.Metrics.Counter("exprs_compared").Inc()
+	c.Metrics.Counter("solver_queries").Add(o.Solver.Queries)
+	c.Metrics.Counter("solver_conflicts").Add(o.Solver.Conflicts)
+	c.Metrics.Counter("solver_propagations").Add(o.Solver.Propagations)
+	c.Metrics.Counter("solver_exhausted").Add(o.Solver.Exhausted)
+	c.Metrics.Histogram("expr_latency").Observe(total)
+}
+
+// markBusy tracks worker utilization around one expression.
+func (c *Comparator) markBusy(delta int64) {
+	if c.Metrics != nil {
+		c.Metrics.Gauge("workers_busy").Add(delta)
+	}
+}
+
 // oracleSet bundles the eight oracle facts for one expression, plus the
-// time each took. Indices into Elapsed follow the Table 1 analysis order.
+// time each took and the solver work they cost. Indices into Elapsed
+// follow the Table 1 analysis order.
 type oracleSet struct {
 	Known    oracle.KnownBitsResult
 	Sign     oracle.SignBitsResult
@@ -103,29 +140,33 @@ type oracleSet struct {
 	Range    oracle.RangeResult
 	Demanded oracle.DemandedBitsResult
 	Elapsed  [8]time.Duration
+	Solver   solver.Stats
 }
 
 // computeOracle runs all eight oracle algorithms on f under the
 // per-expression deadline, timing each.
-func (c *Comparator) computeOracle(f *ir.Function) *oracleSet {
+func (c *Comparator) computeOracle(ctx context.Context, f *ir.Function) *oracleSet {
 	var deadline time.Time
 	if c.ExprTimeout > 0 {
 		deadline = time.Now().Add(c.ExprTimeout)
 	}
 	o := &oracleSet{}
-	run := func(i int, compute func()) {
+	run := func(i int, compute func(e *solver.SATEngine)) {
+		e := c.newEngine(ctx, f, deadline)
 		start := time.Now()
-		compute()
+		compute(e)
 		o.Elapsed[i] = time.Since(start)
+		o.Solver.Add(e.Stats())
 	}
-	run(0, func() { o.Known = oracle.KnownBits(c.newEngine(f, deadline), f) })
-	run(1, func() { o.Sign = oracle.SignBits(c.newEngine(f, deadline), f) })
-	run(2, func() { o.NonZero = oracle.NonZero(c.newEngine(f, deadline), f) })
-	run(3, func() { o.Negative = oracle.Negative(c.newEngine(f, deadline), f) })
-	run(4, func() { o.NonNeg = oracle.NonNegative(c.newEngine(f, deadline), f) })
-	run(5, func() { o.Pow2 = oracle.PowerOfTwo(c.newEngine(f, deadline), f) })
-	run(6, func() { o.Range = oracle.IntegerRange(c.newEngine(f, deadline), f) })
-	run(7, func() { o.Demanded = oracle.DemandedBits(c.newEngine(f, deadline), f) })
+	run(0, func(e *solver.SATEngine) { o.Known = oracle.KnownBits(e, f) })
+	run(1, func(e *solver.SATEngine) { o.Sign = oracle.SignBits(e, f) })
+	run(2, func(e *solver.SATEngine) { o.NonZero = oracle.NonZero(e, f) })
+	run(3, func(e *solver.SATEngine) { o.Negative = oracle.Negative(e, f) })
+	run(4, func(e *solver.SATEngine) { o.NonNeg = oracle.NonNegative(e, f) })
+	run(5, func(e *solver.SATEngine) { o.Pow2 = oracle.PowerOfTwo(e, f) })
+	run(6, func(e *solver.SATEngine) { o.Range = oracle.IntegerRange(e, f) })
+	run(7, func(e *solver.SATEngine) { o.Demanded = oracle.DemandedBits(e, f) })
+	c.recordOracle(o)
 	return o
 }
 
@@ -147,7 +188,11 @@ func (c *Comparator) cacheConfig() string {
 // consulting the cache per analysis and computing (then storing) the
 // misses. Demanded-bits entries are stored in the canonical variable
 // namespace, so they apply to every alpha-variant of the expression.
-func (c *Comparator) oracleCached(cn *canon.Canon) *oracleSet {
+//
+// Results computed while ctx is (or becomes) cancelled are never written
+// back: a cancellation-degraded result in a persisted cache would make a
+// resumed campaign silently diverge from an uninterrupted one.
+func (c *Comparator) oracleCached(ctx context.Context, cn *canon.Canon) *oracleSet {
 	f := cn.F
 	var deadline time.Time
 	if c.ExprTimeout > 0 {
@@ -155,41 +200,47 @@ func (c *Comparator) oracleCached(cn *canon.Canon) *oracleSet {
 	}
 	cfg := c.cacheConfig()
 	o := &oracleSet{}
-	step := func(i int, a harvest.Analysis, fromCache func(any) bool, compute func() any) {
+	step := func(i int, a harvest.Analysis, fromCache func(any) bool, compute func(e *solver.SATEngine) any) {
 		k := rescache.Key{Expr: cn.Key, Analysis: string(a), Budget: c.Budget, Config: cfg}
 		if e, ok := c.Cache.Get(k); ok && fromCache(e.Value) {
 			o.Elapsed[i] = e.Elapsed
 			return
 		}
+		eng := c.newEngine(ctx, f, deadline)
 		start := time.Now()
-		v := compute()
+		v := compute(eng)
 		o.Elapsed[i] = time.Since(start)
+		o.Solver.Add(eng.Stats())
+		if ctx.Err() != nil {
+			return // possibly degraded by cancellation: do not memoize
+		}
 		c.Cache.Put(k, rescache.Entry{Value: v, Elapsed: o.Elapsed[i]})
 	}
 	step(0, harvest.KnownBits,
 		func(v any) (ok bool) { o.Known, ok = v.(oracle.KnownBitsResult); return },
-		func() any { o.Known = oracle.KnownBits(c.newEngine(f, deadline), f); return o.Known })
+		func(e *solver.SATEngine) any { o.Known = oracle.KnownBits(e, f); return o.Known })
 	step(1, harvest.SignBits,
 		func(v any) (ok bool) { o.Sign, ok = v.(oracle.SignBitsResult); return },
-		func() any { o.Sign = oracle.SignBits(c.newEngine(f, deadline), f); return o.Sign })
+		func(e *solver.SATEngine) any { o.Sign = oracle.SignBits(e, f); return o.Sign })
 	step(2, harvest.NonZero,
 		func(v any) (ok bool) { o.NonZero, ok = v.(oracle.BoolResult); return },
-		func() any { o.NonZero = oracle.NonZero(c.newEngine(f, deadline), f); return o.NonZero })
+		func(e *solver.SATEngine) any { o.NonZero = oracle.NonZero(e, f); return o.NonZero })
 	step(3, harvest.Negative,
 		func(v any) (ok bool) { o.Negative, ok = v.(oracle.BoolResult); return },
-		func() any { o.Negative = oracle.Negative(c.newEngine(f, deadline), f); return o.Negative })
+		func(e *solver.SATEngine) any { o.Negative = oracle.Negative(e, f); return o.Negative })
 	step(4, harvest.NonNegative,
 		func(v any) (ok bool) { o.NonNeg, ok = v.(oracle.BoolResult); return },
-		func() any { o.NonNeg = oracle.NonNegative(c.newEngine(f, deadline), f); return o.NonNeg })
+		func(e *solver.SATEngine) any { o.NonNeg = oracle.NonNegative(e, f); return o.NonNeg })
 	step(5, harvest.PowerOfTwo,
 		func(v any) (ok bool) { o.Pow2, ok = v.(oracle.BoolResult); return },
-		func() any { o.Pow2 = oracle.PowerOfTwo(c.newEngine(f, deadline), f); return o.Pow2 })
+		func(e *solver.SATEngine) any { o.Pow2 = oracle.PowerOfTwo(e, f); return o.Pow2 })
 	step(6, harvest.IntegerRange,
 		func(v any) (ok bool) { o.Range, ok = v.(oracle.RangeResult); return },
-		func() any { o.Range = oracle.IntegerRange(c.newEngine(f, deadline), f); return o.Range })
+		func(e *solver.SATEngine) any { o.Range = oracle.IntegerRange(e, f); return o.Range })
 	step(7, harvest.DemandedBits,
 		func(v any) (ok bool) { o.Demanded, ok = v.(oracle.DemandedBitsResult); return },
-		func() any { o.Demanded = oracle.DemandedBits(c.newEngine(f, deadline), f); return o.Demanded })
+		func(e *solver.SATEngine) any { o.Demanded = oracle.DemandedBits(e, f); return o.Demanded })
+	c.recordOracle(o)
 	return o
 }
 
@@ -222,8 +273,16 @@ func (c *Comparator) classify(f *ir.Function, fa *llvmport.Facts, o *oracleSet) 
 // per input variable for demanded bits (the paper counts demanded-bits
 // comparisons per variable).
 func (c *Comparator) CompareExpr(f *ir.Function) []Result {
+	return c.CompareExprContext(context.Background(), f)
+}
+
+// CompareExprContext is CompareExpr under a cancellation context: when
+// ctx is cancelled, in-flight solver queries abort within one check
+// interval and the remaining queries fail fast, so the expression still
+// comes back with well-formed (exhaustion-degraded) results promptly.
+func (c *Comparator) CompareExprContext(ctx context.Context, f *ir.Function) []Result {
 	fa := c.Analyzer.Analyze(f)
-	return c.classify(f, fa, c.computeOracle(f))
+	return c.classify(f, fa, c.computeOracle(ctx, f))
 }
 
 func compareKnownBits(o oracle.KnownBitsResult, fa *llvmport.Facts) Result {
@@ -415,6 +474,12 @@ type Report struct {
 	Findings []Finding
 	// Cache is set by cached runs (Comparator.Cache != nil).
 	Cache *CacheStats
+	// Interrupted is true when the run's context was cancelled before
+	// every corpus entry was compared; Skipped counts the entries that
+	// were never analyzed. The rows and findings cover only the analyzed
+	// entries — a partial but well-formed report.
+	Interrupted bool
+	Skipped     int
 }
 
 func newReport() *Report {
@@ -457,39 +522,89 @@ func (rep *Report) absorb(e harvest.Expr, results []Result) {
 // is analyzed once (see runCached); the aggregated counts and findings
 // are identical to the uncached path.
 func (c *Comparator) Run(corpus []harvest.Expr) *Report {
+	return c.RunContext(context.Background(), corpus)
+}
+
+// forEach runs job(i) for i in [0, n) on the worker pool (or inline when
+// Workers <= 1), stopping the dispatch of new work once ctx is cancelled.
+// Jobs already running when the cancel lands finish on their own — their
+// solver queries abort via the engine context — so forEach returns
+// promptly either way.
+func (c *Comparator) forEach(ctx context.Context, n int, job func(i int)) {
+	guarded := func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		c.markBusy(1)
+		job(i)
+		c.markBusy(-1)
+	}
+	if c.Workers <= 1 {
+		for i := 0; i < n; i++ {
+			guarded(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	// Buffered so the dispatcher never serializes on slow workers.
+	jobs := make(chan int, n)
+	for w := 0; w < c.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				guarded(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// RunContext is Run under a cancellation context: cancelling ctx stops
+// workers at the next expression boundary (and aborts their in-flight
+// solver queries), returning a partial report with Interrupted set
+// instead of tearing the process down mid-batch.
+func (c *Comparator) RunContext(ctx context.Context, corpus []harvest.Expr) *Report {
 	if c.Cache != nil {
-		return c.runCached(corpus)
+		return c.runCached(ctx, corpus)
 	}
 	perExpr := make([][]Result, len(corpus))
-	if c.Workers > 1 {
-		var wg sync.WaitGroup
-		// Buffered so the dispatcher never serializes on slow workers.
-		jobs := make(chan int, len(corpus))
-		for w := 0; w < c.Workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range jobs {
-					perExpr[i] = c.CompareExpr(corpus[i].F)
-				}
-			}()
-		}
-		for i := range corpus {
-			jobs <- i
-		}
-		close(jobs)
-		wg.Wait()
-	} else {
-		for i := range corpus {
-			perExpr[i] = c.CompareExpr(corpus[i].F)
-		}
-	}
+	c.forEach(ctx, len(corpus), func(i int) {
+		perExpr[i] = c.CompareExprContext(ctx, corpus[i].F)
+	})
 
 	rep := newReport()
 	for i, e := range corpus {
+		if perExpr[i] == nil {
+			rep.Skipped++
+			continue
+		}
 		rep.absorb(e, perExpr[i])
 	}
+	rep.Interrupted = rep.Skipped > 0
+	c.recordReport(rep)
 	return rep
+}
+
+// recordReport rolls aggregate outcomes into the metrics registry
+// (aggregation goroutine, after workers are done).
+func (c *Comparator) recordReport(rep *Report) {
+	if c.Metrics == nil {
+		return
+	}
+	c.Metrics.Counter("findings").Add(int64(len(rep.Findings)))
+	if rep.Skipped > 0 {
+		c.Metrics.Counter("exprs_skipped").Add(int64(rep.Skipped))
+	}
+	if rep.Cache != nil {
+		c.Metrics.Counter("cache_hits").Add(int64(rep.Cache.Hits))
+		c.Metrics.Counter("cache_misses").Add(int64(rep.Cache.Misses))
+		c.Metrics.Gauge("cache_entries").Set(int64(rep.Cache.Entries))
+	}
 }
 
 // groupResult is one canonical group's classification: the seven scalar
@@ -504,8 +619,9 @@ type groupResult struct {
 // runCached is the duplication-aware path: group by canonical key,
 // analyze each unique expression once (memoizing oracle results in the
 // cache), then fold results back onto every corpus entry with its own
-// name, source text, and variable names.
-func (c *Comparator) runCached(corpus []harvest.Expr) *Report {
+// name, source text, and variable names. Cancelling ctx skips the
+// unanalyzed groups; their member entries count as Skipped.
+func (c *Comparator) runCached(ctx context.Context, corpus []harvest.Expr) *Report {
 	before := c.Cache.Stats()
 
 	cns := make([]*canon.Canon, len(corpus))
@@ -527,10 +643,10 @@ func (c *Comparator) runCached(corpus []harvest.Expr) *Report {
 	}
 
 	groups := make([]*groupResult, len(reps))
-	analyzeGroup := func(g int) {
+	c.forEach(ctx, len(reps), func(g int) {
 		cn := cns[reps[g]]
 		fa := c.Analyzer.Analyze(cn.F)
-		o := c.oracleCached(cn)
+		o := c.oracleCached(ctx, cn)
 		gr := &groupResult{demanded: make(map[string]Result, len(cn.F.Vars)), demTime: o.Elapsed[7]}
 		for _, r := range c.classify(cn.F, fa, o) {
 			if r.Analysis == harvest.DemandedBits {
@@ -541,33 +657,15 @@ func (c *Comparator) runCached(corpus []harvest.Expr) *Report {
 			}
 		}
 		groups[g] = gr
-	}
-	if c.Workers > 1 {
-		var wg sync.WaitGroup
-		jobs := make(chan int, len(reps))
-		for w := 0; w < c.Workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for g := range jobs {
-					analyzeGroup(g)
-				}
-			}()
-		}
-		for g := range reps {
-			jobs <- g
-		}
-		close(jobs)
-		wg.Wait()
-	} else {
-		for g := range reps {
-			analyzeGroup(g)
-		}
-	}
+	})
 
 	rep := newReport()
 	for i, e := range corpus {
 		gr := groups[gidx[i]]
+		if gr == nil {
+			rep.Skipped++
+			continue
+		}
 		results := make([]Result, 0, len(gr.scalar)+len(e.F.Vars))
 		results = append(results, gr.scalar...)
 		for vi, v := range e.F.Vars {
@@ -583,6 +681,7 @@ func (c *Comparator) runCached(corpus []harvest.Expr) *Report {
 		}
 		rep.absorb(e, results)
 	}
+	rep.Interrupted = rep.Skipped > 0
 
 	after := c.Cache.Stats()
 	rep.Cache = &CacheStats{
@@ -592,5 +691,6 @@ func (c *Comparator) runCached(corpus []harvest.Expr) *Report {
 		TotalExprs:  len(corpus),
 		UniqueExprs: len(reps),
 	}
+	c.recordReport(rep)
 	return rep
 }

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventLog writes a JSONL stream of campaign events: one self-contained
+// JSON object per line, so a finding can be reproduced from the log alone
+// and a batch history can be grepped or replayed without parsing state.
+// Every event carries its type and a wall-clock timestamp; the rest of
+// the fields are the caller's.
+//
+// A nil *EventLog is a valid no-op sink, so instrumented code never
+// guards emission.
+type EventLog struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+	now func() time.Time // test override
+}
+
+// NewEventLog returns an event log writing to w.
+func NewEventLog(w io.Writer) *EventLog {
+	return &EventLog{w: w, now: time.Now}
+}
+
+// Emit writes one event. Fields must JSON-marshal; the reserved keys
+// "event" and "time" are overwritten. The first write error is retained
+// and returned by Err (and by every subsequent Emit), so a full disk
+// surfaces once instead of spamming every batch.
+func (l *EventLog) Emit(event string, fields map[string]any) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	rec := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	rec["event"] = event
+	rec["time"] = l.now().UTC().Format(time.RFC3339Nano)
+	data, err := json.Marshal(rec)
+	if err != nil {
+		l.err = fmt.Errorf("events: %w", err)
+		return l.err
+	}
+	data = append(data, '\n')
+	if _, err := l.w.Write(data); err != nil {
+		l.err = fmt.Errorf("events: %w", err)
+		return l.err
+	}
+	return nil
+}
+
+// Err returns the first write error, if any.
+func (l *EventLog) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}

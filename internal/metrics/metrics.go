@@ -1,0 +1,319 @@
+// Package metrics is the observability substrate for long-running
+// campaigns: a small registry of named counters, gauges, and latency
+// histograms, snapshotable as JSON and publishable through expvar. The
+// paper's authors ran their differential-testing loop unattended for
+// weeks (§4.7); this package is what lets our loop answer "is it still
+// making progress, and at what rate?" without stopping it.
+//
+// All instruments are safe for concurrent use by the comparator's worker
+// pool; reads (snapshots) never block writers for more than a histogram
+// bucket update.
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta (delta < 0 is a programming error
+// but is not checked on the hot path).
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 value (e.g. busy workers).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of exponential latency buckets: bucket i
+// holds observations in [2^i, 2^(i+1)) microseconds, so the histogram
+// spans 1µs to ~2×10^5 s — wider than any per-expression cap.
+const histBuckets = 38
+
+// Histogram records latency observations in exponential buckets.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [histBuckets]int64
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := d.Microseconds()
+	b := 0
+	if us > 0 {
+		b = int(math.Log2(float64(us))) + 1
+		if b >= histBuckets {
+			b = histBuckets - 1
+		}
+	}
+	h.mu.Lock()
+	h.buckets[b]++
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a point-in-time summary of a histogram.
+type HistogramSnapshot struct {
+	Count int64         `json:"count"`
+	Sum   time.Duration `json:"sum_ns"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
+}
+
+// Mean returns the average observation, or 0 with no samples.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// quantile returns the upper edge of the bucket holding the q-quantile —
+// an overestimate by at most 2×, which is all a progress report needs.
+func quantile(buckets *[histBuckets]int64, count int64, q float64) time.Duration {
+	if count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(count))
+	if rank >= count {
+		rank = count - 1
+	}
+	var seen int64
+	for i, n := range buckets {
+		seen += n
+		if seen > rank {
+			return time.Duration(1<<uint(i)) * time.Microsecond
+		}
+	}
+	return time.Duration(1<<uint(histBuckets)) * time.Microsecond
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Count: h.count,
+		Sum:   h.sum,
+		Min:   h.min,
+		Max:   h.max,
+		P50:   quantile(&h.buckets, h.count, 0.50),
+		P90:   quantile(&h.buckets, h.count, 0.90),
+		P99:   quantile(&h.buckets, h.count, 0.99),
+	}
+}
+
+// Registry holds named instruments. Lookups create on first use, so
+// instrumented code never needs registration boilerplate. The zero value
+// is not usable; call NewRegistry.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter. Safe to call
+// from the hot path: the instrument should be looked up once and reused,
+// but repeated lookups only cost a mutex.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time view of every instrument, ready for JSON.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every instrument.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for k, c := range counters {
+		snap.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		snap.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		snap.Histograms[k] = h.Snapshot()
+	}
+	return snap
+}
+
+// JSON renders the snapshot with sorted keys (encoding/json sorts map
+// keys), indented for the campaign's -metrics file.
+func (r *Registry) JSON() ([]byte, error) {
+	return json.MarshalIndent(r.Snapshot(), "", "  ")
+}
+
+// String renders a compact one-line summary of the counters, sorted by
+// name — the progress-report form.
+func (r *Registry) String() string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap.Counters))
+	for k := range snap.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := ""
+	for i, k := range names {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", k, snap.Counters[k])
+	}
+	return out
+}
+
+// expvarMu serializes Publish: expvar.Publish panics on duplicate names,
+// and tests may publish more than one registry.
+var expvarMu sync.Mutex
+
+// PublishExpvar exposes the registry under the given expvar name (e.g. on
+// /debug/vars when an HTTP listener is up). Publishing the same name
+// twice rebinds it to this registry instead of panicking.
+func (r *Registry) PublishExpvar(name string) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if v := expvar.Get(name); v != nil {
+		// Already published (e.g. a previous campaign in this process):
+		// rebind if it is one of ours, otherwise leave it alone.
+		if rb, ok := v.(*rebindable); ok {
+			rb.set(r)
+		}
+		return
+	}
+	rb := &rebindable{}
+	rb.set(r)
+	expvar.Publish(name, rb)
+}
+
+// rebindable is an expvar.Var whose backing registry can be swapped, so
+// republishing a name is an update instead of a panic.
+type rebindable struct {
+	mu sync.Mutex
+	r  *Registry
+}
+
+func (rb *rebindable) set(r *Registry) {
+	rb.mu.Lock()
+	rb.r = r
+	rb.mu.Unlock()
+}
+
+func (rb *rebindable) String() string {
+	rb.mu.Lock()
+	r := rb.r
+	rb.mu.Unlock()
+	if r == nil {
+		return "{}"
+	}
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(data)
+}

@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("queries")
+			g := r.Gauge("busy")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("queries").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("busy").Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency")
+	// 90 fast observations, 10 slow ones.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.Min != 100*time.Microsecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	// Bucket upper edges overestimate by at most 2x.
+	if s.P50 < 100*time.Microsecond || s.P50 > 256*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~100µs..256µs", s.P50)
+	}
+	if s.P99 < 100*time.Millisecond || s.P99 > 256*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~100ms..256ms", s.P99)
+	}
+	if mean := s.Mean(); mean < 5*time.Millisecond || mean > 20*time.Millisecond {
+		t.Fatalf("mean = %v, want ~10ms", mean)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("exprs").Add(42)
+	r.Gauge("workers").Set(4)
+	r.Histogram("lat").Observe(time.Millisecond)
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if snap.Counters["exprs"] != 42 || snap.Gauges["workers"] != 4 {
+		t.Fatalf("round-tripped snapshot = %+v", snap)
+	}
+	if snap.Histograms["lat"].Count != 1 {
+		t.Fatalf("histogram lost: %+v", snap.Histograms)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	if got := r.String(); got != "a=1 b=2" {
+		t.Fatalf("String() = %q, want %q", got, "a=1 b=2")
+	}
+}
+
+func TestPublishExpvarRebinds(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("n").Add(1)
+	r1.PublishExpvar("test_metrics")
+	r2 := NewRegistry()
+	r2.Counter("n").Add(7)
+	r2.PublishExpvar("test_metrics") // must not panic; rebinds
+	v := expvar.Get("test_metrics")
+	if v == nil {
+		t.Fatal("not published")
+	}
+	if !strings.Contains(v.String(), `"n":7`) {
+		t.Fatalf("expvar shows %s, want rebound registry with n=7", v.String())
+	}
+}
+
+func TestEventLogJSONL(t *testing.T) {
+	var sb strings.Builder
+	l := NewEventLog(&sb)
+	l.now = func() time.Time { return time.Unix(0, 0) }
+	if err := l.Emit("batch", map[string]any{"seed": int64(12345), "exprs": 50}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Emit("finding", map[string]any{"expr": "e1"}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if rec["event"] != "batch" || rec["seed"] != float64(12345) {
+		t.Fatalf("line 0 = %v", rec)
+	}
+}
+
+func TestEventLogNilIsNoOp(t *testing.T) {
+	var l *EventLog
+	if err := l.Emit("x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n++
+	return 0, errWrite
+}
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "disk full" }
+
+func TestEventLogRetainsFirstError(t *testing.T) {
+	w := &failWriter{}
+	l := NewEventLog(w)
+	if err := l.Emit("a", nil); err == nil {
+		t.Fatal("write error not surfaced")
+	}
+	_ = l.Emit("b", nil)
+	_ = l.Emit("c", nil)
+	if w.n != 1 {
+		t.Fatalf("writer called %d times after failure, want 1", w.n)
+	}
+	if l.Err() == nil {
+		t.Fatal("Err() lost the failure")
+	}
+}

@@ -1,0 +1,109 @@
+package sat
+
+import (
+	"testing"
+	"time"
+)
+
+// addPigeonhole encodes PHP(pigeons, holes): every pigeon sits in some
+// hole, no hole holds two pigeons. Unsatisfiable when pigeons > holes,
+// and exponentially hard for resolution-based solvers — a reliable way to
+// keep the search busy far past any test deadline.
+func addPigeonhole(s *Solver, pigeons, holes int) {
+	vars := make([][]Var, pigeons)
+	for i := range vars {
+		vars[i] = make([]Var, holes)
+		for j := range vars[i] {
+			vars[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i < pigeons; i++ {
+		lits := make([]Lit, holes)
+		for j := 0; j < holes; j++ {
+			lits[j] = PosLit(vars[i][j])
+		}
+		s.AddClause(lits...)
+	}
+	for j := 0; j < holes; j++ {
+		for i := 0; i < pigeons; i++ {
+			for k := i + 1; k < pigeons; k++ {
+				s.AddClause(NegLit(vars[i][j]), NegLit(vars[k][j]))
+			}
+		}
+	}
+}
+
+// TestAbortStopsInFlightSolve pins the deadline-overshoot bound: a solve
+// that would run for minutes stops with Unknown within one abort check
+// interval of the deadline firing.
+func TestAbortStopsInFlightSolve(t *testing.T) {
+	s := New()
+	addPigeonhole(s, 12, 11)
+	// Backstop so a broken abort fails the test instead of hanging it.
+	s.PropagationBudget = 2_000_000_000
+
+	deadline := time.Now().Add(50 * time.Millisecond)
+	polls := 0
+	s.Abort = func() bool {
+		polls++
+		return !time.Now().Before(deadline)
+	}
+
+	start := time.Now()
+	st := s.Solve()
+	elapsed := time.Since(start)
+
+	if st != Unknown {
+		t.Fatalf("Solve = %v, want Unknown (aborted)", st)
+	}
+	if polls == 0 {
+		t.Fatalf("abort callback never polled")
+	}
+	// One check interval is DefaultAbortCheckEvery propagations — well
+	// under a second of work even on a slow machine. Allow generous CI
+	// slack; the pre-fix behavior was minutes.
+	if elapsed > 5*time.Second {
+		t.Fatalf("aborted solve took %v, want within one check interval of the 50ms deadline", elapsed)
+	}
+}
+
+// TestAbortThatNeverFiresIsHarmless checks a wired-but-idle abort callback
+// does not perturb results.
+func TestAbortThatNeverFiresIsHarmless(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(PosLit(a), PosLit(b))
+	s.AddClause(NegLit(a))
+	s.Abort = func() bool { return false }
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("Solve = %v, want Sat", st)
+	}
+	if !s.Value(b) {
+		t.Fatalf("model: b = false, want true")
+	}
+}
+
+// TestAbortCheckEveryOverride checks the poll interval is honored: a
+// one-propagation interval polls on (nearly) every search iteration,
+// while the default interval — wider than this instance's whole
+// propagation count — polls only a handful of times.
+func TestAbortCheckEveryOverride(t *testing.T) {
+	solve := func(every int64) (polls, props int64) {
+		s := New()
+		addPigeonhole(s, 6, 5)
+		s.AbortCheckEvery = every
+		s.Abort = func() bool { polls++; return false }
+		if st := s.Solve(); st != Unsat {
+			t.Fatalf("Solve = %v, want Unsat", st)
+		}
+		return polls, s.Propagations
+	}
+	tight, props := solve(1)
+	loose, _ := solve(0) // default interval, larger than props
+	if tight < 10 {
+		t.Fatalf("interval 1: only %d polls over %d propagations", tight, props)
+	}
+	if loose >= tight {
+		t.Fatalf("default interval polled %d times, tight interval %d; interval not honored", loose, tight)
+	}
+}

@@ -115,12 +115,34 @@ type Solver struct {
 	ConflictBudget    int64
 	PropagationBudget int64
 
+	// Abort, when non-nil, is polled during search every AbortCheckEvery
+	// propagations; a true return stops the solve with Unknown. Unlike the
+	// budgets — which are checked only between restarts' conflict batches —
+	// the abort poll bounds how far a single solve can overrun an external
+	// deadline: at most one check interval of propagation work. The
+	// callback must be cheap (it is called from the search hot loop) and
+	// must keep returning true once it has fired.
+	Abort func() bool
+
+	// AbortCheckEvery is the abort poll interval in propagations;
+	// zero or negative selects DefaultAbortCheckEvery.
+	AbortCheckEvery int64
+
+	nextAbortCheck int64
+	aborted        bool
+
 	// Statistics.
 	Conflicts    int64
 	Propagations int64
 	Decisions    int64
 	Restarts     int64
 }
+
+// DefaultAbortCheckEvery is the default abort poll interval. Propagation
+// runs at tens of millions per second, so polling every few thousand
+// keeps the callback overhead unmeasurable while bounding deadline
+// overshoot to well under a millisecond of search work.
+const DefaultAbortCheckEvery = 4096
 
 // New returns an empty solver.
 func New() *Solver {
@@ -549,12 +571,15 @@ func luby(i int64) int64 {
 }
 
 // Solve determines satisfiability under the given assumptions. After Sat,
-// Value reports the model. Unknown means a budget was exhausted.
+// Value reports the model. Unknown means a budget was exhausted or the
+// Abort callback fired.
 func (s *Solver) Solve(assumptions ...Lit) Status {
 	if s.unsat {
 		return Unsat
 	}
 	defer s.cancelUntil(0)
+	s.aborted = false
+	s.nextAbortCheck = s.Propagations // poll before the first batch
 
 	var restartNum int64
 	for {
@@ -567,7 +592,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		if st == Unsat {
 			return Unsat
 		}
-		if s.budgetExceeded() {
+		if s.aborted || s.budgetExceeded() {
 			return Unknown
 		}
 		restartNum++
@@ -584,9 +609,33 @@ func (s *Solver) budgetExceeded() bool {
 		(s.PropagationBudget > 0 && s.Propagations >= s.PropagationBudget)
 }
 
-// search runs CDCL until a result, a restart point, or budget exhaustion.
+// pollAbort invokes the Abort callback once enough propagations have
+// accumulated since the last poll, reporting true when the solve must
+// stop. Every search iteration runs at least one propagation, so the poll
+// comes due regardless of how the search is progressing.
+func (s *Solver) pollAbort() bool {
+	if s.Abort == nil || s.Propagations < s.nextAbortCheck {
+		return false
+	}
+	every := s.AbortCheckEvery
+	if every <= 0 {
+		every = DefaultAbortCheckEvery
+	}
+	s.nextAbortCheck = s.Propagations + every
+	if s.Abort() {
+		s.aborted = true
+		return true
+	}
+	return false
+}
+
+// search runs CDCL until a result, a restart point, budget exhaustion, or
+// an abort.
 func (s *Solver) search(assumptions []Lit, conflictLimit int64) Status {
 	for {
+		if s.pollAbort() {
+			return Unknown
+		}
 		confl := s.propagate()
 		if confl != nilClauseIdx {
 			s.Conflicts++

@@ -145,32 +145,13 @@ func TestXorChain(t *testing.T) {
 	}
 }
 
-// pigeonhole n+1 pigeons, n holes: classic hard UNSAT family.
+// pigeonhole n+1 pigeons, n holes: classic hard UNSAT family (the
+// encoding lives in abort_test.go, which also uses it to keep a solve
+// busy past a deadline).
 func pigeonhole(t *testing.T, n int) {
 	t.Helper()
 	s := New()
-	// vars[p][h]: pigeon p in hole h.
-	vars := make([][]Var, n+1)
-	for p := range vars {
-		vars[p] = make([]Var, n)
-		for h := range vars[p] {
-			vars[p][h] = s.NewVar()
-		}
-	}
-	for p := 0; p <= n; p++ {
-		lits := make([]Lit, n)
-		for h := 0; h < n; h++ {
-			lits[h] = PosLit(vars[p][h])
-		}
-		s.AddClause(lits...)
-	}
-	for h := 0; h < n; h++ {
-		for p1 := 0; p1 <= n; p1++ {
-			for p2 := p1 + 1; p2 <= n; p2++ {
-				s.AddClause(NegLit(vars[p1][h]), NegLit(vars[p2][h]))
-			}
-		}
-	}
+	addPigeonhole(s, n+1, n)
 	if got := s.Solve(); got != Unsat {
 		t.Fatalf("PHP(%d) = %v, want unsat", n, got)
 	}

@@ -53,6 +53,7 @@ func (e *SATEngine) solveAssuming(s *sat.Solver, assumptions ...sat.Lit) (bool, 
 	}
 	beforeC, beforeP := s.Conflicts, s.Propagations
 	s.ConflictBudget = s.Conflicts + e.budget
+	e.armAbort(s)
 	st := s.Solve(assumptions...)
 	e.stats.Queries++
 	e.stats.Conflicts += s.Conflicts - beforeC

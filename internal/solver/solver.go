@@ -14,6 +14,7 @@
 package solver
 
 import (
+	"context"
 	"time"
 
 	"dfcheck/internal/apint"
@@ -66,7 +67,16 @@ type Stats struct {
 	Queries      int64
 	Conflicts    int64
 	Propagations int64
-	Exhausted    int64 // queries that ran out of budget
+	Exhausted    int64 // queries that ran out of budget or were aborted
+}
+
+// Add accumulates o into s, for rolling per-engine counters up into
+// per-expression or per-campaign totals.
+func (s *Stats) Add(o Stats) {
+	s.Queries += o.Queries
+	s.Conflicts += o.Conflicts
+	s.Propagations += o.Propagations
+	s.Exhausted += o.Exhausted
 }
 
 // DefaultConflictBudget bounds each SAT query, standing in for the paper's
@@ -87,10 +97,17 @@ type SATEngine struct {
 	// Fresh disables incremental solving.
 	Fresh bool
 
-	// Deadline, when non-zero, makes every query after that instant
-	// return unknown — the paper's five-minute cap on the total dataflow
-	// computation per expression (§4.1).
+	// Deadline, when non-zero, bounds the total dataflow computation per
+	// expression — the paper's five-minute cap (§4.1). Queries issued
+	// after it return unknown immediately, and a query *in flight* when
+	// it expires is aborted within one solver check interval
+	// (sat.DefaultAbortCheckEvery propagations); both count as exhausted.
 	Deadline time.Time
+
+	// Ctx, when non-nil, cancels queries the same way the deadline does:
+	// new queries fail fast and in-flight ones abort at the next check
+	// interval. It is how Comparator.RunContext stops workers mid-search.
+	Ctx context.Context
 
 	out    *outputSession
 	miters map[*ir.Inst]*miterSession
@@ -108,15 +125,35 @@ func NewSAT(f *ir.Function, budget int64) *SATEngine {
 // Stats returns cumulative counters.
 func (e *SATEngine) Stats() Stats { return e.stats }
 
-// pastDeadline reports (and counts) a query issued after the per-
-// expression time budget ran out.
+// cancelled reports whether the deadline has passed or the context is
+// done, i.e. no further solver work may start.
+func (e *SATEngine) cancelled() bool {
+	if e.Ctx != nil && e.Ctx.Err() != nil {
+		return true
+	}
+	return !e.Deadline.IsZero() && !time.Now().Before(e.Deadline)
+}
+
+// pastDeadline reports (and counts as an exhausted query) a query issued
+// after the per-expression budget ran out or the context was cancelled.
 func (e *SATEngine) pastDeadline() bool {
-	if e.Deadline.IsZero() || time.Now().Before(e.Deadline) {
+	if !e.cancelled() {
 		return false
 	}
 	e.stats.Queries++
 	e.stats.Exhausted++
 	return true
+}
+
+// armAbort wires the engine's deadline and context into the solver's
+// periodic abort poll, so a query in flight when either fires stops
+// within one check interval instead of running to completion.
+func (e *SATEngine) armAbort(s *sat.Solver) {
+	if e.Deadline.IsZero() && e.Ctx == nil {
+		s.Abort = nil
+		return
+	}
+	s.Abort = e.cancelled
 }
 
 // query solves WellDefined ∧ pred(blasted) on a fresh solver.
@@ -126,6 +163,7 @@ func (e *SATEngine) query(pred func(c *bitblast.Circuit, b *bitblast.Blasted) sa
 	}
 	s := sat.New()
 	s.ConflictBudget = e.budget
+	e.armAbort(s)
 	b := bitblast.Blast(s, e.f)
 	cond := b.C.And(b.WellDefined, pred(b.C, b))
 	s.AddClause(cond)
@@ -257,6 +295,7 @@ func (e *SATEngine) ForcedBitMatters(v *ir.Inst, bit uint, val bool) (bool, bool
 	}
 	s := sat.New()
 	s.ConflictBudget = e.budget
+	e.armAbort(s)
 	b1 := bitblast.Blast(s, e.f)
 	c := b1.C
 
