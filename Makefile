@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-all bench
+.PHONY: check fmt vet build test race race-all bench bench-json
 
 # The packages with real concurrency: the comparator worker pool, the
 # engine's cross-goroutine cancellation, the campaign loop, the metrics
@@ -37,3 +37,12 @@ race-all:
 
 bench:
 	$(GO) test -run NONE -bench . -benchmem ./...
+
+# Record the root-package benchmarks (Table 1 timings, solver counters,
+# ablations) as a JSON artifact. EXPERIMENTS.md explains how to compare a
+# "current" section against the committed pre-optimization "baseline".
+BENCH_OUT ?= BENCH_3.json
+BENCH_AS  ?= current
+bench-json:
+	$(GO) test -run NONE -bench 'BenchmarkTable1|BenchmarkAblation' -benchmem . \
+		| $(GO) run ./cmd/bench-json -out $(BENCH_OUT) -as $(BENCH_AS)

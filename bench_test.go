@@ -50,65 +50,80 @@ func BenchmarkHarvestCorpusStats(b *testing.B) {
 
 // --- Table 1: one bench per analysis row ---
 
-func benchTable1(b *testing.B, analysis harvest.Analysis, run func(e solver.Engine, f *ir.Function)) {
+// benchTable1 measures the production oracle path per analysis: engine
+// selection (enumeration below the width cutoff, strashed incremental SAT
+// above), sound-fact seeding, and one shared engine per expression. The
+// reported metrics expose the pre-solver work elimination: gates built vs
+// deduped by strashing, queries answered by the seed, and queries served
+// by enumeration.
+func benchTable1(b *testing.B, analysis harvest.Analysis, run func(e solver.Engine, f *ir.Function, sd oracle.Seed)) {
 	corpus := benchCorpus(20)
 	an := &llvmport.Analyzer{}
+	var stats solver.Stats
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		stats = solver.Stats{}
 		for _, e := range corpus {
 			fa := an.Analyze(e.F)
 			_ = fa
-			run(solver.NewSAT(e.F, 0), e.F)
+			eng := solver.NewEngine(e.F, solver.Config{})
+			run(eng, e.F, oracle.ComputeSeed(e.F))
+			stats.Add(eng.Stats())
 		}
 	}
 	b.ReportMetric(float64(len(corpus)), "exprs/op")
+	b.ReportMetric(float64(stats.GatesBuilt), "gates/op")
+	b.ReportMetric(float64(stats.GatesDeduped), "gates-deduped/op")
+	b.ReportMetric(float64(stats.Clauses), "clauses/op")
+	b.ReportMetric(float64(stats.Pruned), "pruned-queries/op")
+	b.ReportMetric(float64(stats.EnumQueries), "enum-queries/op")
 	_ = analysis
 }
 
 func BenchmarkTable1_KnownBits(b *testing.B) {
-	benchTable1(b, harvest.KnownBits, func(e solver.Engine, f *ir.Function) {
-		oracle.KnownBits(e, f)
+	benchTable1(b, harvest.KnownBits, func(e solver.Engine, f *ir.Function, sd oracle.Seed) {
+		oracle.KnownBitsSeeded(e, f, sd)
 	})
 }
 
 func BenchmarkTable1_SignBits(b *testing.B) {
-	benchTable1(b, harvest.SignBits, func(e solver.Engine, f *ir.Function) {
-		oracle.SignBits(e, f)
+	benchTable1(b, harvest.SignBits, func(e solver.Engine, f *ir.Function, sd oracle.Seed) {
+		oracle.SignBitsSeeded(e, f, sd)
 	})
 }
 
 func BenchmarkTable1_NonZero(b *testing.B) {
-	benchTable1(b, harvest.NonZero, func(e solver.Engine, f *ir.Function) {
-		oracle.NonZero(e, f)
+	benchTable1(b, harvest.NonZero, func(e solver.Engine, f *ir.Function, sd oracle.Seed) {
+		oracle.NonZeroSeeded(e, f, sd)
 	})
 }
 
 func BenchmarkTable1_Negative(b *testing.B) {
-	benchTable1(b, harvest.Negative, func(e solver.Engine, f *ir.Function) {
-		oracle.Negative(e, f)
+	benchTable1(b, harvest.Negative, func(e solver.Engine, f *ir.Function, sd oracle.Seed) {
+		oracle.NegativeSeeded(e, f, sd)
 	})
 }
 
 func BenchmarkTable1_NonNegative(b *testing.B) {
-	benchTable1(b, harvest.NonNegative, func(e solver.Engine, f *ir.Function) {
-		oracle.NonNegative(e, f)
+	benchTable1(b, harvest.NonNegative, func(e solver.Engine, f *ir.Function, sd oracle.Seed) {
+		oracle.NonNegativeSeeded(e, f, sd)
 	})
 }
 
 func BenchmarkTable1_PowerOfTwo(b *testing.B) {
-	benchTable1(b, harvest.PowerOfTwo, func(e solver.Engine, f *ir.Function) {
-		oracle.PowerOfTwo(e, f)
+	benchTable1(b, harvest.PowerOfTwo, func(e solver.Engine, f *ir.Function, sd oracle.Seed) {
+		oracle.PowerOfTwoSeeded(e, f, sd)
 	})
 }
 
 func BenchmarkTable1_IntegerRange(b *testing.B) {
-	benchTable1(b, harvest.IntegerRange, func(e solver.Engine, f *ir.Function) {
-		oracle.IntegerRange(e, f)
+	benchTable1(b, harvest.IntegerRange, func(e solver.Engine, f *ir.Function, sd oracle.Seed) {
+		oracle.IntegerRangeSeeded(e, f, sd)
 	})
 }
 
 func BenchmarkTable1_DemandedBits(b *testing.B) {
-	benchTable1(b, harvest.DemandedBits, func(e solver.Engine, f *ir.Function) {
+	benchTable1(b, harvest.DemandedBits, func(e solver.Engine, f *ir.Function, sd oracle.Seed) {
 		oracle.DemandedBits(e, f)
 	})
 }
@@ -396,6 +411,32 @@ func BenchmarkAblation_KnownBitsEnumEngine(b *testing.B) {
 		oracle.KnownBits(solver.NewEnum(f), f)
 	}
 }
+
+// --- Ablation: structural hashing on vs off in the bit-blaster ---
+
+func benchStrashAblation(b *testing.B, noStrash bool) {
+	// add is commuted between the two copies: structural hashing
+	// canonicalizes them to one adder and the xor rewrite folds the output
+	// to constant zero; the unstrashed path keeps both adders and must
+	// prove each output bit zero through the carry chains.
+	f := ir.MustParse("%x:i32 = var\n%y:i32 = var\n%0:i32 = add %x, %y\n%1:i32 = add %y, %x\n%2:i32 = xor %0, %1\ninfer %2")
+	var stats solver.Stats
+	for i := 0; i < b.N; i++ {
+		e := solver.NewSAT(f, 0)
+		e.NoStrash = noStrash
+		res := oracle.KnownBits(e, f)
+		if res.Exhausted {
+			b.Fatal("exhausted")
+		}
+		stats = e.Stats()
+	}
+	b.ReportMetric(float64(stats.GatesBuilt), "gates/op")
+	b.ReportMetric(float64(stats.GatesDeduped), "gates-deduped/op")
+	b.ReportMetric(float64(stats.Clauses), "clauses/op")
+}
+
+func BenchmarkAblation_BlastStrash(b *testing.B)   { benchStrashAblation(b, false) }
+func BenchmarkAblation_BlastNoStrash(b *testing.B) { benchStrashAblation(b, true) }
 
 // --- Ablation: incremental vs fresh-solver query paths ---
 

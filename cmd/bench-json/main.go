@@ -1,0 +1,117 @@
+// bench-json converts `go test -bench` output into a stable JSON artifact
+// so benchmark runs can be diffed across commits. Each benchmark line
+// becomes a name → {unit → value} object, including Go's built-in ns/op,
+// B/op, and allocs/op as well as the custom solver metrics the benchmarks
+// report (gates/op, clauses/op, pruned-queries/op, enum-queries/op, ...).
+//
+// The output file holds named sections (typically "baseline" recorded
+// before an optimization and "current" after), merged across invocations:
+//
+//	go test -run NONE -bench Table1 -benchmem . | bench-json -out BENCH.json -as current
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var nameSuffix = regexp.MustCompile(`-\d+$`) // the -GOMAXPROCS suffix
+
+// parseBench extracts benchmark result lines from go test output.
+func parseBench(r io.Reader) (map[string]map[string]float64, error) {
+	out := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := nameSuffix.ReplaceAllString(fields[0], "")
+		iters, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		m := map[string]float64{"iterations": iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in line %q", fields[i], line)
+			}
+			m[fields[i+1]] = v
+		}
+		out[name] = m
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	var (
+		outFile = flag.String("out", "BENCH_3.json", "JSON artifact to create or merge into")
+		section = flag.String("as", "current", "section to record the parsed results under (e.g. baseline, current)")
+		inFile  = flag.String("in", "-", "benchmark output to parse (- = stdin)")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *inFile != "-" {
+		f, err := os.Open(*inFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-json:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	parsed, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-json:", err)
+		os.Exit(1)
+	}
+	if len(parsed) == 0 {
+		fmt.Fprintln(os.Stderr, "bench-json: no benchmark lines found in input")
+		os.Exit(1)
+	}
+
+	doc := make(map[string]map[string]map[string]float64)
+	if data, err := os.ReadFile(*outFile); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-json: %s exists but is not a bench-json artifact: %v\n", *outFile, err)
+			os.Exit(1)
+		}
+	}
+	doc[*section] = parsed
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-json:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*outFile, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench-json:", err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(parsed))
+	for n := range parsed {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("recorded %d benchmarks under %q in %s\n", len(names), *section, *outFile)
+	for _, n := range names {
+		fmt.Printf("  %-45s %12.0f ns/op\n", n, parsed[n]["ns/op"])
+	}
+}

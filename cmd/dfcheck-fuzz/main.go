@@ -59,6 +59,9 @@ func main() {
 		resume     = flag.String("resume", "", "resume the campaign from this state file (implies -checkpoint with the same file)")
 		eventsFile = flag.String("events", "", "append JSONL batch and finding records to this file")
 		metricsOut = flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
+		noStrash   = flag.Bool("no-strash", false, "ablation: disable structural hashing in the bit-blaster")
+		noSeed     = flag.Bool("no-seed", false, "ablation: disable sound-fact seeding of the oracle")
+		enumCut    = flag.Int("enum-cutoff", 0, "summed input bits at or below which expressions are enumerated instead of solved (0 = default, negative disables)")
 		httpAddr   = flag.String("http", "", "serve expvar metrics on this address (e.g. :8125, endpoint /debug/vars)")
 	)
 	flag.Parse()
@@ -101,6 +104,9 @@ func main() {
 		Workers:     *workers,
 		ExprTimeout: *exprCap,
 		Metrics:     reg,
+		NoStrash:    *noStrash,
+		NoSeed:      *noSeed,
+		EnumCutoff:  *enumCut,
 	}
 	if *cacheFile != "" {
 		// One cache shared across all batches: mutants and cross-batch

@@ -37,6 +37,9 @@ func main() {
 		cacheFile = flag.String("cache", "", "persist oracle results to this file across runs (the artifact's Redis dump analog); also dedups the corpus by canonical form")
 		workers   = flag.Int("j", runtime.NumCPU(), "expressions compared concurrently")
 		exprCap   = flag.Duration("expr-timeout", 5*time.Minute, "total oracle time per expression (the paper's 5-minute cap; 0 disables)")
+		noStrash  = flag.Bool("no-strash", false, "ablation: disable structural hashing in the bit-blaster")
+		noSeed    = flag.Bool("no-seed", false, "ablation: disable sound-fact seeding of the oracle")
+		enumCut   = flag.Int("enum-cutoff", 0, "summed input bits at or below which expressions are enumerated instead of solved (0 = default, negative disables)")
 	)
 	flag.Parse()
 
@@ -103,6 +106,9 @@ func main() {
 		Budget:      *budget,
 		Workers:     *workers,
 		ExprTimeout: *exprCap,
+		NoStrash:    *noStrash,
+		NoSeed:      *noSeed,
+		EnumCutoff:  *enumCut,
 	}
 	if *cacheFile != "" {
 		cache := rescache.New()

@@ -25,7 +25,14 @@ type Blasted struct {
 // Blast compiles f onto a fresh circuit over s, allocating free input
 // words for every variable.
 func Blast(s *sat.Solver, f *ir.Function) *Blasted {
-	c := NewCircuit(s)
+	return BlastCircuit(NewCircuit(s), f)
+}
+
+// BlastCircuit compiles f onto an existing circuit, allocating free input
+// words for every variable — the hook engines use to configure the
+// circuit (e.g. DisableStrash) before blasting, or to blast several
+// functions onto one shared structural hash.
+func BlastCircuit(c *Circuit, f *ir.Function) *Blasted {
 	inputs := make(map[*ir.Inst]Word, len(f.Vars))
 	for _, v := range f.Vars {
 		inputs[v] = c.FreshWord(v.Width)

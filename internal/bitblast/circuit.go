@@ -16,17 +16,22 @@ type Word []sat.Lit
 // Width returns the word's bit width.
 func (w Word) Width() uint { return uint(len(w)) }
 
-// Circuit builds Tseitin-encoded gates over a SAT solver.
+// Circuit builds Tseitin-encoded gates over a SAT solver. Gates are
+// structurally hashed by default (see strash.go); DisableStrash restores
+// the plain one-gate-per-request construction.
 type Circuit struct {
 	S   *sat.Solver
 	tru sat.Lit
+
+	sh    *strash // nil when strashing is disabled
+	stats CircuitStats
 }
 
 // NewCircuit wraps a solver, allocating the constant-true literal.
 func NewCircuit(s *sat.Solver) *Circuit {
 	t := sat.PosLit(s.NewVar())
 	s.AddClause(t)
-	return &Circuit{S: s, tru: t}
+	return &Circuit{S: s, tru: t, sh: newStrash()}
 }
 
 // True returns the constant-true literal.
@@ -85,7 +90,31 @@ func (c *Circuit) And(a, b sat.Lit) sat.Lit {
 	case a == b.Not():
 		return c.False()
 	}
+	if c.sh == nil {
+		return c.andGate(a, b)
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if r, ok := c.rewriteAnd(a, b); ok {
+		c.stats.Rewrites++
+		return r
+	}
+	key := gateKey{op: gateAnd, a: a, b: b}
+	if g, ok := c.sh.gates[key]; ok {
+		c.stats.Deduped++
+		return g
+	}
+	g := c.andGate(a, b)
+	c.sh.gates[key] = g
+	c.sh.andDef[g] = [2]sat.Lit{a, b}
+	return g
+}
+
+// andGate emits the Tseitin encoding of g ↔ a ∧ b.
+func (c *Circuit) andGate(a, b sat.Lit) sat.Lit {
 	g := c.Lit()
+	c.stats.Gates++
 	c.S.AddClause(g.Not(), a)
 	c.S.AddClause(g.Not(), b)
 	c.S.AddClause(g, a.Not(), b.Not())
@@ -113,7 +142,34 @@ func (c *Circuit) Xor(a, b sat.Lit) sat.Lit {
 	case a == b.Not():
 		return c.True()
 	}
+	if c.sh == nil {
+		return c.xorGate(a, b)
+	}
+	// ⊕ commutes with negation: pull the polarities out and hash-cons on
+	// the sorted positive pair.
+	neg := a.IsNeg() != b.IsNeg()
+	a, b = a&^1, b&^1
+	if a > b {
+		a, b = b, a
+	}
+	key := gateKey{op: gateXor, a: a, b: b}
+	g, ok := c.sh.gates[key]
+	if ok {
+		c.stats.Deduped++
+	} else {
+		g = c.xorGate(a, b)
+		c.sh.gates[key] = g
+	}
+	if neg {
+		return g.Not()
+	}
+	return g
+}
+
+// xorGate emits the Tseitin encoding of g ↔ a ⊕ b.
+func (c *Circuit) xorGate(a, b sat.Lit) sat.Lit {
 	g := c.Lit()
+	c.stats.Gates++
 	c.S.AddClause(g.Not(), a, b)
 	c.S.AddClause(g.Not(), a.Not(), b.Not())
 	c.S.AddClause(g, a, b.Not())
@@ -134,7 +190,71 @@ func (c *Circuit) Mux(s, a, b sat.Lit) sat.Lit {
 	case a == b:
 		return a
 	}
+	if c.sh == nil {
+		return c.muxGate(s, a, b)
+	}
+	// Local rewrites: complementary, constant, or selector-entangled arms
+	// collapse to a single two-input gate, which then hash-conses in its
+	// own right (barrel shifters and restoring division hit the constant
+	// cases constantly).
+	switch {
+	case a == b.Not():
+		c.stats.Rewrites++
+		return c.Xnor(s, a) // s?a:¬a = s↔a
+	case c.isTrue(a):
+		c.stats.Rewrites++
+		return c.Or(s, b)
+	case c.isFalse(a):
+		c.stats.Rewrites++
+		return c.And(s.Not(), b)
+	case c.isTrue(b):
+		c.stats.Rewrites++
+		return c.Or(s.Not(), a)
+	case c.isFalse(b):
+		c.stats.Rewrites++
+		return c.And(s, a)
+	case s == a:
+		c.stats.Rewrites++
+		return c.Or(s, b) // s?s:b = s ∨ b
+	case s == a.Not():
+		c.stats.Rewrites++
+		return c.And(s.Not(), b) // s?¬s:b = ¬s ∧ b
+	case s == b:
+		c.stats.Rewrites++
+		return c.And(s, a) // s?a:s = s ∧ a
+	case s == b.Not():
+		c.stats.Rewrites++
+		return c.Or(s.Not(), a) // s?a:¬s = ¬s ∨ a
+	}
+	// Canonicalize: positive selector (negating it swaps the arms), then
+	// positive then-arm (negating both arms negates the output).
+	if s.IsNeg() {
+		s = s.Not()
+		a, b = b, a
+	}
+	neg := false
+	if a.IsNeg() {
+		neg = true
+		a, b = a.Not(), b.Not()
+	}
+	key := gateKey{op: gateMux, a: s, b: a, c: b}
+	g, ok := c.sh.gates[key]
+	if ok {
+		c.stats.Deduped++
+	} else {
+		g = c.muxGate(s, a, b)
+		c.sh.gates[key] = g
+	}
+	if neg {
+		return g.Not()
+	}
+	return g
+}
+
+// muxGate emits the Tseitin encoding of g ↔ (s ? a : b).
+func (c *Circuit) muxGate(s, a, b sat.Lit) sat.Lit {
 	g := c.Lit()
+	c.stats.Gates++
 	c.S.AddClause(g.Not(), s.Not(), a)
 	c.S.AddClause(g.Not(), s, b)
 	c.S.AddClause(g, s.Not(), a.Not())

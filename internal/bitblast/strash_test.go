@@ -1,0 +1,151 @@
+package bitblast
+
+import (
+	"testing"
+
+	"dfcheck/internal/eval"
+	"dfcheck/internal/ir"
+	"dfcheck/internal/sat"
+)
+
+// checkStrashEquivalence blasts src twice — structural hashing on and off —
+// and exhaustively compares both circuits against the interpreter on every
+// input. The strashed circuit must also never encode more gates than the
+// historical construction.
+func checkStrashEquivalence(t *testing.T, src string) {
+	t.Helper()
+	f := ir.MustParse(src)
+	if eval.TotalInputBits(f) > 8 {
+		t.Fatalf("test corpus function too wide: %s", src)
+	}
+
+	sOn := sat.New()
+	bOn := Blast(sOn, f)
+	sOff := sat.New()
+	cOff := NewCircuit(sOff)
+	cOff.DisableStrash()
+	bOff := BlastCircuit(cOff, f)
+
+	onStats, offStats := bOn.C.Stats(), cOff.Stats()
+	if onStats.Gates > offStats.Gates {
+		t.Errorf("%s: strashed circuit has %d gates, unstrashed %d", src, onStats.Gates, offStats.Gates)
+	}
+	if offStats.Deduped != 0 || offStats.Rewrites != 0 {
+		t.Errorf("%s: unstrashed circuit reports strash work (%d deduped, %d rewrites)",
+			src, offStats.Deduped, offStats.Rewrites)
+	}
+
+	check := func(which string, s *sat.Solver, b *Blasted, env eval.Env) {
+		var assumptions []sat.Lit
+		for v, word := range b.Inputs {
+			val := env[v]
+			for i := uint(0); i < val.Width(); i++ {
+				l := word[i]
+				if !val.Bit(i) {
+					l = l.Not()
+				}
+				assumptions = append(assumptions, l)
+			}
+		}
+		if got := s.Solve(assumptions...); got != sat.Sat {
+			t.Fatalf("%s (%s): circuit unsatisfiable for input %v", src, which, fmtEnv(f, env))
+		}
+		want, wantOK := eval.Eval(f, env)
+		wd := b.WellDefined
+		gotOK := s.Value(wd.Var()) != wd.IsNeg()
+		if gotOK != wantOK {
+			t.Fatalf("%s (%s): WellDefined = %v, eval ok = %v for %v", src, which, gotOK, wantOK, fmtEnv(f, env))
+		}
+		if wantOK {
+			if got := b.C.Value(b.Output); got.Ne(want) {
+				t.Fatalf("%s (%s): circuit = %v, eval = %v for %v", src, which, got, want, fmtEnv(f, env))
+			}
+		}
+	}
+	eval.ForEachInput(f, func(env eval.Env) bool {
+		check("strash", sOn, bOn, env)
+		check("no-strash", sOff, bOff, env)
+		return true
+	})
+}
+
+// TestStrashEquivalencePerOp covers every operation the blaster supports:
+// for each, the strashed and unstrashed circuits must agree with the
+// interpreter on the whole input space.
+func TestStrashEquivalencePerOp(t *testing.T) {
+	srcs := []string{
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = add %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = addnsw %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = addnuw %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = sub %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = subnsw %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = mul %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = mulnw %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = udiv %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = udivexact %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = sdiv %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = urem %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = srem %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = and %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = or %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = xor %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = shl %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = shlnsw %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = lshr %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = lshrexact %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = ashr %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i1 = eq %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i1 = ne %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i1 = ult %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i1 = ule %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i1 = slt %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i1 = sle %x, %y\ninfer %0",
+		"%c:i1 = var\n%x:i3 = var\n%y:i3 = var\n%0:i3 = select %c, %x, %y\ninfer %0",
+		"%x:i4 = var\n%0:i8 = zext %x\ninfer %0",
+		"%x:i4 = var\n%0:i8 = sext %x\ninfer %0",
+		"%x:i8 = var\n%0:i4 = trunc %x\ninfer %0",
+		"%x:i8 = var\n%0:i8 = ctpop %x\ninfer %0",
+		"%x:i8 = var\n%0:i8 = bswap %x\ninfer %0",
+		"%x:i8 = var\n%0:i8 = bitreverse %x\ninfer %0",
+		"%x:i8 = var\n%0:i8 = cttz %x\ninfer %0",
+		"%x:i8 = var\n%0:i8 = ctlz %x\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = rotl %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = rotr %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = umin %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = umax %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = smin %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = smax %x, %y\ninfer %0",
+		"%x:i8 = var\n%0:i8 = abs %x\ninfer %0",
+		"%x:i2 = var\n%y:i2 = var\n%z:i2 = var\n%0:i2 = fshl %x, %y, %z\ninfer %0",
+		"%x:i2 = var\n%y:i2 = var\n%z:i2 = var\n%0:i2 = fshr %x, %y, %z\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i1 = uaddo %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i1 = saddo %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i1 = usubo %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i1 = ssubo %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i1 = umulo %x, %y\ninfer %0",
+		"%x:i4 = var\n%y:i4 = var\n%0:i1 = smulo %x, %y\ninfer %0",
+	}
+	for _, src := range srcs {
+		checkStrashEquivalence(t, src)
+	}
+}
+
+// TestStrashDedupesSharedSubexpressions checks the hash-cons actually
+// fires on a DAG with commuted duplicate subexpressions, and that the
+// deduplication does not change behaviour.
+func TestStrashDedupesSharedSubexpressions(t *testing.T) {
+	srcs := []string{
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = add %x, %y\n%1:i4 = add %y, %x\n%2:i4 = xor %0, %1\ninfer %2",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = and %x, %y\n%1:i4 = and %y, %x\n%2:i4 = or %0, %1\ninfer %2",
+		"%x:i4 = var\n%y:i4 = var\n%0:i4 = mul %x, %y\n%1:i4 = mul %y, %x\n%2:i4 = sub %0, %1\ninfer %2",
+	}
+	for _, src := range srcs {
+		f := ir.MustParse(src)
+		s := sat.New()
+		b := Blast(s, f)
+		if st := b.C.Stats(); st.Deduped+st.Rewrites == 0 {
+			t.Errorf("%s: commuted duplicate subexpressions produced no strash hits", src)
+		}
+		checkStrashEquivalence(t, src)
+	}
+}

@@ -89,17 +89,41 @@ type Comparator struct {
 	// traffic, and finding counts — the observability a long unattended
 	// campaign needs. Nil disables instrumentation at zero cost.
 	Metrics *metrics.Registry
+	// NoSeed disables sound-fact seeding of the oracle (the -no-seed
+	// ablation): every fact is then established by solver queries alone.
+	NoSeed bool
+	// NoStrash disables structural hashing during bit-blasting (the
+	// -no-strash ablation), restoring the one-gate-per-request circuits.
+	NoStrash bool
+	// EnumCutoff overrides the input-width bound below which expressions
+	// are analyzed by exhaustive enumeration instead of SAT: 0 selects
+	// solver.DefaultEnumCutoff, negative disables the fast path.
+	EnumCutoff int
 }
 
-// newEngine builds a SAT engine honoring the per-expression deadline and
-// the run's cancellation context.
-func (c *Comparator) newEngine(ctx context.Context, f *ir.Function, deadline time.Time) *solver.SATEngine {
-	e := solver.NewSAT(f, c.Budget)
-	e.Deadline = deadline
-	if ctx != nil && ctx != context.Background() {
-		e.Ctx = ctx
+// newEngine builds an engine honoring the per-expression deadline and the
+// run's cancellation context; small expressions get the enumeration fast
+// path, everything else the SAT engine.
+func (c *Comparator) newEngine(ctx context.Context, f *ir.Function, deadline time.Time) solver.Engine {
+	if ctx == context.Background() {
+		ctx = nil
 	}
-	return e
+	return solver.NewEngine(f, solver.Config{
+		Budget:     c.Budget,
+		Deadline:   deadline,
+		Ctx:        ctx,
+		NoStrash:   c.NoStrash,
+		EnumCutoff: c.EnumCutoff,
+	})
+}
+
+// seed computes the sound-fact seed for f, or the empty seed under the
+// -no-seed ablation.
+func (c *Comparator) seed(f *ir.Function) oracle.Seed {
+	if c.NoSeed {
+		return oracle.Seed{}
+	}
+	return oracle.ComputeSeed(f)
 }
 
 // recordOracle rolls one expression's solver work into the metrics
@@ -117,6 +141,10 @@ func (c *Comparator) recordOracle(o *oracleSet) {
 	c.Metrics.Counter("solver_conflicts").Add(o.Solver.Conflicts)
 	c.Metrics.Counter("solver_propagations").Add(o.Solver.Propagations)
 	c.Metrics.Counter("solver_exhausted").Add(o.Solver.Exhausted)
+	c.Metrics.Counter("solver_pruned_queries").Add(o.Solver.Pruned)
+	c.Metrics.Counter("solver_enum_queries").Add(o.Solver.EnumQueries)
+	c.Metrics.Counter("solver_gates_built").Add(o.Solver.GatesBuilt)
+	c.Metrics.Counter("solver_gates_deduped").Add(o.Solver.GatesDeduped)
 	c.Metrics.Histogram("expr_latency").Observe(total)
 }
 
@@ -144,28 +172,35 @@ type oracleSet struct {
 }
 
 // computeOracle runs all eight oracle algorithms on f under the
-// per-expression deadline, timing each.
+// per-expression deadline, timing each. One engine serves every analysis,
+// so the bit-blasted circuit, learned clauses, and the expression's total
+// conflict budget are shared across them (earlier versions paid eight
+// cold bit-blasts and leaked eight independent budgets per expression).
 func (c *Comparator) computeOracle(ctx context.Context, f *ir.Function) *oracleSet {
 	var deadline time.Time
 	if c.ExprTimeout > 0 {
 		deadline = time.Now().Add(c.ExprTimeout)
 	}
 	o := &oracleSet{}
-	run := func(i int, compute func(e *solver.SATEngine)) {
-		e := c.newEngine(ctx, f, deadline)
+	eng := c.newEngine(ctx, f, deadline)
+	sd := c.seed(f)
+	run := func(i int, compute func()) {
 		start := time.Now()
-		compute(e)
+		compute()
 		o.Elapsed[i] = time.Since(start)
-		o.Solver.Add(e.Stats())
 	}
-	run(0, func(e *solver.SATEngine) { o.Known = oracle.KnownBits(e, f) })
-	run(1, func(e *solver.SATEngine) { o.Sign = oracle.SignBits(e, f) })
-	run(2, func(e *solver.SATEngine) { o.NonZero = oracle.NonZero(e, f) })
-	run(3, func(e *solver.SATEngine) { o.Negative = oracle.Negative(e, f) })
-	run(4, func(e *solver.SATEngine) { o.NonNeg = oracle.NonNegative(e, f) })
-	run(5, func(e *solver.SATEngine) { o.Pow2 = oracle.PowerOfTwo(e, f) })
-	run(6, func(e *solver.SATEngine) { o.Range = oracle.IntegerRange(e, f) })
-	run(7, func(e *solver.SATEngine) { o.Demanded = oracle.DemandedBits(e, f) })
+	run(0, func() { o.Known = oracle.KnownBitsSeeded(eng, f, sd) })
+	if o.Known.Feasible {
+		sd.EnrichFromKnown(o.Known.Bits, !o.Known.Exhausted)
+	}
+	run(1, func() { o.Sign = oracle.SignBitsSeeded(eng, f, sd) })
+	run(2, func() { o.NonZero = oracle.NonZeroSeeded(eng, f, sd) })
+	run(3, func() { o.Negative = oracle.NegativeSeeded(eng, f, sd) })
+	run(4, func() { o.NonNeg = oracle.NonNegativeSeeded(eng, f, sd) })
+	run(5, func() { o.Pow2 = oracle.PowerOfTwoSeeded(eng, f, sd) })
+	run(6, func() { o.Range = oracle.IntegerRangeSeeded(eng, f, sd) })
+	run(7, func() { o.Demanded = oracle.DemandedBits(eng, f) })
+	o.Solver = eng.Stats()
 	c.recordOracle(o)
 	return o
 }
@@ -180,8 +215,9 @@ func (c *Comparator) cacheConfig() string {
 	if c.Analyzer != nil {
 		an = *c.Analyzer
 	}
-	return fmt.Sprintf("bug-nonzero=%t;bug-sremsign=%t;bug-sremknown=%t;modern=%t;timeout=%s",
-		an.Bugs.NonZeroAdd, an.Bugs.SRemSignBits, an.Bugs.SRemKnownBits, an.Modern, c.ExprTimeout)
+	return fmt.Sprintf("bug-nonzero=%t;bug-sremsign=%t;bug-sremknown=%t;modern=%t;timeout=%s;no-seed=%t;no-strash=%t;enum-cutoff=%d",
+		an.Bugs.NonZeroAdd, an.Bugs.SRemSignBits, an.Bugs.SRemKnownBits, an.Modern, c.ExprTimeout,
+		c.NoSeed, c.NoStrash, c.EnumCutoff)
 }
 
 // oracleCached assembles the oracle set for a canonical expression,
@@ -200,17 +236,33 @@ func (c *Comparator) oracleCached(ctx context.Context, cn *canon.Canon) *oracleS
 	}
 	cfg := c.cacheConfig()
 	o := &oracleSet{}
-	step := func(i int, a harvest.Analysis, fromCache func(any) bool, compute func(e *solver.SATEngine) any) {
+	// The engine and seed are built lazily: a fully cache-hit expression
+	// never constructs either.
+	var eng solver.Engine
+	engine := func() solver.Engine {
+		if eng == nil {
+			eng = c.newEngine(ctx, f, deadline)
+		}
+		return eng
+	}
+	var sd oracle.Seed
+	seeded := false
+	seed := func() oracle.Seed {
+		if !seeded {
+			sd = c.seed(f)
+			seeded = true
+		}
+		return sd
+	}
+	step := func(i int, a harvest.Analysis, fromCache func(any) bool, compute func(e solver.Engine) any) {
 		k := rescache.Key{Expr: cn.Key, Analysis: string(a), Budget: c.Budget, Config: cfg}
 		if e, ok := c.Cache.Get(k); ok && fromCache(e.Value) {
 			o.Elapsed[i] = e.Elapsed
 			return
 		}
-		eng := c.newEngine(ctx, f, deadline)
 		start := time.Now()
-		v := compute(eng)
+		v := compute(engine())
 		o.Elapsed[i] = time.Since(start)
-		o.Solver.Add(eng.Stats())
 		if ctx.Err() != nil {
 			return // possibly degraded by cancellation: do not memoize
 		}
@@ -218,28 +270,38 @@ func (c *Comparator) oracleCached(ctx context.Context, cn *canon.Canon) *oracleS
 	}
 	step(0, harvest.KnownBits,
 		func(v any) (ok bool) { o.Known, ok = v.(oracle.KnownBitsResult); return },
-		func(e *solver.SATEngine) any { o.Known = oracle.KnownBits(e, f); return o.Known })
+		func(e solver.Engine) any { o.Known = oracle.KnownBitsSeeded(e, f, seed()); return o.Known })
+	// Whether the known bits came from the cache or a fresh run, they
+	// enrich the seed for the analyses below.
+	if o.Known.Feasible {
+		s := seed()
+		s.EnrichFromKnown(o.Known.Bits, !o.Known.Exhausted)
+		sd = s
+	}
 	step(1, harvest.SignBits,
 		func(v any) (ok bool) { o.Sign, ok = v.(oracle.SignBitsResult); return },
-		func(e *solver.SATEngine) any { o.Sign = oracle.SignBits(e, f); return o.Sign })
+		func(e solver.Engine) any { o.Sign = oracle.SignBitsSeeded(e, f, seed()); return o.Sign })
 	step(2, harvest.NonZero,
 		func(v any) (ok bool) { o.NonZero, ok = v.(oracle.BoolResult); return },
-		func(e *solver.SATEngine) any { o.NonZero = oracle.NonZero(e, f); return o.NonZero })
+		func(e solver.Engine) any { o.NonZero = oracle.NonZeroSeeded(e, f, seed()); return o.NonZero })
 	step(3, harvest.Negative,
 		func(v any) (ok bool) { o.Negative, ok = v.(oracle.BoolResult); return },
-		func(e *solver.SATEngine) any { o.Negative = oracle.Negative(e, f); return o.Negative })
+		func(e solver.Engine) any { o.Negative = oracle.NegativeSeeded(e, f, seed()); return o.Negative })
 	step(4, harvest.NonNegative,
 		func(v any) (ok bool) { o.NonNeg, ok = v.(oracle.BoolResult); return },
-		func(e *solver.SATEngine) any { o.NonNeg = oracle.NonNegative(e, f); return o.NonNeg })
+		func(e solver.Engine) any { o.NonNeg = oracle.NonNegativeSeeded(e, f, seed()); return o.NonNeg })
 	step(5, harvest.PowerOfTwo,
 		func(v any) (ok bool) { o.Pow2, ok = v.(oracle.BoolResult); return },
-		func(e *solver.SATEngine) any { o.Pow2 = oracle.PowerOfTwo(e, f); return o.Pow2 })
+		func(e solver.Engine) any { o.Pow2 = oracle.PowerOfTwoSeeded(e, f, seed()); return o.Pow2 })
 	step(6, harvest.IntegerRange,
 		func(v any) (ok bool) { o.Range, ok = v.(oracle.RangeResult); return },
-		func(e *solver.SATEngine) any { o.Range = oracle.IntegerRange(e, f); return o.Range })
+		func(e solver.Engine) any { o.Range = oracle.IntegerRangeSeeded(e, f, seed()); return o.Range })
 	step(7, harvest.DemandedBits,
 		func(v any) (ok bool) { o.Demanded, ok = v.(oracle.DemandedBitsResult); return },
-		func(e *solver.SATEngine) any { o.Demanded = oracle.DemandedBits(e, f); return o.Demanded })
+		func(e solver.Engine) any { o.Demanded = oracle.DemandedBits(e, f); return o.Demanded })
+	if eng != nil {
+		o.Solver = eng.Stats()
+	}
 	c.recordOracle(o)
 	return o
 }

@@ -1,0 +1,73 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"dfcheck/internal/harvest"
+	"dfcheck/internal/ir"
+)
+
+// TestProgramMatchesEval cross-checks the compiled evaluator against the
+// map-based reference on the whole input space of small random DAGs, and
+// on sampled inputs of wide ones. The scratch reuse must not leak state
+// between calls, so each program is run over many inputs.
+func TestProgramMatchesEval(t *testing.T) {
+	small := harvest.Generate(harvest.Config{
+		Seed:     7,
+		NumExprs: 40,
+		MaxInsts: 6,
+		Widths:   []harvest.WidthWeight{{Width: 4, Weight: 1}},
+	})
+	for _, e := range small {
+		if TotalInputBits(e.F) > 12 {
+			continue
+		}
+		p := Compile(e.F)
+		ForEachInput(e.F, func(env Env) bool {
+			want, wantOK := Eval(e.F, env)
+			got, gotOK := p.Eval(env)
+			if gotOK != wantOK || (wantOK && got.Ne(want)) {
+				t.Fatalf("%s: program = (%v, %v), eval = (%v, %v) for %v\n%s",
+					e.Name, got, gotOK, want, wantOK, env, e.F)
+			}
+			return true
+		})
+	}
+
+	wide := harvest.Generate(harvest.Config{
+		Seed:         8,
+		NumExprs:     30,
+		MaxInsts:     6,
+		Widths:       []harvest.WidthWeight{{Width: 16, Weight: 1}, {Width: 24, Weight: 1}},
+		MaxCastWidth: 32,
+	})
+	rng := rand.New(rand.NewSource(9))
+	for _, e := range wide {
+		p := Compile(e.F)
+		for trial := 0; trial < 50; trial++ {
+			env := RandomEnv(e.F, rng)
+			want, wantOK := Eval(e.F, env)
+			got, gotOK := p.Eval(env)
+			if gotOK != wantOK || (wantOK && got.Ne(want)) {
+				t.Fatalf("%s: program = (%v, %v), eval = (%v, %v)\n%s",
+					e.Name, got, gotOK, want, wantOK, e.F)
+			}
+		}
+	}
+}
+
+// TestProgramRangeMetadata checks the compiled evaluator honours variable
+// range metadata exactly like Eval.
+func TestProgramRangeMetadata(t *testing.T) {
+	f := ir.MustParse("%x:i4 = var (range=[2,9))\n%0:i4 = add %x, 1:i4\ninfer %0")
+	p := Compile(f)
+	ForEachInput(f, func(env Env) bool {
+		want, wantOK := Eval(f, env)
+		got, gotOK := p.Eval(env)
+		if gotOK != wantOK || (wantOK && got.Ne(want)) {
+			t.Fatalf("program = (%v, %v), eval = (%v, %v) for %v", got, gotOK, want, wantOK, env)
+		}
+		return true
+	})
+}

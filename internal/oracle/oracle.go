@@ -20,6 +20,8 @@
 package oracle
 
 import (
+	"math/bits"
+
 	"dfcheck/internal/apint"
 	"dfcheck/internal/constrange"
 	"dfcheck/internal/ir"
@@ -55,6 +57,13 @@ type KnownBitsResult struct {
 
 // KnownBits runs Algorithm 1.
 func KnownBits(e solver.Engine, f *ir.Function) KnownBitsResult {
+	return KnownBitsSeeded(e, f, Seed{})
+}
+
+// KnownBitsSeeded runs Algorithm 1, skipping both queries for every bit
+// the seed already pins: a sound seed-known bit has that value on every
+// well-defined input, which is exactly the condition Algorithm 1 tests.
+func KnownBitsSeeded(e solver.Engine, f *ir.Function, sd Seed) KnownBitsResult {
 	w := f.Width()
 	res := KnownBitsResult{Bits: knownbits.Unknown(w)}
 	feasible, ok := e.Feasible()
@@ -72,6 +81,18 @@ func KnownBits(e solver.Engine, f *ir.Function) KnownBitsResult {
 	}
 	zero, one := apint.Zero(w), apint.Zero(w)
 	for i := uint(0); i < w; i++ {
+		if sd.Valid {
+			if known, isOne := sd.Known.KnownBit(i); known {
+				if isOne {
+					one = one.SetBit(i)
+					e.AddPruned(2) // canBeOne (true) + canBeZero (false)
+				} else {
+					zero = zero.SetBit(i)
+					e.AddPruned(1) // canBeOne (false)
+				}
+				continue
+			}
+		}
 		canBeOne, ok := e.OutputBitCanBe(i, true)
 		if !ok {
 			res.Exhausted = true
@@ -102,6 +123,13 @@ type SignBitsResult struct {
 
 // SignBits tries each candidate count from the most precise downward.
 func SignBits(e solver.Engine, f *ir.Function) SignBitsResult {
+	return SignBitsSeeded(e, f, Seed{})
+}
+
+// SignBitsSeeded runs the descending ladder down to the seed's sound
+// floor instead of 1: counts at or below the floor hold by seeding, so
+// their queries are never posed.
+func SignBitsSeeded(e solver.Engine, f *ir.Function, sd Seed) SignBitsResult {
 	w := f.Width()
 	res := SignBitsResult{NumSignBits: 1}
 	feasible, ok := e.Feasible()
@@ -115,7 +143,12 @@ func SignBits(e solver.Engine, f *ir.Function) SignBitsResult {
 		res.NumSignBits = w
 		return res
 	}
-	for k := w; k >= 2; k-- {
+	floor := uint(1)
+	if sd.Valid && sd.SignBits > floor {
+		floor = sd.SignBits
+	}
+	res.NumSignBits = floor
+	for k := w; k > floor; k-- {
 		violated, ok := e.SignBitsViolated(k)
 		if !ok {
 			res.Exhausted = true
@@ -125,6 +158,9 @@ func SignBits(e solver.Engine, f *ir.Function) SignBitsResult {
 			res.NumSignBits = k
 			return res
 		}
+	}
+	if floor >= 2 {
+		e.AddPruned(1) // the query at the floor, which would have succeeded
 	}
 	return res
 }
@@ -136,7 +172,11 @@ type BoolResult struct {
 	Proved bool
 }
 
-func boolQuery(e solver.Engine, refute func() (bool, bool)) BoolResult {
+// boolQuery answers a single-bit property, letting a non-unknown seed
+// verdict stand in for the solver query: TriTrue/TriFalse are sound
+// claims that coincide with the maximally precise answer (given the
+// feasibility established first).
+func boolQuery(e solver.Engine, tri Tri, refute func() (bool, bool)) BoolResult {
 	var res BoolResult
 	feasible, ok := e.Feasible()
 	if !ok {
@@ -149,6 +189,11 @@ func boolQuery(e solver.Engine, refute func() (bool, bool)) BoolResult {
 		res.Proved = true // vacuous
 		return res
 	}
+	if tri != TriUnknown {
+		e.AddPruned(1)
+		res.Proved = tri == TriTrue
+		return res
+	}
 	violated, ok := refute()
 	if !ok {
 		res.Exhausted = true
@@ -158,26 +203,55 @@ func boolQuery(e solver.Engine, refute func() (bool, bool)) BoolResult {
 	return res
 }
 
+func seedTri(sd Seed, tri Tri) Tri {
+	if !sd.Valid {
+		return TriUnknown
+	}
+	return tri
+}
+
 // NonZero proves the output is never zero.
 func NonZero(e solver.Engine, f *ir.Function) BoolResult {
-	return boolQuery(e, e.CanBeZero)
+	return NonZeroSeeded(e, f, Seed{})
+}
+
+// NonZeroSeeded is NonZero with seed pruning.
+func NonZeroSeeded(e solver.Engine, f *ir.Function, sd Seed) BoolResult {
+	return boolQuery(e, seedTri(sd, sd.NonZero), e.CanBeZero)
 }
 
 // Negative proves the output's sign bit is always one.
 func Negative(e solver.Engine, f *ir.Function) BoolResult {
+	return NegativeSeeded(e, f, Seed{})
+}
+
+// NegativeSeeded is Negative with seed pruning.
+func NegativeSeeded(e solver.Engine, f *ir.Function, sd Seed) BoolResult {
 	w := f.Width()
-	return boolQuery(e, func() (bool, bool) { return e.OutputBitCanBe(w-1, false) })
+	return boolQuery(e, seedTri(sd, sd.Negative),
+		func() (bool, bool) { return e.OutputBitCanBe(w-1, false) })
 }
 
 // NonNegative proves the output's sign bit is always zero.
 func NonNegative(e solver.Engine, f *ir.Function) BoolResult {
+	return NonNegativeSeeded(e, f, Seed{})
+}
+
+// NonNegativeSeeded is NonNegative with seed pruning.
+func NonNegativeSeeded(e solver.Engine, f *ir.Function, sd Seed) BoolResult {
 	w := f.Width()
-	return boolQuery(e, func() (bool, bool) { return e.OutputBitCanBe(w-1, true) })
+	return boolQuery(e, seedTri(sd, sd.NonNegative),
+		func() (bool, bool) { return e.OutputBitCanBe(w-1, true) })
 }
 
 // PowerOfTwo proves the output is always a (non-zero) power of two.
 func PowerOfTwo(e solver.Engine, f *ir.Function) BoolResult {
-	return boolQuery(e, e.CanBeNonPowerOfTwo)
+	return PowerOfTwoSeeded(e, f, Seed{})
+}
+
+// PowerOfTwoSeeded is PowerOfTwo with seed pruning.
+func PowerOfTwoSeeded(e solver.Engine, f *ir.Function, sd Seed) BoolResult {
+	return boolQuery(e, seedTri(sd, sd.PowerOfTwo), e.CanBeNonPowerOfTwo)
 }
 
 // DemandedBitsResult maps each input variable to its demanded mask (a set
@@ -245,6 +319,14 @@ type RangeResult struct {
 // then only explores sizes strictly below the better hull, where
 // counterexamples spread quickly.
 func IntegerRange(e solver.Engine, f *ir.Function) RangeResult {
+	return IntegerRangeSeeded(e, f, Seed{})
+}
+
+// IntegerRangeSeeded is IntegerRange with seed pruning: a singleton seed
+// range short-circuits the whole search (a sound over-approximation with
+// one element is exact), and otherwise the four hull searches start from
+// the seed's bounds instead of the full word.
+func IntegerRangeSeeded(e solver.Engine, f *ir.Function, sd Seed) RangeResult {
 	w := f.Width()
 	res := RangeResult{Range: constrange.Full(w)}
 	feasible, ok := e.Feasible()
@@ -259,7 +341,12 @@ func IntegerRange(e solver.Engine, f *ir.Function) RangeResult {
 		return res
 	}
 
-	bounds, ok := hullBounds(e, w)
+	if sd.Valid && sd.Range.IsSingle() {
+		res.Range = sd.Range
+		e.AddPruned(int64(4 * w)) // the four hull binary searches
+		return res
+	}
+	bounds, ok := hullBounds(e, w, sd)
 	if !ok {
 		res.Exhausted = true
 		return res
@@ -364,36 +451,54 @@ func existsIn(e solver.Engine, lo, hi apint.Int) (bool, bool) {
 }
 
 // hullBounds computes the exact unsigned and signed extrema of the
-// achievable outputs, each by a monotone binary search.
-func hullBounds(e solver.Engine, w uint) (hulls, bool) {
+// achievable outputs, each by a monotone binary search. A valid seed
+// narrows each search to the seed range's bounds: the seed is a sound
+// over-approximation, so the true extremum lies inside them and every
+// predicate stays true at its required endpoint.
+func hullBounds(e solver.Engine, w uint, sd Seed) (hulls, bool) {
 	var h hulls
 	maxv := apint.AllOnes(w).Uint64()
 	signBit := apint.SignBitValue(w).Uint64()
 	one := apint.One(w)
 
+	uLo, uHi := uint64(0), maxv
+	sLo, sHi := uint64(0), maxv
+	if sd.Valid && !sd.Range.IsEmpty() && !sd.Range.IsFull() {
+		uLo = sd.Range.UnsignedMin().Uint64()
+		uHi = sd.Range.UnsignedMax().Uint64()
+		// The offset map v ↦ v ^ signBit is an unsigned-order embedding
+		// of signed order, so the seed's signed bounds map to offset
+		// bounds.
+		sLo = sd.Range.SignedMin().Uint64() ^ signBit
+		sHi = sd.Range.SignedMax().Uint64() ^ signBit
+		savedU := int64(bits.Len64(maxv)) - int64(bits.Len64(uHi-uLo))
+		savedS := int64(bits.Len64(maxv)) - int64(bits.Len64(sHi-sLo))
+		e.AddPruned(2*savedU + 2*savedS) // skipped binary-search steps
+	}
+
 	// Smallest unsigned: least m such that ∃ out ∈ [0, m].
-	umin, ok := searchLeast(maxv, func(m uint64) (bool, bool) {
+	umin, ok := searchLeast(uLo, uHi, func(m uint64) (bool, bool) {
 		return existsIn(e, apint.Zero(w), apint.New(w, m).Add(one))
 	})
 	if !ok {
 		return h, false
 	}
 	// Largest unsigned: greatest m such that ∃ out ∈ [m, MAX].
-	umax, ok := searchGreatest(maxv, func(m uint64) (bool, bool) {
+	umax, ok := searchGreatest(uLo, uHi, func(m uint64) (bool, bool) {
 		return existsIn(e, apint.New(w, m), apint.Zero(w))
 	})
 	if !ok {
 		return h, false
 	}
 	// Signed bounds via the order-preserving offset map v = offset ^ sign.
-	sminOff, ok := searchLeast(maxv, func(off uint64) (bool, bool) {
+	sminOff, ok := searchLeast(sLo, sHi, func(off uint64) (bool, bool) {
 		s := apint.New(w, off^signBit)
 		return existsIn(e, apint.MinSigned(w), s.Add(one))
 	})
 	if !ok {
 		return h, false
 	}
-	smaxOff, ok := searchGreatest(maxv, func(off uint64) (bool, bool) {
+	smaxOff, ok := searchGreatest(sLo, sHi, func(off uint64) (bool, bool) {
 		s := apint.New(w, off^signBit)
 		return existsIn(e, s, apint.MinSigned(w))
 	})
@@ -407,10 +512,10 @@ func hullBounds(e solver.Engine, w uint) (hulls, bool) {
 	return h, true
 }
 
-// searchLeast finds the least m in [0, max] with pred(m) true; pred must
-// be monotone (false then true) and true at max.
-func searchLeast(max uint64, pred func(uint64) (bool, bool)) (uint64, bool) {
-	lo, hi := uint64(0), max
+// searchLeast finds the least m in [min, max] with pred(m) true; pred
+// must be monotone (false then true) on the window and true at max.
+func searchLeast(min, max uint64, pred func(uint64) (bool, bool)) (uint64, bool) {
+	lo, hi := min, max
 	for lo < hi {
 		mid := lo + (hi-lo)/2
 		res, ok := pred(mid)
@@ -426,10 +531,10 @@ func searchLeast(max uint64, pred func(uint64) (bool, bool)) (uint64, bool) {
 	return lo, true
 }
 
-// searchGreatest finds the greatest m in [0, max] with pred(m) true; pred
-// must be monotone (true then false) and true at 0.
-func searchGreatest(max uint64, pred func(uint64) (bool, bool)) (uint64, bool) {
-	lo, hi := uint64(0), max
+// searchGreatest finds the greatest m in [min, max] with pred(m) true;
+// pred must be monotone (true then false) on the window and true at min.
+func searchGreatest(min, max uint64, pred func(uint64) (bool, bool)) (uint64, bool) {
+	lo, hi := min, max
 	for lo < hi {
 		mid := lo + (hi-lo+1)/2
 		res, ok := pred(mid)
@@ -547,17 +652,31 @@ type All struct {
 	Demanded    DemandedBitsResult
 }
 
-// AnalyzeAll computes every fact with fresh SAT engines at the given
-// per-query conflict budget (0 selects the default).
+// AnalyzeAll computes every fact on ONE shared engine with the given
+// total conflict budget for the whole expression (0 selects the default),
+// seeded from the trusted sound analyzer. Earlier versions created eight
+// independent engines, each with its own budget and its own cold
+// bit-blast of the same function; sharing fixes both leaks.
 func AnalyzeAll(f *ir.Function, budget int64) All {
-	return All{
-		Known:       KnownBits(solver.NewSAT(f, budget), f),
-		Sign:        SignBits(solver.NewSAT(f, budget), f),
-		NonZero:     NonZero(solver.NewSAT(f, budget), f),
-		Negative:    Negative(solver.NewSAT(f, budget), f),
-		NonNegative: NonNegative(solver.NewSAT(f, budget), f),
-		PowerOfTwo:  PowerOfTwo(solver.NewSAT(f, budget), f),
-		Range:       IntegerRange(solver.NewSAT(f, budget), f),
-		Demanded:    DemandedBits(solver.NewSAT(f, budget), f),
+	return AnalyzeAllWith(solver.NewSAT(f, budget), f, ComputeSeed(f))
+}
+
+// AnalyzeAllWith computes every fact on the given engine. Known bits run
+// first so their exact result can enrich the seed for the analyses that
+// follow; DemandedBits runs unseeded (its facts are about inputs, which
+// the seed does not cover).
+func AnalyzeAllWith(e solver.Engine, f *ir.Function, sd Seed) All {
+	var a All
+	a.Known = KnownBitsSeeded(e, f, sd)
+	if a.Known.Feasible {
+		sd.EnrichFromKnown(a.Known.Bits, !a.Known.Exhausted)
 	}
+	a.Sign = SignBitsSeeded(e, f, sd)
+	a.NonZero = NonZeroSeeded(e, f, sd)
+	a.Negative = NegativeSeeded(e, f, sd)
+	a.NonNegative = NonNegativeSeeded(e, f, sd)
+	a.PowerOfTwo = PowerOfTwoSeeded(e, f, sd)
+	a.Range = IntegerRangeSeeded(e, f, sd)
+	a.Demanded = DemandedBits(e, f)
+	return a
 }

@@ -1,0 +1,233 @@
+package oracle
+
+import (
+	"testing"
+
+	"dfcheck/internal/apint"
+	"dfcheck/internal/eval"
+	"dfcheck/internal/harvest"
+	"dfcheck/internal/ir"
+	"dfcheck/internal/solver"
+)
+
+func seedTestCorpus(seed int64, n int) []harvest.Expr {
+	return harvest.Generate(harvest.Config{
+		Seed:     seed,
+		NumExprs: n,
+		MaxInsts: 5,
+		Widths:   []harvest.WidthWeight{{Width: 4, Weight: 2}, {Width: 8, Weight: 1}},
+	})
+}
+
+// TestSeedSoundOnBruteForce verifies the seed's soundness contract against
+// exhaustive enumeration: every claim must hold on every well-defined
+// input (TriTrue claims universally, TriFalse claims existentially).
+func TestSeedSoundOnBruteForce(t *testing.T) {
+	for _, e := range seedTestCorpus(41, 60) {
+		if eval.TotalInputBits(e.F) > 12 {
+			continue
+		}
+		sd := ComputeSeed(e.F)
+		if !sd.Valid {
+			continue
+		}
+		var (
+			feasible                   bool
+			sawZero, sawNeg, sawNonNeg bool
+			sawNonPow2                 bool
+			minSign                    = e.F.Width()
+		)
+		eval.ForEachInput(e.F, func(env eval.Env) bool {
+			v, ok := eval.Eval(e.F, env)
+			if !ok {
+				return true
+			}
+			feasible = true
+			if !sd.Known.Contains(v) {
+				t.Fatalf("%s: seed known bits %v exclude achievable output %v\n%s", e.Name, sd.Known, v, e.F)
+			}
+			if got := v.NumSignBits(); got < sd.SignBits {
+				t.Fatalf("%s: seed claims %d sign bits, output %v has %d\n%s", e.Name, sd.SignBits, v, got, e.F)
+			}
+			if got := v.NumSignBits(); got < minSign {
+				minSign = got
+			}
+			if !sd.Range.Contains(v) {
+				t.Fatalf("%s: seed range %v excludes achievable output %v\n%s", e.Name, sd.Range, v, e.F)
+			}
+			if sd.NonZero == TriTrue && v.IsZero() {
+				t.Fatalf("%s: seed claims non-zero, output 0 achievable\n%s", e.Name, e.F)
+			}
+			if sd.Negative == TriTrue && !v.IsNegative() {
+				t.Fatalf("%s: seed claims negative, output %v achievable\n%s", e.Name, v, e.F)
+			}
+			if sd.NonNegative == TriTrue && v.IsNegative() {
+				t.Fatalf("%s: seed claims non-negative, output %v achievable\n%s", e.Name, v, e.F)
+			}
+			if sd.PowerOfTwo == TriTrue && !v.IsPowerOfTwo() {
+				t.Fatalf("%s: seed claims power-of-two, output %v achievable\n%s", e.Name, v, e.F)
+			}
+			if v.IsZero() {
+				sawZero = true
+			}
+			if v.IsNegative() {
+				sawNeg = true
+			} else {
+				sawNonNeg = true
+			}
+			if !v.IsPowerOfTwo() {
+				sawNonPow2 = true
+			}
+			return true
+		})
+		if !feasible {
+			continue // claims are vacuous on dead code
+		}
+		// TriFalse refutations claim a counterexample exists.
+		if sd.NonZero == TriFalse && !sawZero {
+			t.Errorf("%s: seed refutes non-zero but 0 is not achievable\n%s", e.Name, e.F)
+		}
+		if sd.Negative == TriFalse && !sawNonNeg {
+			t.Errorf("%s: seed refutes negative but no non-negative output exists\n%s", e.Name, e.F)
+		}
+		if sd.NonNegative == TriFalse && !sawNeg {
+			t.Errorf("%s: seed refutes non-negative but no negative output exists\n%s", e.Name, e.F)
+		}
+		if sd.PowerOfTwo == TriFalse && !sawNonPow2 {
+			t.Errorf("%s: seed refutes power-of-two but every output is one\n%s", e.Name, e.F)
+		}
+		_ = minSign
+	}
+}
+
+// TestSeededMatchesUnseeded is the central no-behaviour-change property of
+// seeding: on random DAGs, the fully seeded oracle run (shared engine,
+// enum fast path enabled) must produce exactly the facts of the unseeded
+// run on a plain SAT engine. Seeding and the fast paths may only skip
+// work, never change an answer.
+func TestSeededMatchesUnseeded(t *testing.T) {
+	for _, e := range seedTestCorpus(42, 50) {
+		seeded := AnalyzeAllWith(solver.NewEngine(e.F, solver.Config{}), e.F, ComputeSeed(e.F))
+		plain := AnalyzeAllWith(solver.NewSAT(e.F, 0), e.F, Seed{})
+
+		if seeded.Known.Exhausted || plain.Known.Exhausted {
+			continue // exhaustion makes precision incomparable
+		}
+		if !seeded.Known.Bits.Eq(plain.Known.Bits) || seeded.Known.Feasible != plain.Known.Feasible {
+			t.Errorf("%s: known bits differ: seeded %v, unseeded %v\n%s", e.Name, seeded.Known.Bits, plain.Known.Bits, e.F)
+		}
+		if seeded.Sign.NumSignBits != plain.Sign.NumSignBits {
+			t.Errorf("%s: sign bits differ: seeded %d, unseeded %d\n%s", e.Name, seeded.Sign.NumSignBits, plain.Sign.NumSignBits, e.F)
+		}
+		if seeded.NonZero.Proved != plain.NonZero.Proved {
+			t.Errorf("%s: non-zero differs: seeded %v, unseeded %v\n%s", e.Name, seeded.NonZero.Proved, plain.NonZero.Proved, e.F)
+		}
+		if seeded.Negative.Proved != plain.Negative.Proved {
+			t.Errorf("%s: negative differs: seeded %v, unseeded %v\n%s", e.Name, seeded.Negative.Proved, plain.Negative.Proved, e.F)
+		}
+		if seeded.NonNegative.Proved != plain.NonNegative.Proved {
+			t.Errorf("%s: non-negative differs: seeded %v, unseeded %v\n%s", e.Name, seeded.NonNegative.Proved, plain.NonNegative.Proved, e.F)
+		}
+		if seeded.PowerOfTwo.Proved != plain.PowerOfTwo.Proved {
+			t.Errorf("%s: power-of-two differs: seeded %v, unseeded %v\n%s", e.Name, seeded.PowerOfTwo.Proved, plain.PowerOfTwo.Proved, e.F)
+		}
+		if !seeded.Range.Exhausted && !plain.Range.Exhausted {
+			// Several distinct minimal windows can tie; require equal size
+			// and that each covers everything the other claims achievable.
+			ss, shuge := seeded.Range.Range.Size()
+			ps, phuge := plain.Range.Range.Size()
+			if ss != ps || shuge != phuge {
+				t.Errorf("%s: range sizes differ: seeded %v, unseeded %v\n%s", e.Name, seeded.Range.Range, plain.Range.Range, e.F)
+			}
+		}
+		for name, want := range plain.Demanded.Demanded {
+			if got := seeded.Demanded.Demanded[name]; got.Ne(want) {
+				t.Errorf("%s: demanded bits for %%%s differ: seeded %v, unseeded %v\n%s", e.Name, name, got, want, e.F)
+			}
+		}
+	}
+}
+
+// TestSeedPrunesQueries checks the seed actually saves solver work where
+// it should: a constant-output expression needs zero known-bits queries
+// beyond the feasibility check.
+func TestSeedPrunesQueries(t *testing.T) {
+	f := ir.MustParse("%x:i32 = var\n%0:i32 = and %x, 0:i32\ninfer %0")
+	e := solver.NewSAT(f, 0)
+	sd := ComputeSeed(f)
+	if !sd.Valid || !sd.Known.IsConstant() {
+		t.Fatalf("seed did not recognize the constant output: %+v", sd)
+	}
+	res := KnownBitsSeeded(e, f, sd)
+	if !res.Feasible || res.Exhausted {
+		t.Fatalf("unexpected outcome: %+v", res.Outcome)
+	}
+	if !res.Bits.IsConstant() || !res.Bits.Constant().IsZero() {
+		t.Fatalf("known bits = %v, want constant 0", res.Bits)
+	}
+	st := e.Stats()
+	if st.Queries != 1 { // the feasibility check
+		t.Errorf("queries = %d, want 1 (feasibility only)", st.Queries)
+	}
+	// A known-zero bit saves the one "can it be 1?" query the unseeded
+	// algorithm would pose (it never asks the second question for bits
+	// that cannot be 1).
+	if st.Pruned != 32 {
+		t.Errorf("pruned = %d, want 32", st.Pruned)
+	}
+}
+
+// TestEnrichFromKnownRefinesOnly checks enrichment only ever tightens the
+// seed, and a contradictory meet never invalidates soundness bookkeeping
+// (contradictions imply infeasibility, which the algorithms test first).
+func TestEnrichFromKnownRefinesOnly(t *testing.T) {
+	f := ir.MustParse("%x:i8 = var\n%0:i8 = or %x, 128:i8\ninfer %0")
+	sd := ComputeSeed(f)
+	before := sd.Known
+	sd.EnrichFromKnown(before, true)
+	if !sd.Known.Eq(before) {
+		t.Errorf("self-enrichment changed the seed: %v -> %v", before, sd.Known)
+	}
+	if !sd.Exact {
+		t.Error("exact enrichment did not mark the seed exact")
+	}
+	var inv Seed
+	inv.EnrichFromKnown(before, true)
+	if inv.Valid {
+		t.Error("enriching an invalid seed validated it")
+	}
+}
+
+// TestSeedNeverFromAnalyzerUnderTest pins the §4.7 masking property: the
+// seed must come from the trusted analyzer, so injecting a bug into the
+// comparator's analyzer must not change any seeded oracle result. The
+// PR12541 srem trigger is the expression whose facts the bug corrupts.
+func TestSeedNeverFromAnalyzerUnderTest(t *testing.T) {
+	f := ir.MustParse("%x:i8 = var\n%0:i8 = srem %x, 4:i8\ninfer %0")
+	sd := ComputeSeed(f)
+	res := AnalyzeAllWith(solver.NewEngine(f, solver.Config{}), f, sd)
+	// Brute-force the true known bits.
+	var union, inter *apint.Int
+	eval.ForEachInput(f, func(env eval.Env) bool {
+		v, ok := eval.Eval(f, env)
+		if !ok {
+			return true
+		}
+		if union == nil {
+			u, i := v, v
+			union, inter = &u, &i
+		} else {
+			u, i := union.Or(v), inter.And(v)
+			union, inter = &u, &i
+		}
+		return true
+	})
+	if union == nil {
+		t.Fatal("expression infeasible")
+	}
+	one := *inter       // bits one in every output
+	zero := union.Not() // bits zero in every output
+	if !res.Known.Bits.Zero.Eq(zero) || !res.Known.Bits.One.Eq(one) {
+		t.Errorf("seeded known bits %v do not match brute force (zero=%v one=%v)", res.Known.Bits, zero, one)
+	}
+}

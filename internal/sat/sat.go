@@ -136,6 +136,8 @@ type Solver struct {
 	Propagations int64
 	Decisions    int64
 	Restarts     int64
+
+	addedClauses int64 // problem clauses accepted by AddClause
 }
 
 // DefaultAbortCheckEvery is the default abort poll interval. Propagation
@@ -170,6 +172,11 @@ func (s *Solver) NewVar() Var {
 
 // NumVars returns the number of variables.
 func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NumClauses returns the number of problem clauses accepted by AddClause
+// (after level-0 simplification; learnt clauses are not counted). It is
+// the CNF-size figure the bit-blaster's Circuit.Stats reports.
+func (s *Solver) NumClauses() int64 { return s.addedClauses }
 
 func (s *Solver) litValue(l Lit) lbool {
 	v := s.assigns[l.Var()]
@@ -234,9 +241,11 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 			s.unsat = true
 			return false
 		}
+		s.addedClauses++
 		return true
 	}
 	s.attachClause(out)
+	s.addedClauses++
 	return true
 }
 

@@ -38,7 +38,7 @@ func (e *SATEngine) output() *outputSession {
 		s := sat.New()
 		e.out = &outputSession{
 			s:      s,
-			b:      bitblast.Blast(s, e.f),
+			b:      e.blast(s),
 			signEq: make(map[uint]sat.Lit),
 		}
 	}
@@ -46,17 +46,20 @@ func (e *SATEngine) output() *outputSession {
 }
 
 // solveAssuming runs one budgeted query on a shared solver, accumulating
-// the per-query statistics deltas.
+// the per-query statistics deltas. The conflict budget is shared across
+// the whole engine: each query may spend only what earlier queries left.
 func (e *SATEngine) solveAssuming(s *sat.Solver, assumptions ...sat.Lit) (bool, bool) {
-	if e.pastDeadline() {
+	if e.pastDeadline() || e.outOfBudget() {
 		return false, false
 	}
 	beforeC, beforeP := s.Conflicts, s.Propagations
-	s.ConflictBudget = s.Conflicts + e.budget
+	s.ConflictBudget = s.Conflicts + e.remaining()
 	e.armAbort(s)
 	st := s.Solve(assumptions...)
+	dc := s.Conflicts - beforeC
+	e.spent += dc
 	e.stats.Queries++
-	e.stats.Conflicts += s.Conflicts - beforeC
+	e.stats.Conflicts += dc
 	e.stats.Propagations += s.Propagations - beforeP
 	if st == sat.Unknown {
 		e.stats.Exhausted++
@@ -65,21 +68,77 @@ func (e *SATEngine) solveAssuming(s *sat.Solver, assumptions ...sat.Lit) (bool, 
 	return st == sat.Sat, true
 }
 
+// maxWitnesses caps the model-witness cache: beyond it, hits still prune
+// but new models are no longer remembered.
+const maxWitnesses = 128
+
+// recordWitness saves the output value of the session's current model.
+// Every model of an output query satisfies WellDefined, so its output is
+// an achievable value — a reusable positive answer for any later
+// existence query it happens to satisfy.
+func (e *SATEngine) recordWitness(o *outputSession) apint.Int {
+	v := o.b.C.Value(o.b.Output)
+	if len(e.witnesses) < maxWitnesses {
+		for _, w := range e.witnesses {
+			if w.Eq(v) {
+				return v
+			}
+		}
+		e.witnesses = append(e.witnesses, v)
+	}
+	return v
+}
+
+// witness scans cached model outputs for one satisfying pred; a hit
+// decides an output-existence query with zero solver work (counted as
+// pruned by the callers).
+func (e *SATEngine) witness(pred func(apint.Int) bool) (apint.Int, bool) {
+	for _, w := range e.witnesses {
+		if pred(w) {
+			return w, true
+		}
+	}
+	return apint.Int{}, false
+}
+
 func (e *SATEngine) incFeasible() (bool, bool) {
+	if e.feasKnown {
+		e.stats.Pruned++
+		return e.feasible, true
+	}
 	o := e.output()
-	return e.solveAssuming(o.s, o.b.WellDefined)
+	r, ok := e.solveAssuming(o.s, o.b.WellDefined)
+	if ok {
+		e.feasible, e.feasKnown = r, true
+		if r {
+			e.recordWitness(o)
+		}
+	}
+	return r, ok
 }
 
 func (e *SATEngine) incOutputBitCanBe(i uint, val bool) (bool, bool) {
+	if _, hit := e.witness(func(v apint.Int) bool { return v.Bit(i) == val }); hit {
+		e.stats.Pruned++
+		return true, true
+	}
 	o := e.output()
 	l := o.b.Output[i]
 	if !val {
 		l = l.Not()
 	}
-	return e.solveAssuming(o.s, o.b.WellDefined, l)
+	res, ok := e.solveAssuming(o.s, o.b.WellDefined, l)
+	if ok && res {
+		e.recordWitness(o)
+	}
+	return res, ok
 }
 
 func (e *SATEngine) incSignBitsViolated(k uint) (bool, bool) {
+	if _, hit := e.witness(func(v apint.Int) bool { return v.NumSignBits() < k }); hit {
+		e.stats.Pruned++
+		return true, true
+	}
 	o := e.output()
 	eq, ok := o.signEq[k]
 	if !ok {
@@ -91,19 +150,35 @@ func (e *SATEngine) incSignBitsViolated(k uint) (bool, bool) {
 		}
 		o.signEq[k] = eq
 	}
-	return e.solveAssuming(o.s, o.b.WellDefined, eq.Not())
+	res, ok := e.solveAssuming(o.s, o.b.WellDefined, eq.Not())
+	if ok && res {
+		e.recordWitness(o)
+	}
+	return res, ok
 }
 
 func (e *SATEngine) incCanBeZero() (bool, bool) {
+	if _, hit := e.witness(apint.Int.IsZero); hit {
+		e.stats.Pruned++
+		return true, true
+	}
 	o := e.output()
 	if !o.haveZero {
 		o.zeroLit = o.b.C.OrN(o.b.Output...).Not()
 		o.haveZero = true
 	}
-	return e.solveAssuming(o.s, o.b.WellDefined, o.zeroLit)
+	res, ok := e.solveAssuming(o.s, o.b.WellDefined, o.zeroLit)
+	if ok && res {
+		e.recordWitness(o)
+	}
+	return res, ok
 }
 
 func (e *SATEngine) incCanBeNonPowerOfTwo() (bool, bool) {
+	if _, hit := e.witness(func(v apint.Int) bool { return !v.IsPowerOfTwo() }); hit {
+		e.stats.Pruned++
+		return true, true
+	}
 	o := e.output()
 	if !o.havePow2 {
 		c := o.b.C
@@ -114,10 +189,34 @@ func (e *SATEngine) incCanBeNonPowerOfTwo() (bool, bool) {
 		o.pow2Lit = c.And(nonZero, c.OrN(masked...).Not())
 		o.havePow2 = true
 	}
-	return e.solveAssuming(o.s, o.b.WellDefined, o.pow2Lit.Not())
+	res, ok := e.solveAssuming(o.s, o.b.WellDefined, o.pow2Lit.Not())
+	if ok && res {
+		e.recordWitness(o)
+	}
+	return res, ok
+}
+
+// outsideWindow reports v ∉ [lo, lo+size) with the engine's wrapping
+// conventions (size 0 = empty window, lo+size == lo = full window).
+func outsideWindow(v, lo, size apint.Int) bool {
+	if size.IsZero() {
+		return true
+	}
+	hi := lo.Add(size)
+	if hi.Eq(lo) {
+		return false
+	}
+	if lo.ULT(hi) {
+		return !(v.UGE(lo) && v.ULT(hi))
+	}
+	return !(v.UGE(lo) || v.ULT(hi))
 }
 
 func (e *SATEngine) incOutputOutside(lo, size apint.Int) (apint.Int, bool, bool) {
+	if w, hit := e.witness(func(v apint.Int) bool { return outsideWindow(v, lo, size) }); hit {
+		e.stats.Pruned++
+		return w, true, true
+	}
 	o := e.output()
 	c := o.b.C
 	var outside sat.Lit
@@ -140,7 +239,7 @@ func (e *SATEngine) incOutputOutside(lo, size apint.Int) (apint.Int, bool, bool)
 	if !ok || !res {
 		return apint.Int{}, res, ok
 	}
-	return c.Value(o.b.Output), true, true
+	return e.recordWitness(o), true, true
 }
 
 // miterSession is the per-variable shared circuit for demanded-bits
@@ -148,6 +247,7 @@ func (e *SATEngine) incOutputOutside(lo, size apint.Int) (apint.Int, bool, bool)
 // selector muxes.
 type miterSession struct {
 	s      *sat.Solver
+	c      *bitblast.Circuit
 	differ sat.Lit // outputs differ ∧ both copies well-defined
 	selLo  []sat.Lit
 	selHi  []sat.Lit
@@ -159,7 +259,7 @@ func (e *SATEngine) miter(v *ir.Inst) *miterSession {
 		return m
 	}
 	s := sat.New()
-	b1 := bitblast.Blast(s, e.f)
+	b1 := e.blast(s)
 	c := b1.C
 
 	w := v.Width
@@ -181,6 +281,7 @@ func (e *SATEngine) miter(v *ir.Inst) *miterSession {
 
 	m := &miterSession{
 		s:      s,
+		c:      c,
 		differ: c.AndN(b1.WellDefined, b2.WellDefined, c.Eq(b1.Output, b2.Output).Not()),
 		selLo:  selLo,
 		selHi:  selHi,

@@ -58,6 +58,12 @@ type Engine interface {
 	// equivalence check).
 	ForcedBitMatters(v *ir.Inst, bit uint, val bool) (sat, ok bool)
 
+	// AddPruned records n queries the caller never issued because their
+	// answer was already fixed without solving (a sound abstract seed, or
+	// an engine-level memo). The oracle algorithms call this so Table-1
+	// CPU-time deltas stay attributable.
+	AddPruned(n int64)
+
 	// Stats returns cumulative query statistics.
 	Stats() Stats
 }
@@ -68,6 +74,20 @@ type Stats struct {
 	Conflicts    int64
 	Propagations int64
 	Exhausted    int64 // queries that ran out of budget or were aborted
+
+	// Pruned counts queries eliminated before any solving: answers fixed
+	// by a sound abstract seed (oracle.Seed) or by an engine memo.
+	Pruned int64
+	// EnumQueries counts queries answered by exhaustive enumeration
+	// rather than SAT (the small-width fast path).
+	EnumQueries int64
+	// GatesBuilt / GatesDeduped / Clauses roll up the bit-blaster's
+	// construction counters over every circuit the engine touched:
+	// Tseitin gates actually encoded, gate requests the structural hash
+	// (or a rewrite rule) absorbed, and problem clauses handed to SAT.
+	GatesBuilt   int64
+	GatesDeduped int64
+	Clauses      int64
 }
 
 // Add accumulates o into s, for rolling per-engine counters up into
@@ -77,11 +97,76 @@ func (s *Stats) Add(o Stats) {
 	s.Conflicts += o.Conflicts
 	s.Propagations += o.Propagations
 	s.Exhausted += o.Exhausted
+	s.Pruned += o.Pruned
+	s.EnumQueries += o.EnumQueries
+	s.GatesBuilt += o.GatesBuilt
+	s.GatesDeduped += o.GatesDeduped
+	s.Clauses += o.Clauses
 }
 
-// DefaultConflictBudget bounds each SAT query, standing in for the paper's
-// 30-second Z3 timeout.
+// addCircuit rolls one circuit's construction counters into the stats.
+func (s *Stats) addCircuit(cs bitblast.CircuitStats) {
+	s.GatesBuilt += cs.Gates
+	s.GatesDeduped += cs.Deduped + cs.Rewrites
+	s.Clauses += cs.Clauses
+}
+
+// DefaultConflictBudget bounds the conflicts a SATEngine may spend across
+// all of its queries, standing in for the paper's 30-second Z3 timeout.
+// The budget is shared per engine (and so, with one engine per expression,
+// per expression): an oracle run can no longer spend N× the intended
+// budget by issuing N queries.
 const DefaultConflictBudget = 200000
+
+// DefaultEnumCutoff is the summed-input-width at or below which NewEngine
+// prefers exhaustive enumeration over bit-blasting: at ≤ 2^8 evaluations
+// an interpreter sweep undercuts even a single CNF construction. Measured
+// on the Table-1 corpus the break-even sits at 8–10 summed bits — beyond
+// that the 2^n interpreter sweeps (worst at demanded bits, which evaluates
+// the whole space once per input variable) dwarf the incremental SAT path.
+const DefaultEnumCutoff = 8
+
+// Config parameterizes NewEngine.
+type Config struct {
+	// Budget is the engine-wide conflict budget (0 selects
+	// DefaultConflictBudget).
+	Budget int64
+	// Deadline and Ctx cancel queries; see the SATEngine fields.
+	Deadline time.Time
+	Ctx      context.Context
+	// NoStrash disables structural hashing in the bit-blaster — the
+	// ablation path behind the -no-strash flag.
+	NoStrash bool
+	// EnumCutoff routes functions whose summed input width is at or
+	// below the cutoff to the enumeration engine. 0 selects
+	// DefaultEnumCutoff; negative disables the fast path entirely.
+	EnumCutoff int
+}
+
+// NewEngine selects the fastest engine for f under cfg: the enumeration
+// engine below the small-width cutoff, the (strashed, incremental) SAT
+// engine otherwise. Both decide exactly the same queries, a property the
+// cross-check tests enforce on every query type.
+func NewEngine(f *ir.Function, cfg Config) Engine {
+	cut := cfg.EnumCutoff
+	if cut == 0 {
+		cut = DefaultEnumCutoff
+	}
+	if cut > eval.MaxEnumBits {
+		cut = eval.MaxEnumBits
+	}
+	if cut > 0 && eval.TotalInputBits(f) <= uint(cut) {
+		en := NewEnum(f)
+		en.Ctx = cfg.Ctx
+		en.Deadline = cfg.Deadline
+		return en
+	}
+	e := NewSAT(f, cfg.Budget)
+	e.Deadline = cfg.Deadline
+	e.Ctx = cfg.Ctx
+	e.NoStrash = cfg.NoStrash
+	return e
+}
 
 // SATEngine decides queries by bit-blasting. By default it runs
 // incrementally: one shared solver holds the circuit, each query is posed
@@ -92,10 +177,28 @@ const DefaultConflictBudget = 200000
 type SATEngine struct {
 	f      *ir.Function
 	budget int64
+	spent  int64 // conflicts consumed so far, against the shared budget
 	stats  Stats
+
+	// Memoized feasibility: the first query of all eight oracle
+	// algorithms is the same "any well-defined input?" check, so with one
+	// engine per expression the answer is computed once (incremental path
+	// only; the Fresh ablation stays memo-free).
+	feasKnown bool
+	feasible  bool
+
+	// witnesses caches output values read from satisfying models: each is
+	// an achievable well-defined output, so any later existence query one
+	// of them satisfies is answered without the solver (incremental path
+	// only; see recordWitness).
+	witnesses []apint.Int
 
 	// Fresh disables incremental solving.
 	Fresh bool
+
+	// NoStrash disables structural hashing in the bit-blaster — the
+	// ablation path cross-checked against the default strashed circuits.
+	NoStrash bool
 
 	// Deadline, when non-zero, bounds the total dataflow computation per
 	// expression — the paper's five-minute cap (§4.1). Queries issued
@@ -114,7 +217,9 @@ type SATEngine struct {
 }
 
 // NewSAT returns a SAT-backed engine. budget <= 0 selects
-// DefaultConflictBudget.
+// DefaultConflictBudget. The budget bounds the total conflicts spent
+// across every query the engine answers; once it is gone, further queries
+// fail fast as exhausted.
 func NewSAT(f *ir.Function, budget int64) *SATEngine {
 	if budget <= 0 {
 		budget = DefaultConflictBudget
@@ -122,8 +227,44 @@ func NewSAT(f *ir.Function, budget int64) *SATEngine {
 	return &SATEngine{f: f, budget: budget}
 }
 
-// Stats returns cumulative counters.
-func (e *SATEngine) Stats() Stats { return e.stats }
+// Stats returns cumulative counters, including the construction counters
+// of the live incremental sessions' circuits.
+func (e *SATEngine) Stats() Stats {
+	st := e.stats
+	if e.out != nil {
+		st.addCircuit(e.out.b.C.Stats())
+	}
+	for _, m := range e.miters {
+		st.addCircuit(m.c.Stats())
+	}
+	return st
+}
+
+// AddPruned implements Engine.
+func (e *SATEngine) AddPruned(n int64) { e.stats.Pruned += n }
+
+// remaining returns the unconsumed part of the shared conflict budget.
+func (e *SATEngine) remaining() int64 { return e.budget - e.spent }
+
+// outOfBudget reports (and counts as an exhausted query) a query issued
+// after the engine's shared conflict budget was used up.
+func (e *SATEngine) outOfBudget() bool {
+	if e.remaining() > 0 {
+		return false
+	}
+	e.stats.Queries++
+	e.stats.Exhausted++
+	return true
+}
+
+// blast compiles the engine's function onto s, honoring NoStrash.
+func (e *SATEngine) blast(s *sat.Solver) *bitblast.Blasted {
+	c := bitblast.NewCircuit(s)
+	if e.NoStrash {
+		c.DisableStrash()
+	}
+	return bitblast.BlastCircuit(c, e.f)
+}
 
 // cancelled reports whether the deadline has passed or the context is
 // done, i.e. no further solver work may start.
@@ -158,19 +299,21 @@ func (e *SATEngine) armAbort(s *sat.Solver) {
 
 // query solves WellDefined ∧ pred(blasted) on a fresh solver.
 func (e *SATEngine) query(pred func(c *bitblast.Circuit, b *bitblast.Blasted) sat.Lit) (*bitblast.Blasted, bool, bool) {
-	if e.pastDeadline() {
+	if e.pastDeadline() || e.outOfBudget() {
 		return nil, false, false
 	}
 	s := sat.New()
-	s.ConflictBudget = e.budget
+	s.ConflictBudget = e.remaining()
 	e.armAbort(s)
-	b := bitblast.Blast(s, e.f)
+	b := e.blast(s)
 	cond := b.C.And(b.WellDefined, pred(b.C, b))
 	s.AddClause(cond)
 	st := s.Solve()
 	e.stats.Queries++
+	e.spent += s.Conflicts
 	e.stats.Conflicts += s.Conflicts
 	e.stats.Propagations += s.Propagations
+	e.stats.addCircuit(b.C.Stats())
 	if st == sat.Unknown {
 		e.stats.Exhausted++
 		return nil, false, false
@@ -290,13 +433,13 @@ func (e *SATEngine) ForcedBitMatters(v *ir.Inst, bit uint, val bool) (bool, bool
 	if !e.Fresh {
 		return e.incForcedBitMatters(v, bit, val)
 	}
-	if e.pastDeadline() {
+	if e.pastDeadline() || e.outOfBudget() {
 		return false, false
 	}
 	s := sat.New()
-	s.ConflictBudget = e.budget
+	s.ConflictBudget = e.remaining()
 	e.armAbort(s)
-	b1 := bitblast.Blast(s, e.f)
+	b1 := e.blast(s)
 	c := b1.C
 
 	inputs2 := make(map[*ir.Inst]bitblast.Word, len(b1.Inputs))
@@ -313,8 +456,10 @@ func (e *SATEngine) ForcedBitMatters(v *ir.Inst, bit uint, val bool) (bool, bool
 	s.AddClause(cond)
 	st := s.Solve()
 	e.stats.Queries++
+	e.spent += s.Conflicts
 	e.stats.Conflicts += s.Conflicts
 	e.stats.Propagations += s.Propagations
+	e.stats.addCircuit(c.Stats())
 	if st == sat.Unknown {
 		e.stats.Exhausted++
 		return false, false
@@ -323,107 +468,218 @@ func (e *SATEngine) ForcedBitMatters(v *ir.Inst, bit uint, val bool) (bool, bool
 }
 
 // EnumEngine answers queries by exhaustive enumeration; only usable when
-// the summed input width is small (eval.MaxEnumBits).
+// the summed input width is small (eval.MaxEnumBits). It enumerates the
+// input space once, memoizing the set of achievable outputs, so each of
+// the oracle's many output queries is a scan over at most 2^w values
+// instead of a fresh 2^inputs interpreter sweep; demanded-bits queries
+// similarly compute one per-variable matrix in a single pass.
 type EnumEngine struct {
 	f     *ir.Function
+	prog  *eval.Program
 	stats Stats
+
+	// Ctx, when non-nil, cancels enumeration: queries issued after it is
+	// done (or interrupted mid-sweep) return not-ok, counted exhausted.
+	Ctx context.Context
+	// Deadline, when non-zero, bounds enumeration the same way the SAT
+	// engine's deadline bounds solving.
+	Deadline time.Time
+
+	enumerated bool
+	feasible   bool
+	outputs    []apint.Int // achievable outputs, first-seen order
+	demanded   map[*ir.Inst][]bool
 }
+
+// enumCancelCheckEvery is how many evaluations pass between context polls
+// during an enumeration sweep.
+const enumCancelCheckEvery = 4096
 
 // NewEnum returns an enumeration-backed engine.
 func NewEnum(f *ir.Function) *EnumEngine {
 	if eval.TotalInputBits(f) > eval.MaxEnumBits {
 		panic("solver: function too wide for EnumEngine")
 	}
-	return &EnumEngine{f: f}
+	return &EnumEngine{f: f, prog: eval.Compile(f)}
 }
 
 // Stats returns cumulative counters.
 func (e *EnumEngine) Stats() Stats { return e.stats }
 
-// exists scans for a well-defined input whose output satisfies pred.
-func (e *EnumEngine) exists(pred func(v apint.Int) bool) (found bool) {
-	e.stats.Queries++
+// AddPruned implements Engine.
+func (e *EnumEngine) AddPruned(n int64) { e.stats.Pruned += n }
+
+func (e *EnumEngine) cancelled() bool {
+	if e.Ctx != nil && e.Ctx.Err() != nil {
+		return true
+	}
+	return !e.Deadline.IsZero() && !time.Now().Before(e.Deadline)
+}
+
+// ensureOutputs runs the one-time enumeration of achievable outputs. It
+// returns false (without caching a partial result) when the context
+// cancels the sweep.
+func (e *EnumEngine) ensureOutputs() bool {
+	if e.enumerated {
+		return true
+	}
+	if e.cancelled() {
+		return false
+	}
+	seen := make(map[uint64]bool)
+	var outs []apint.Int
+	n, ok := 0, true
 	eval.ForEachInput(e.f, func(env eval.Env) bool {
-		if v, ok := eval.Eval(e.f, env); ok && pred(v) {
-			found = true
+		n++
+		if n&(enumCancelCheckEvery-1) == 0 && e.cancelled() {
+			ok = false
 			return false
+		}
+		if v, defined := e.prog.Eval(env); defined && !seen[v.Uint64()] {
+			seen[v.Uint64()] = true
+			outs = append(outs, v)
 		}
 		return true
 	})
-	return found
+	if !ok {
+		return false
+	}
+	e.outputs = outs
+	e.feasible = len(outs) > 0
+	e.enumerated = true
+	return true
+}
+
+// exists scans the memoized achievable outputs for one satisfying pred.
+func (e *EnumEngine) exists(pred func(v apint.Int) bool) (found, ok bool) {
+	e.stats.Queries++
+	e.stats.EnumQueries++
+	if !e.ensureOutputs() {
+		e.stats.Exhausted++
+		return false, false
+	}
+	for _, v := range e.outputs {
+		if pred(v) {
+			return true, true
+		}
+	}
+	return false, true
 }
 
 // Feasible implements Engine.
 func (e *EnumEngine) Feasible() (bool, bool) {
-	return e.exists(func(apint.Int) bool { return true }), true
+	return e.exists(func(apint.Int) bool { return true })
 }
 
 // OutputBitCanBe implements Engine.
 func (e *EnumEngine) OutputBitCanBe(i uint, val bool) (bool, bool) {
-	return e.exists(func(v apint.Int) bool { return v.Bit(i) == val }), true
+	return e.exists(func(v apint.Int) bool { return v.Bit(i) == val })
 }
 
 // SignBitsViolated implements Engine.
 func (e *EnumEngine) SignBitsViolated(k uint) (bool, bool) {
-	return e.exists(func(v apint.Int) bool { return v.NumSignBits() < k }), true
+	return e.exists(func(v apint.Int) bool { return v.NumSignBits() < k })
 }
 
 // CanBeZero implements Engine.
 func (e *EnumEngine) CanBeZero() (bool, bool) {
-	return e.exists(apint.Int.IsZero), true
+	return e.exists(apint.Int.IsZero)
 }
 
 // CanBeNonPowerOfTwo implements Engine.
 func (e *EnumEngine) CanBeNonPowerOfTwo() (bool, bool) {
-	return e.exists(func(v apint.Int) bool { return !v.IsPowerOfTwo() }), true
+	return e.exists(func(v apint.Int) bool { return !v.IsPowerOfTwo() })
 }
 
 // OutputOutside implements Engine.
 func (e *EnumEngine) OutputOutside(lo, size apint.Int) (apint.Int, bool, bool) {
+	e.stats.Queries++
+	e.stats.EnumQueries++
+	if !e.ensureOutputs() {
+		e.stats.Exhausted++
+		return apint.Int{}, false, false
+	}
 	hi := lo.Add(size)
-	var example apint.Int
-	found := e.exists(func(v apint.Int) bool {
-		if !size.IsZero() && hi.Eq(lo) {
-			return false // full interval
-		}
-		inside := false
-		if size.IsZero() {
-			inside = false // empty interval
-		} else if lo.ULT(hi) {
-			inside = v.UGE(lo) && v.ULT(hi)
-		} else {
-			inside = v.UGE(lo) || v.ULT(hi)
+	full := !size.IsZero() && hi.Eq(lo)
+	for _, v := range e.outputs {
+		inside := full
+		if !full && !size.IsZero() {
+			if lo.ULT(hi) {
+				inside = v.UGE(lo) && v.ULT(hi)
+			} else {
+				inside = v.UGE(lo) || v.ULT(hi)
+			}
 		}
 		if !inside {
-			example = v
-			return true
+			return v, true, true
 		}
-		return false
-	})
-	return example, found, true
+	}
+	return apint.Int{}, false, true
 }
 
-// ForcedBitMatters implements Engine.
+// ForcedBitMatters implements Engine. Forcing bit i of v to 0 can change
+// the output iff forcing it to 1 can — either way the witness is a pair of
+// well-defined inputs differing only in that bit with different outputs —
+// so one memoized per-variable matrix answers both polarities.
 func (e *EnumEngine) ForcedBitMatters(v *ir.Inst, bit uint, val bool) (bool, bool) {
 	e.stats.Queries++
-	found := false
+	e.stats.EnumQueries++
+	m, ok := e.demandedFor(v)
+	if !ok {
+		e.stats.Exhausted++
+		return false, false
+	}
+	return m[bit], true
+}
+
+// demandedFor computes, in one pass over the input space, whether each bit
+// of v can change the output: for every well-defined input with the bit
+// clear, evaluate the bit-set sibling and compare. Visiting each
+// {bit=0, bit=1} pair exactly once from its bit=0 side halves the work; a
+// pair with either side ill-defined never counts, matching the two-copy
+// well-definedness condition of Algorithm 2.
+func (e *EnumEngine) demandedFor(v *ir.Inst) ([]bool, bool) {
+	if m, ok := e.demanded[v]; ok {
+		return m, true
+	}
+	if e.cancelled() {
+		return nil, false
+	}
+	m := make([]bool, v.Width)
+	undecided := int(v.Width) // bits not yet proven demanded
+	n, ok := 0, true
 	eval.ForEachInput(e.f, func(env eval.Env) bool {
-		orig, ok1 := eval.Eval(e.f, env)
-		env2 := make(eval.Env, len(env))
-		for k, x := range env {
-			env2[k] = x
-		}
-		if val {
-			env2[v] = env[v].SetBit(bit)
-		} else {
-			env2[v] = env[v].ClearBit(bit)
-		}
-		forced, ok2 := eval.Eval(e.f, env2)
-		if ok1 && ok2 && orig.Ne(forced) {
-			found = true
+		n++
+		if n&(enumCancelCheckEvery-1) == 0 && e.cancelled() {
+			ok = false
 			return false
 		}
-		return true
+		orig, defined := e.prog.Eval(env)
+		if !defined {
+			return true
+		}
+		saved := env[v]
+		for bit := uint(0); bit < v.Width; bit++ {
+			if m[bit] || saved.Bit(bit) {
+				continue
+			}
+			env[v] = saved.SetBit(bit)
+			if flipped, definedF := e.prog.Eval(env); definedF && orig.Ne(flipped) {
+				m[bit] = true
+				undecided--
+			}
+		}
+		env[v] = saved
+		// Once every bit is proven demanded no further input can change
+		// the matrix — stop the sweep early.
+		return undecided > 0
 	})
-	return found, true
+	if !ok {
+		return nil, false
+	}
+	if e.demanded == nil {
+		e.demanded = make(map[*ir.Inst][]bool)
+	}
+	e.demanded[v] = m
+	return m, true
 }
