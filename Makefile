@@ -1,4 +1,4 @@
-# The DESIGN §7 quality gate, runnable as one target. `make check` is
+# The DESIGN §8 quality gate, runnable as one target. `make check` is
 # what CI (and pre-commit) should run.
 
 GO ?= go
@@ -10,7 +10,8 @@ GO ?= go
 # instruments, and the cache. The full suite under the race detector is
 # the race-all target; it takes many minutes.
 RACE_PKGS = ./internal/compare ./internal/solver ./internal/sat \
-            ./internal/campaign ./internal/metrics ./internal/rescache
+            ./internal/campaign ./internal/metrics ./internal/rescache \
+            ./internal/trace
 
 check: fmt vet build race
 

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
 	"os/signal"
 	"runtime"
@@ -35,6 +36,7 @@ import (
 	"dfcheck/internal/llvmport"
 	"dfcheck/internal/metrics"
 	"dfcheck/internal/rescache"
+	"dfcheck/internal/trace"
 )
 
 func main() {
@@ -62,7 +64,9 @@ func main() {
 		noStrash   = flag.Bool("no-strash", false, "ablation: disable structural hashing in the bit-blaster")
 		noSeed     = flag.Bool("no-seed", false, "ablation: disable sound-fact seeding of the oracle")
 		enumCut    = flag.Int("enum-cutoff", 0, "summed input bits at or below which expressions are enumerated instead of solved (0 = default, negative disables)")
-		httpAddr   = flag.String("http", "", "serve expvar metrics on this address (e.g. :8125, endpoint /debug/vars)")
+		httpAddr   = flag.String("http", "", "serve the debug server on this address (e.g. :8125): expvar metrics at /debug/vars, pprof profiles at /debug/pprof/)")
+		traceFile  = flag.String("trace", "", "write a Chrome trace-event JSON span trace to this file (open in Perfetto, aggregate with trace-report)")
+		traceMaxMB = flag.Int64("trace-max-mb", 256, "rotate the trace file when it exceeds this many MiB (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -87,12 +91,23 @@ func main() {
 	reg := metrics.NewRegistry()
 	reg.PublishExpvar("dfcheck")
 	if *httpAddr != "" {
-		// expvar registers /debug/vars on the default mux.
+		// expvar registers /debug/vars and net/http/pprof registers
+		// /debug/pprof/* on the default mux.
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "dfcheck-fuzz: metrics server:", err)
 			}
 		}()
+	}
+
+	var tracer *trace.Tracer
+	if *traceFile != "" {
+		var err error
+		tracer, err = trace.NewFile(*traceFile, *traceMaxMB<<20)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dfcheck-fuzz:", err)
+			os.Exit(2)
+		}
 	}
 
 	c := &compare.Comparator{
@@ -104,6 +119,7 @@ func main() {
 		Workers:     *workers,
 		ExprTimeout: *exprCap,
 		Metrics:     reg,
+		Tracer:      tracer,
 		NoStrash:    *noStrash,
 		NoSeed:      *noSeed,
 		EnumCutoff:  *enumCut,
@@ -147,6 +163,7 @@ func main() {
 		Events:          events,
 		Metrics:         reg,
 		Progress:        os.Stdout,
+		Tracer:          tracer,
 	}, c)
 	if *resume != "" {
 		if err := camp.Resume(*resume); err != nil {
@@ -162,6 +179,15 @@ func main() {
 	defer stop()
 	runErr := camp.Run(ctx)
 	stop() // a second Ctrl-C past this point kills the process normally
+
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "dfcheck-fuzz: WARNING: trace incomplete: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "trace written to %s (%d rotation(s)); inspect with: trace-report %s\n",
+				*traceFile, tracer.Rotations(), *traceFile)
+		}
+	}
 
 	if c.Cache != nil {
 		if err := c.Cache.SaveFile(*cacheFile); err != nil {

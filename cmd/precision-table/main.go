@@ -17,6 +17,7 @@ import (
 	"dfcheck/internal/harvest"
 	"dfcheck/internal/llvmport"
 	"dfcheck/internal/rescache"
+	"dfcheck/internal/trace"
 )
 
 func main() {
@@ -40,6 +41,8 @@ func main() {
 		noStrash  = flag.Bool("no-strash", false, "ablation: disable structural hashing in the bit-blaster")
 		noSeed    = flag.Bool("no-seed", false, "ablation: disable sound-fact seeding of the oracle")
 		enumCut   = flag.Int("enum-cutoff", 0, "summed input bits at or below which expressions are enumerated instead of solved (0 = default, negative disables)")
+		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON span trace to this file (open in Perfetto, aggregate with trace-report)")
+		traceMax  = flag.Int64("trace-max-mb", 256, "rotate the trace file when it exceeds this many MiB (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -98,6 +101,16 @@ func main() {
 		fmt.Println()
 	}
 
+	var tracer *trace.Tracer
+	if *traceFile != "" {
+		var err error
+		tracer, err = trace.NewFile(*traceFile, *traceMax<<20)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "precision-table:", err)
+			os.Exit(1)
+		}
+	}
+
 	c := &compare.Comparator{
 		Analyzer: &llvmport.Analyzer{
 			Bugs:   llvmport.BugConfig{NonZeroAdd: *bug1, SRemSignBits: *bug2, SRemKnownBits: *bug3},
@@ -109,6 +122,7 @@ func main() {
 		NoStrash:    *noStrash,
 		NoSeed:      *noSeed,
 		EnumCutoff:  *enumCut,
+		Tracer:      tracer,
 	}
 	if *cacheFile != "" {
 		cache := rescache.New()
@@ -124,6 +138,11 @@ func main() {
 		c.Cache = cache
 	}
 	rep := c.Run(corpus)
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "precision-table: WARNING: trace incomplete: %v\n", err)
+		}
+	}
 	if c.Cache != nil {
 		if err := c.Cache.SaveFile(*cacheFile); err != nil {
 			fmt.Fprintf(os.Stderr, "precision-table: WARNING: cache not saved: %v\n", err)

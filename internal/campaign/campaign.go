@@ -17,6 +17,7 @@ import (
 	"dfcheck/internal/harvest"
 	"dfcheck/internal/ir"
 	"dfcheck/internal/metrics"
+	"dfcheck/internal/trace"
 )
 
 // Config fixes everything that determines a campaign's corpus. Two
@@ -66,6 +67,10 @@ type Config struct {
 	// batch index just finished — the hook tests use to cancel a
 	// campaign at a deterministic point.
 	AfterBatch func(batch int)
+	// Tracer, when non-nil, records one batch span per batch, under
+	// which the comparator nests expression, analysis, iteration, and
+	// solver-query spans (the -trace flag).
+	Tracer *trace.Tracer
 }
 
 // Totals is the campaign's cumulative Table 1 state: what a final report
@@ -244,7 +249,15 @@ func (c *Campaign) Run(ctx context.Context) error {
 		}
 		corpus := c.Corpus(b)
 		batchStart := time.Now()
-		rep := c.Comparator.RunContext(ctx, corpus)
+		bctx := ctx
+		bsp := c.Tracer.Start(nil, trace.KindBatch, "batch")
+		if bsp != nil {
+			bsp.SetInt("batch", int64(b))
+			bsp.SetInt("seed", c.BatchSeed(b))
+			bctx = trace.NewContext(ctx, bsp)
+		}
+		rep := c.Comparator.RunContext(bctx, corpus)
+		bsp.End()
 		if rep.Interrupted || ctx.Err() != nil {
 			// Partial batch: discard, checkpoint at the last complete
 			// batch boundary, and report the interruption.

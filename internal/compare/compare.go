@@ -20,6 +20,7 @@ import (
 	"dfcheck/internal/oracle"
 	"dfcheck/internal/rescache"
 	"dfcheck/internal/solver"
+	"dfcheck/internal/trace"
 )
 
 // Outcome classifies one (expression, analysis) comparison.
@@ -99,6 +100,62 @@ type Comparator struct {
 	// are analyzed by exhaustive enumeration instead of SAT: 0 selects
 	// solver.DefaultEnumCutoff, negative disables the fast path.
 	EnumCutoff int
+	// Tracer, when set, records a hierarchical span per run, expression,
+	// analysis, oracle iteration, and solver query (the -trace flag).
+	// Nil compiles to the untraced near-zero-cost path.
+	Tracer *trace.Tracer
+}
+
+// analysisOrder maps oracleSet.Elapsed indices to analysis names, in the
+// Table 1 order computeOracle runs them.
+var analysisOrder = [8]harvest.Analysis{
+	harvest.KnownBits, harvest.SignBits, harvest.NonZero, harvest.Negative,
+	harvest.NonNegative, harvest.PowerOfTwo, harvest.IntegerRange, harvest.DemandedBits,
+}
+
+// rootSpan returns ctx carrying the span this run's expression spans nest
+// under: the span already in ctx (a campaign batch), else a fresh root on
+// the configured tracer. The returned func ends the span only when it was
+// opened here.
+func (c *Comparator) rootSpan(ctx context.Context, name string) (context.Context, func()) {
+	if trace.FromContext(ctx) != nil {
+		return ctx, func() {}
+	}
+	sp := c.Tracer.Start(nil, trace.KindBatch, name)
+	if sp == nil {
+		return ctx, func() {}
+	}
+	return trace.NewContext(ctx, sp), sp.End
+}
+
+// exprSpan opens the per-expression span, named by the root opcode and
+// carrying the width and canonical hash/key that let trace-report group
+// hotspots and collapse duplicates. The canonicalization is paid only
+// when tracing is live.
+func (c *Comparator) exprSpan(ctx context.Context, f *ir.Function, cn *canon.Canon) *trace.Span {
+	sp := trace.FromContext(ctx).Child(trace.KindExpr, f.Root.Op.String())
+	if sp == nil {
+		return nil
+	}
+	if cn == nil {
+		cn = canon.Canonicalize(f)
+	}
+	sp.SetInt("width", int64(f.Width()))
+	sp.SetStr("hash", fmt.Sprintf("%016x", cn.Hash))
+	sp.SetStr("key", cn.Key)
+	return sp
+}
+
+// endExprSpan closes an expression span, stamping the solver totals the
+// expression cost.
+func endExprSpan(sp *trace.Span, st solver.Stats) {
+	if sp == nil {
+		return
+	}
+	sp.SetInt("queries", st.Queries)
+	sp.SetInt("conflicts", st.Conflicts)
+	sp.SetInt("exhausted", st.Exhausted)
+	sp.End()
 }
 
 // newEngine builds an engine honoring the per-expression deadline and the
@@ -140,6 +197,9 @@ func (c *Comparator) recordOracle(o *oracleSet) {
 	c.Metrics.Counter("solver_queries").Add(o.Solver.Queries)
 	c.Metrics.Counter("solver_conflicts").Add(o.Solver.Conflicts)
 	c.Metrics.Counter("solver_propagations").Add(o.Solver.Propagations)
+	c.Metrics.Counter("solver_decisions").Add(o.Solver.Decisions)
+	c.Metrics.Counter("solver_restarts").Add(o.Solver.Restarts)
+	c.Metrics.Counter("solver_learned").Add(o.Solver.Learned)
 	c.Metrics.Counter("solver_exhausted").Add(o.Solver.Exhausted)
 	c.Metrics.Counter("solver_pruned_queries").Add(o.Solver.Pruned)
 	c.Metrics.Counter("solver_enum_queries").Add(o.Solver.EnumQueries)
@@ -184,10 +244,14 @@ func (c *Comparator) computeOracle(ctx context.Context, f *ir.Function) *oracleS
 	o := &oracleSet{}
 	eng := c.newEngine(ctx, f, deadline)
 	sd := c.seed(f)
+	sp := c.exprSpan(ctx, f, nil)
 	run := func(i int, compute func()) {
+		asp := sp.Child(trace.KindAnalysis, string(analysisOrder[i]))
+		eng.SetTraceSpan(asp)
 		start := time.Now()
 		compute()
 		o.Elapsed[i] = time.Since(start)
+		asp.End()
 	}
 	run(0, func() { o.Known = oracle.KnownBitsSeeded(eng, f, sd) })
 	if o.Known.Feasible {
@@ -201,6 +265,7 @@ func (c *Comparator) computeOracle(ctx context.Context, f *ir.Function) *oracleS
 	run(6, func() { o.Range = oracle.IntegerRangeSeeded(eng, f, sd) })
 	run(7, func() { o.Demanded = oracle.DemandedBits(eng, f) })
 	o.Solver = eng.Stats()
+	endExprSpan(sp, o.Solver)
 	c.recordOracle(o)
 	return o
 }
@@ -236,6 +301,7 @@ func (c *Comparator) oracleCached(ctx context.Context, cn *canon.Canon) *oracleS
 	}
 	cfg := c.cacheConfig()
 	o := &oracleSet{}
+	sp := c.exprSpan(ctx, f, cn)
 	// The engine and seed are built lazily: a fully cache-hit expression
 	// never constructs either.
 	var eng solver.Engine
@@ -261,7 +327,11 @@ func (c *Comparator) oracleCached(ctx context.Context, cn *canon.Canon) *oracleS
 			return
 		}
 		start := time.Now()
-		v := compute(engine())
+		e := engine()
+		asp := sp.Child(trace.KindAnalysis, string(a))
+		e.SetTraceSpan(asp)
+		v := compute(e)
+		asp.End()
 		o.Elapsed[i] = time.Since(start)
 		if ctx.Err() != nil {
 			return // possibly degraded by cancellation: do not memoize
@@ -302,6 +372,7 @@ func (c *Comparator) oracleCached(ctx context.Context, cn *canon.Canon) *oracleS
 	if eng != nil {
 		o.Solver = eng.Stats()
 	}
+	endExprSpan(sp, o.Solver)
 	c.recordOracle(o)
 	return o
 }
@@ -631,6 +702,8 @@ func (c *Comparator) forEach(ctx context.Context, n int, job func(i int)) {
 // solver queries), returning a partial report with Interrupted set
 // instead of tearing the process down mid-batch.
 func (c *Comparator) RunContext(ctx context.Context, corpus []harvest.Expr) *Report {
+	ctx, endRoot := c.rootSpan(ctx, "run")
+	defer endRoot()
 	if c.Cache != nil {
 		return c.runCached(ctx, corpus)
 	}

@@ -27,7 +27,25 @@ import (
 	"dfcheck/internal/ir"
 	"dfcheck/internal/knownbits"
 	"dfcheck/internal/solver"
+	"dfcheck/internal/trace"
 )
+
+// iterSpan opens a KindIter span under the engine's current trace span and
+// re-roots the engine at it, so the queries the iteration issues nest
+// beneath it in the trace. The returned func restores the parent span and
+// ends the iteration span; on the untraced path both are free.
+func iterSpan(e solver.Engine, name string) (*trace.Span, func()) {
+	parent := e.TraceSpan()
+	sp := parent.Child(trace.KindIter, name)
+	if sp == nil {
+		return nil, func() {}
+	}
+	e.SetTraceSpan(sp)
+	return sp, func() {
+		e.SetTraceSpan(parent)
+		sp.End()
+	}
+}
 
 // Outcome carries the quantifier context shared by all results.
 type Outcome struct {
@@ -93,23 +111,28 @@ func KnownBitsSeeded(e solver.Engine, f *ir.Function, sd Seed) KnownBitsResult {
 				continue
 			}
 		}
-		canBeOne, ok := e.OutputBitCanBe(i, true)
-		if !ok {
-			res.Exhausted = true
-			continue
-		}
-		if !canBeOne {
-			zero = zero.SetBit(i)
-			continue
-		}
-		canBeZero, ok := e.OutputBitCanBe(i, false)
-		if !ok {
-			res.Exhausted = true
-			continue
-		}
-		if !canBeZero {
-			one = one.SetBit(i)
-		}
+		func() {
+			sp, end := iterSpan(e, "bit")
+			defer end()
+			sp.SetInt("bit", int64(i))
+			canBeOne, ok := e.OutputBitCanBe(i, true)
+			if !ok {
+				res.Exhausted = true
+				return
+			}
+			if !canBeOne {
+				zero = zero.SetBit(i)
+				return
+			}
+			canBeZero, ok := e.OutputBitCanBe(i, false)
+			if !ok {
+				res.Exhausted = true
+				return
+			}
+			if !canBeZero {
+				one = one.SetBit(i)
+			}
+		}()
 	}
 	res.Bits = knownbits.Make(zero, one)
 	return res
@@ -149,7 +172,10 @@ func SignBitsSeeded(e solver.Engine, f *ir.Function, sd Seed) SignBitsResult {
 	}
 	res.NumSignBits = floor
 	for k := w; k > floor; k-- {
+		sp, end := iterSpan(e, "ladder")
+		sp.SetInt("k", int64(k))
 		violated, ok := e.SignBitsViolated(k)
+		end()
 		if !ok {
 			res.Exhausted = true
 			continue // a weaker claim may still be provable
@@ -281,6 +307,8 @@ func DemandedBits(e solver.Engine, f *ir.Function) DemandedBitsResult {
 		return res
 	}
 	for _, v := range f.Vars {
+		sp, end := iterSpan(e, "var")
+		sp.SetStr("var", v.Name)
 		mask := apint.Zero(v.Width)
 		for i := uint(0); i < v.Width; i++ {
 			demanded := false
@@ -301,6 +329,7 @@ func DemandedBits(e solver.Engine, f *ir.Function) DemandedBitsResult {
 			}
 		}
 		res.Demanded[v.Name] = mask
+		end()
 	}
 	return res
 }
@@ -346,7 +375,9 @@ func IntegerRangeSeeded(e solver.Engine, f *ir.Function, sd Seed) RangeResult {
 		e.AddPruned(int64(4 * w)) // the four hull binary searches
 		return res
 	}
+	_, endHull := iterSpan(e, "hull-bounds")
 	bounds, ok := hullBounds(e, w, sd)
+	endHull()
 	if !ok {
 		res.Exhausted = true
 		return res
@@ -368,7 +399,10 @@ func IntegerRangeSeeded(e solver.Engine, f *ir.Function, sd Seed) RangeResult {
 	}
 	for lo <= hi {
 		mid := lo + (hi-lo)/2
+		csp, endCegis := iterSpan(e, "cegis")
+		csp.SetInt("size", int64(mid))
 		base, found, exhausted := synthesizeBase(e, w, apint.New(w, mid), &samples)
+		endCegis()
 		if exhausted {
 			res.Exhausted = true
 		}
@@ -415,7 +449,10 @@ func IntegerRangeNaive(e solver.Engine, f *ir.Function) RangeResult {
 	hi := apint.AllOnes(w).Uint64()
 	for lo <= hi {
 		mid := lo + (hi-lo)/2
+		csp, endCegis := iterSpan(e, "cegis")
+		csp.SetInt("size", int64(mid))
 		base, found, exhausted := synthesizeBase(e, w, apint.New(w, mid), &samples)
+		endCegis()
 		if exhausted {
 			res.Exhausted = true
 		}

@@ -137,7 +137,51 @@ type Solver struct {
 	Decisions    int64
 	Restarts     int64
 
+	learned      int64 // learnt clauses attached (units included)
 	addedClauses int64 // problem clauses accepted by AddClause
+}
+
+// Stats is a point-in-time snapshot of the solver's cumulative search
+// counters and problem size — the per-query internals the trace layer
+// attaches to leaf spans so solver effort stays attributable (the
+// Souper-style per-query cost accounting).
+type Stats struct {
+	Decisions    int64 `json:"decisions"`
+	Conflicts    int64 `json:"conflicts"`
+	Propagations int64 `json:"propagations"`
+	Restarts     int64 `json:"restarts"`
+	Learned      int64 `json:"learned"` // learnt clauses derived (units included)
+	Vars         int64 `json:"vars"`    // variables allocated
+	Clauses      int64 `json:"clauses"` // problem clauses accepted
+}
+
+// Stats snapshots the solver's counters. Cheap enough to call around
+// every query: seven loads.
+func (s *Solver) Stats() Stats {
+	return Stats{
+		Decisions:    s.Decisions,
+		Conflicts:    s.Conflicts,
+		Propagations: s.Propagations,
+		Restarts:     s.Restarts,
+		Learned:      s.learned,
+		Vars:         int64(len(s.assigns)),
+		Clauses:      s.addedClauses,
+	}
+}
+
+// Sub returns the counter deltas a - b, for attributing one query's work
+// on a shared incremental solver (sizes subtract too: the delta's Vars and
+// Clauses are what the query added).
+func (a Stats) Sub(b Stats) Stats {
+	return Stats{
+		Decisions:    a.Decisions - b.Decisions,
+		Conflicts:    a.Conflicts - b.Conflicts,
+		Propagations: a.Propagations - b.Propagations,
+		Restarts:     a.Restarts - b.Restarts,
+		Learned:      a.Learned - b.Learned,
+		Vars:         a.Vars - b.Vars,
+		Clauses:      a.Clauses - b.Clauses,
+	}
 }
 
 // DefaultAbortCheckEvery is the default abort poll interval. Propagation
@@ -264,6 +308,7 @@ func (s *Solver) attachLearnt(lits []Lit) clauseRef {
 	cref := s.attachClause(lits)
 	s.learnts = append(s.learnts, cref)
 	s.claAct[cref] = s.claInc
+	s.learned++
 	return cref
 }
 
@@ -658,6 +703,7 @@ func (s *Solver) search(assumptions []Lit, conflictLimit int64) Status {
 			// assumptions themselves are contradictory.
 			s.cancelUntil(btLevel)
 			if len(learnt) == 1 {
+				s.learned++ // a learnt unit never enters the clause DB
 				if !s.enqueue(learnt[0], nilReason) {
 					s.unsat = true
 					return Unsat

@@ -48,19 +48,26 @@ func (e *SATEngine) output() *outputSession {
 // solveAssuming runs one budgeted query on a shared solver, accumulating
 // the per-query statistics deltas. The conflict budget is shared across
 // the whole engine: each query may spend only what earlier queries left.
-func (e *SATEngine) solveAssuming(s *sat.Solver, assumptions ...sat.Lit) (bool, bool) {
+// name/class label the query's trace span; on the shared solver the span
+// carries this query's counter deltas, not lifetime totals.
+func (e *SATEngine) solveAssuming(name, class string, s *sat.Solver, assumptions ...sat.Lit) (bool, bool) {
 	if e.pastDeadline() || e.outOfBudget() {
 		return false, false
 	}
-	beforeC, beforeP := s.Conflicts, s.Propagations
+	before := s.Stats()
 	s.ConflictBudget = s.Conflicts + e.remaining()
 	e.armAbort(s)
+	sp, _ := e.startQuery(name, class, s)
 	st := s.Solve(assumptions...)
-	dc := s.Conflicts - beforeC
-	e.spent += dc
+	endQuery(sp, s, before, st)
+	delta := s.Stats().Sub(before)
+	e.spent += delta.Conflicts
 	e.stats.Queries++
-	e.stats.Conflicts += dc
-	e.stats.Propagations += s.Propagations - beforeP
+	e.stats.Conflicts += delta.Conflicts
+	e.stats.Propagations += delta.Propagations
+	e.stats.Decisions += delta.Decisions
+	e.stats.Restarts += delta.Restarts
+	e.stats.Learned += delta.Learned
 	if st == sat.Unknown {
 		e.stats.Exhausted++
 		return false, false
@@ -107,7 +114,7 @@ func (e *SATEngine) incFeasible() (bool, bool) {
 		return e.feasible, true
 	}
 	o := e.output()
-	r, ok := e.solveAssuming(o.s, o.b.WellDefined)
+	r, ok := e.solveAssuming("feasible", classExistence, o.s, o.b.WellDefined)
 	if ok {
 		e.feasible, e.feasKnown = r, true
 		if r {
@@ -127,7 +134,7 @@ func (e *SATEngine) incOutputBitCanBe(i uint, val bool) (bool, bool) {
 	if !val {
 		l = l.Not()
 	}
-	res, ok := e.solveAssuming(o.s, o.b.WellDefined, l)
+	res, ok := e.solveAssuming("output-bit", classValidity, o.s, o.b.WellDefined, l)
 	if ok && res {
 		e.recordWitness(o)
 	}
@@ -150,7 +157,7 @@ func (e *SATEngine) incSignBitsViolated(k uint) (bool, bool) {
 		}
 		o.signEq[k] = eq
 	}
-	res, ok := e.solveAssuming(o.s, o.b.WellDefined, eq.Not())
+	res, ok := e.solveAssuming("sign-bits", classValidity, o.s, o.b.WellDefined, eq.Not())
 	if ok && res {
 		e.recordWitness(o)
 	}
@@ -167,7 +174,7 @@ func (e *SATEngine) incCanBeZero() (bool, bool) {
 		o.zeroLit = o.b.C.OrN(o.b.Output...).Not()
 		o.haveZero = true
 	}
-	res, ok := e.solveAssuming(o.s, o.b.WellDefined, o.zeroLit)
+	res, ok := e.solveAssuming("zero", classValidity, o.s, o.b.WellDefined, o.zeroLit)
 	if ok && res {
 		e.recordWitness(o)
 	}
@@ -189,7 +196,7 @@ func (e *SATEngine) incCanBeNonPowerOfTwo() (bool, bool) {
 		o.pow2Lit = c.And(nonZero, c.OrN(masked...).Not())
 		o.havePow2 = true
 	}
-	res, ok := e.solveAssuming(o.s, o.b.WellDefined, o.pow2Lit.Not())
+	res, ok := e.solveAssuming("non-pow2", classValidity, o.s, o.b.WellDefined, o.pow2Lit.Not())
 	if ok && res {
 		e.recordWitness(o)
 	}
@@ -235,7 +242,7 @@ func (e *SATEngine) incOutputOutside(lo, size apint.Int) (apint.Int, bool, bool)
 			outside = c.Or(geLo, ltHi).Not()
 		}
 	}
-	res, ok := e.solveAssuming(o.s, o.b.WellDefined, outside)
+	res, ok := e.solveAssuming("outside", classExistence, o.s, o.b.WellDefined, outside)
 	if !ok || !res {
 		return apint.Int{}, res, ok
 	}
@@ -309,5 +316,5 @@ func (e *SATEngine) incForcedBitMatters(v *ir.Inst, bit uint, val bool) (bool, b
 		}
 		assumptions = append(assumptions, lo, hi)
 	}
-	return e.solveAssuming(m.s, assumptions...)
+	return e.solveAssuming("forced-bit", classValidity, m.s, assumptions...)
 }

@@ -22,6 +22,7 @@ import (
 	"dfcheck/internal/eval"
 	"dfcheck/internal/ir"
 	"dfcheck/internal/sat"
+	"dfcheck/internal/trace"
 )
 
 // Engine answers existential queries about a function's output over
@@ -64,6 +65,15 @@ type Engine interface {
 	// CPU-time deltas stay attributable.
 	AddPruned(n int64)
 
+	// SetTraceSpan sets the span subsequent queries nest under — the
+	// comparator points it at each per-analysis span in turn, and the
+	// oracle algorithms re-root it at their iteration spans. Nil (the
+	// default) is the untraced path.
+	SetTraceSpan(sp *trace.Span)
+
+	// TraceSpan returns the current span (nil when untraced).
+	TraceSpan() *trace.Span
+
 	// Stats returns cumulative query statistics.
 	Stats() Stats
 }
@@ -73,6 +83,9 @@ type Stats struct {
 	Queries      int64
 	Conflicts    int64
 	Propagations int64
+	Decisions    int64
+	Restarts     int64
+	Learned      int64 // learnt clauses derived across all queries
 	Exhausted    int64 // queries that ran out of budget or were aborted
 
 	// Pruned counts queries eliminated before any solving: answers fixed
@@ -96,6 +109,9 @@ func (s *Stats) Add(o Stats) {
 	s.Queries += o.Queries
 	s.Conflicts += o.Conflicts
 	s.Propagations += o.Propagations
+	s.Decisions += o.Decisions
+	s.Restarts += o.Restarts
+	s.Learned += o.Learned
 	s.Exhausted += o.Exhausted
 	s.Pruned += o.Pruned
 	s.EnumQueries += o.EnumQueries
@@ -214,6 +230,56 @@ type SATEngine struct {
 
 	out    *outputSession
 	miters map[*ir.Inst]*miterSession
+
+	// span is the trace span queries currently nest under (nil when
+	// untraced); see Engine.SetTraceSpan.
+	span *trace.Span
+}
+
+// SetTraceSpan implements Engine.
+func (e *SATEngine) SetTraceSpan(sp *trace.Span) { e.span = sp }
+
+// TraceSpan implements Engine.
+func (e *SATEngine) TraceSpan() *trace.Span { return e.span }
+
+// Query classes, the trace dimension cmd/trace-report groups by: validity
+// queries prove a fact by UNSAT, model-existence queries want a model
+// back (feasibility, CEGIS counterexamples, hull probes), and enum
+// queries bypass SAT entirely.
+const (
+	classValidity  = "validity"
+	classExistence = "model-existence"
+	classEnum      = "enum"
+)
+
+// startQuery opens a leaf query span under the engine's current span and
+// snapshots the solver counters it will attribute. Nil when untraced.
+func (e *SATEngine) startQuery(name, class string, s *sat.Solver) (*trace.Span, sat.Stats) {
+	sp := e.span.Child(trace.KindQuery, name)
+	if sp == nil {
+		return nil, sat.Stats{}
+	}
+	sp.SetStr("class", class)
+	return sp, s.Stats()
+}
+
+// endQuery attributes one query's solver internals — the counter deltas
+// since startQuery plus the circuit's CNF size — to its leaf span.
+func endQuery(sp *trace.Span, s *sat.Solver, before sat.Stats, st sat.Status) {
+	if sp == nil {
+		return
+	}
+	now := s.Stats()
+	d := now.Sub(before)
+	sp.SetStr("result", st.String())
+	sp.SetInt("decisions", d.Decisions)
+	sp.SetInt("conflicts", d.Conflicts)
+	sp.SetInt("propagations", d.Propagations)
+	sp.SetInt("restarts", d.Restarts)
+	sp.SetInt("learned", d.Learned)
+	sp.SetInt("vars", now.Vars)
+	sp.SetInt("clauses", now.Clauses)
+	sp.End()
 }
 
 // NewSAT returns a SAT-backed engine. budget <= 0 selects
@@ -298,7 +364,7 @@ func (e *SATEngine) armAbort(s *sat.Solver) {
 }
 
 // query solves WellDefined ∧ pred(blasted) on a fresh solver.
-func (e *SATEngine) query(pred func(c *bitblast.Circuit, b *bitblast.Blasted) sat.Lit) (*bitblast.Blasted, bool, bool) {
+func (e *SATEngine) query(name, class string, pred func(c *bitblast.Circuit, b *bitblast.Blasted) sat.Lit) (*bitblast.Blasted, bool, bool) {
 	if e.pastDeadline() || e.outOfBudget() {
 		return nil, false, false
 	}
@@ -308,11 +374,12 @@ func (e *SATEngine) query(pred func(c *bitblast.Circuit, b *bitblast.Blasted) sa
 	b := e.blast(s)
 	cond := b.C.And(b.WellDefined, pred(b.C, b))
 	s.AddClause(cond)
+	sp, before := e.startQuery(name, class, s)
 	st := s.Solve()
+	endQuery(sp, s, before, st)
 	e.stats.Queries++
 	e.spent += s.Conflicts
-	e.stats.Conflicts += s.Conflicts
-	e.stats.Propagations += s.Propagations
+	e.addSolve(s.Stats())
 	e.stats.addCircuit(b.C.Stats())
 	if st == sat.Unknown {
 		e.stats.Exhausted++
@@ -321,12 +388,22 @@ func (e *SATEngine) query(pred func(c *bitblast.Circuit, b *bitblast.Blasted) sa
 	return b, st == sat.Sat, true
 }
 
+// addSolve rolls one fresh solver's whole-run counters into the engine
+// stats (the fresh-path analog of solveAssuming's delta accounting).
+func (e *SATEngine) addSolve(st sat.Stats) {
+	e.stats.Conflicts += st.Conflicts
+	e.stats.Propagations += st.Propagations
+	e.stats.Decisions += st.Decisions
+	e.stats.Restarts += st.Restarts
+	e.stats.Learned += st.Learned
+}
+
 // Feasible implements Engine.
 func (e *SATEngine) Feasible() (bool, bool) {
 	if !e.Fresh {
 		return e.incFeasible()
 	}
-	_, res, ok := e.query(func(c *bitblast.Circuit, b *bitblast.Blasted) sat.Lit {
+	_, res, ok := e.query("feasible", classExistence, func(c *bitblast.Circuit, b *bitblast.Blasted) sat.Lit {
 		return c.True()
 	})
 	return res, ok
@@ -337,7 +414,7 @@ func (e *SATEngine) OutputBitCanBe(i uint, val bool) (bool, bool) {
 	if !e.Fresh {
 		return e.incOutputBitCanBe(i, val)
 	}
-	_, res, ok := e.query(func(c *bitblast.Circuit, b *bitblast.Blasted) sat.Lit {
+	_, res, ok := e.query("output-bit", classValidity, func(c *bitblast.Circuit, b *bitblast.Blasted) sat.Lit {
 		l := b.Output[i]
 		if !val {
 			l = l.Not()
@@ -352,7 +429,7 @@ func (e *SATEngine) SignBitsViolated(k uint) (bool, bool) {
 	if !e.Fresh {
 		return e.incSignBitsViolated(k)
 	}
-	_, res, ok := e.query(func(c *bitblast.Circuit, b *bitblast.Blasted) sat.Lit {
+	_, res, ok := e.query("sign-bits", classValidity, func(c *bitblast.Circuit, b *bitblast.Blasted) sat.Lit {
 		w := uint(len(b.Output))
 		sign := b.Output[w-1]
 		allEq := c.True()
@@ -369,7 +446,7 @@ func (e *SATEngine) CanBeZero() (bool, bool) {
 	if !e.Fresh {
 		return e.incCanBeZero()
 	}
-	_, res, ok := e.query(func(c *bitblast.Circuit, b *bitblast.Blasted) sat.Lit {
+	_, res, ok := e.query("zero", classValidity, func(c *bitblast.Circuit, b *bitblast.Blasted) sat.Lit {
 		return c.OrN(b.Output...).Not()
 	})
 	return res, ok
@@ -380,7 +457,7 @@ func (e *SATEngine) CanBeNonPowerOfTwo() (bool, bool) {
 	if !e.Fresh {
 		return e.incCanBeNonPowerOfTwo()
 	}
-	_, res, ok := e.query(func(c *bitblast.Circuit, b *bitblast.Blasted) sat.Lit {
+	_, res, ok := e.query("non-pow2", classValidity, func(c *bitblast.Circuit, b *bitblast.Blasted) sat.Lit {
 		// pow2(x): x != 0 and x & (x-1) == 0.
 		w := uint(len(b.Output))
 		nonZero := c.OrN(b.Output...)
@@ -399,7 +476,7 @@ func (e *SATEngine) OutputOutside(lo, size apint.Int) (apint.Int, bool, bool) {
 	}
 	if size.IsZero() {
 		// [lo, lo+0) is empty: everything is outside; find any output.
-		b, res, ok := e.query(func(c *bitblast.Circuit, b *bitblast.Blasted) sat.Lit {
+		b, res, ok := e.query("outside", classExistence, func(c *bitblast.Circuit, b *bitblast.Blasted) sat.Lit {
 			return c.True()
 		})
 		if !ok || !res {
@@ -411,7 +488,7 @@ func (e *SATEngine) OutputOutside(lo, size apint.Int) (apint.Int, bool, bool) {
 	if hi.Eq(lo) {
 		return apint.Int{}, false, true // full set: nothing outside
 	}
-	b, res, ok := e.query(func(c *bitblast.Circuit, bl *bitblast.Blasted) sat.Lit {
+	b, res, ok := e.query("outside", classExistence, func(c *bitblast.Circuit, bl *bitblast.Blasted) sat.Lit {
 		geLo := c.ULT(bl.Output, c.ConstWord(lo)).Not()
 		ltHi := c.ULT(bl.Output, c.ConstWord(hi))
 		var inside sat.Lit
@@ -454,11 +531,12 @@ func (e *SATEngine) ForcedBitMatters(v *ir.Inst, bit uint, val bool) (bool, bool
 	differ := c.Eq(b1.Output, b2.Output).Not()
 	cond := c.AndN(b1.WellDefined, b2.WellDefined, differ)
 	s.AddClause(cond)
+	sp, before := e.startQuery("forced-bit", classValidity, s)
 	st := s.Solve()
+	endQuery(sp, s, before, st)
 	e.stats.Queries++
 	e.spent += s.Conflicts
-	e.stats.Conflicts += s.Conflicts
-	e.stats.Propagations += s.Propagations
+	e.addSolve(s.Stats())
 	e.stats.addCircuit(c.Stats())
 	if st == sat.Unknown {
 		e.stats.Exhausted++
@@ -477,6 +555,7 @@ type EnumEngine struct {
 	f     *ir.Function
 	prog  *eval.Program
 	stats Stats
+	span  *trace.Span
 
 	// Ctx, when non-nil, cancels enumeration: queries issued after it is
 	// done (or interrupted mid-sweep) return not-ok, counted exhausted.
@@ -509,6 +588,36 @@ func (e *EnumEngine) Stats() Stats { return e.stats }
 // AddPruned implements Engine.
 func (e *EnumEngine) AddPruned(n int64) { e.stats.Pruned += n }
 
+// SetTraceSpan implements Engine.
+func (e *EnumEngine) SetTraceSpan(sp *trace.Span) { e.span = sp }
+
+// TraceSpan implements Engine.
+func (e *EnumEngine) TraceSpan() *trace.Span { return e.span }
+
+// startEnum opens a per-query span on the enumeration path. The sweep
+// spans (enum-sweep, demanded-sweep) nest under it, so a Perfetto view
+// shows exactly which query paid for the one-time 2^n pass.
+func (e *EnumEngine) startEnum(name string) *trace.Span {
+	sp := e.span.Child(trace.KindQuery, name)
+	sp.SetStr("class", classEnum)
+	return sp
+}
+
+func endEnum(sp *trace.Span, found, ok bool) {
+	if sp == nil {
+		return
+	}
+	switch {
+	case !ok:
+		sp.SetStr("result", "exhausted")
+	case found:
+		sp.SetStr("result", "sat")
+	default:
+		sp.SetStr("result", "unsat")
+	}
+	sp.End()
+}
+
 func (e *EnumEngine) cancelled() bool {
 	if e.Ctx != nil && e.Ctx.Err() != nil {
 		return true
@@ -519,13 +628,14 @@ func (e *EnumEngine) cancelled() bool {
 // ensureOutputs runs the one-time enumeration of achievable outputs. It
 // returns false (without caching a partial result) when the context
 // cancels the sweep.
-func (e *EnumEngine) ensureOutputs() bool {
+func (e *EnumEngine) ensureOutputs(parent *trace.Span) bool {
 	if e.enumerated {
 		return true
 	}
 	if e.cancelled() {
 		return false
 	}
+	sweep := parent.Child(trace.KindIter, "enum-sweep")
 	seen := make(map[uint64]bool)
 	var outs []apint.Int
 	n, ok := 0, true
@@ -541,6 +651,10 @@ func (e *EnumEngine) ensureOutputs() bool {
 		}
 		return true
 	})
+	if sweep != nil {
+		sweep.SetInt("evals", int64(n))
+		sweep.End()
+	}
 	if !ok {
 		return false
 	}
@@ -551,52 +665,58 @@ func (e *EnumEngine) ensureOutputs() bool {
 }
 
 // exists scans the memoized achievable outputs for one satisfying pred.
-func (e *EnumEngine) exists(pred func(v apint.Int) bool) (found, ok bool) {
+func (e *EnumEngine) exists(name string, pred func(v apint.Int) bool) (found, ok bool) {
 	e.stats.Queries++
 	e.stats.EnumQueries++
-	if !e.ensureOutputs() {
+	sp := e.startEnum(name)
+	if !e.ensureOutputs(sp) {
 		e.stats.Exhausted++
+		endEnum(sp, false, false)
 		return false, false
 	}
 	for _, v := range e.outputs {
 		if pred(v) {
+			endEnum(sp, true, true)
 			return true, true
 		}
 	}
+	endEnum(sp, false, true)
 	return false, true
 }
 
 // Feasible implements Engine.
 func (e *EnumEngine) Feasible() (bool, bool) {
-	return e.exists(func(apint.Int) bool { return true })
+	return e.exists("feasible", func(apint.Int) bool { return true })
 }
 
 // OutputBitCanBe implements Engine.
 func (e *EnumEngine) OutputBitCanBe(i uint, val bool) (bool, bool) {
-	return e.exists(func(v apint.Int) bool { return v.Bit(i) == val })
+	return e.exists("output-bit", func(v apint.Int) bool { return v.Bit(i) == val })
 }
 
 // SignBitsViolated implements Engine.
 func (e *EnumEngine) SignBitsViolated(k uint) (bool, bool) {
-	return e.exists(func(v apint.Int) bool { return v.NumSignBits() < k })
+	return e.exists("sign-bits", func(v apint.Int) bool { return v.NumSignBits() < k })
 }
 
 // CanBeZero implements Engine.
 func (e *EnumEngine) CanBeZero() (bool, bool) {
-	return e.exists(apint.Int.IsZero)
+	return e.exists("zero", apint.Int.IsZero)
 }
 
 // CanBeNonPowerOfTwo implements Engine.
 func (e *EnumEngine) CanBeNonPowerOfTwo() (bool, bool) {
-	return e.exists(func(v apint.Int) bool { return !v.IsPowerOfTwo() })
+	return e.exists("non-pow2", func(v apint.Int) bool { return !v.IsPowerOfTwo() })
 }
 
 // OutputOutside implements Engine.
 func (e *EnumEngine) OutputOutside(lo, size apint.Int) (apint.Int, bool, bool) {
 	e.stats.Queries++
 	e.stats.EnumQueries++
-	if !e.ensureOutputs() {
+	sp := e.startEnum("outside")
+	if !e.ensureOutputs(sp) {
 		e.stats.Exhausted++
+		endEnum(sp, false, false)
 		return apint.Int{}, false, false
 	}
 	hi := lo.Add(size)
@@ -611,9 +731,11 @@ func (e *EnumEngine) OutputOutside(lo, size apint.Int) (apint.Int, bool, bool) {
 			}
 		}
 		if !inside {
+			endEnum(sp, true, true)
 			return v, true, true
 		}
 	}
+	endEnum(sp, false, true)
 	return apint.Int{}, false, true
 }
 
@@ -624,11 +746,14 @@ func (e *EnumEngine) OutputOutside(lo, size apint.Int) (apint.Int, bool, bool) {
 func (e *EnumEngine) ForcedBitMatters(v *ir.Inst, bit uint, val bool) (bool, bool) {
 	e.stats.Queries++
 	e.stats.EnumQueries++
-	m, ok := e.demandedFor(v)
+	sp := e.startEnum("forced-bit")
+	m, ok := e.demandedFor(sp, v)
 	if !ok {
 		e.stats.Exhausted++
+		endEnum(sp, false, false)
 		return false, false
 	}
+	endEnum(sp, m[bit], true)
 	return m[bit], true
 }
 
@@ -638,13 +763,15 @@ func (e *EnumEngine) ForcedBitMatters(v *ir.Inst, bit uint, val bool) (bool, boo
 // {bit=0, bit=1} pair exactly once from its bit=0 side halves the work; a
 // pair with either side ill-defined never counts, matching the two-copy
 // well-definedness condition of Algorithm 2.
-func (e *EnumEngine) demandedFor(v *ir.Inst) ([]bool, bool) {
+func (e *EnumEngine) demandedFor(parent *trace.Span, v *ir.Inst) ([]bool, bool) {
 	if m, ok := e.demanded[v]; ok {
 		return m, true
 	}
 	if e.cancelled() {
 		return nil, false
 	}
+	sweep := parent.Child(trace.KindIter, "demanded-sweep")
+	sweep.SetStr("var", v.Name)
 	m := make([]bool, v.Width)
 	undecided := int(v.Width) // bits not yet proven demanded
 	n, ok := 0, true
@@ -674,6 +801,10 @@ func (e *EnumEngine) demandedFor(v *ir.Inst) ([]bool, bool) {
 		// the matrix — stop the sweep early.
 		return undecided > 0
 	})
+	if sweep != nil {
+		sweep.SetInt("evals", int64(n))
+		sweep.End()
+	}
 	if !ok {
 		return nil, false
 	}
