@@ -63,6 +63,8 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
 		noStrash   = flag.Bool("no-strash", false, "ablation: disable structural hashing in the bit-blaster")
 		noSeed     = flag.Bool("no-seed", false, "ablation: disable sound-fact seeding of the oracle")
+		consist    = flag.Bool("consistency", true, "cross-check the compiler's own domains on every expression (solver-free reduced-product lint)")
+		noConsist  = flag.Bool("no-consistency", false, "disable the cross-domain consistency lint")
 		enumCut    = flag.Int("enum-cutoff", 0, "summed input bits at or below which expressions are enumerated instead of solved (0 = default, negative disables)")
 		httpAddr   = flag.String("http", "", "serve the debug server on this address (e.g. :8125): expvar metrics at /debug/vars, pprof profiles at /debug/pprof/)")
 		traceFile  = flag.String("trace", "", "write a Chrome trace-event JSON span trace to this file (open in Perfetto, aggregate with trace-report)")
@@ -123,6 +125,7 @@ func main() {
 		NoStrash:    *noStrash,
 		NoSeed:      *noSeed,
 		EnumCutoff:  *enumCut,
+		Consistency: *consist && !*noConsist,
 	}
 	if *cacheFile != "" {
 		// One cache shared across all batches: mutants and cross-batch

@@ -40,6 +40,8 @@ func main() {
 		exprCap   = flag.Duration("expr-timeout", 5*time.Minute, "total oracle time per expression (the paper's 5-minute cap; 0 disables)")
 		noStrash  = flag.Bool("no-strash", false, "ablation: disable structural hashing in the bit-blaster")
 		noSeed    = flag.Bool("no-seed", false, "ablation: disable sound-fact seeding of the oracle")
+		consist   = flag.Bool("consistency", true, "cross-check the compiler's own domains on every expression (solver-free reduced-product lint)")
+		noConsist = flag.Bool("no-consistency", false, "disable the cross-domain consistency lint")
 		enumCut   = flag.Int("enum-cutoff", 0, "summed input bits at or below which expressions are enumerated instead of solved (0 = default, negative disables)")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON span trace to this file (open in Perfetto, aggregate with trace-report)")
 		traceMax  = flag.Int64("trace-max-mb", 256, "rotate the trace file when it exceeds this many MiB (0 = unbounded)")
@@ -123,6 +125,7 @@ func main() {
 		NoSeed:      *noSeed,
 		EnumCutoff:  *enumCut,
 		Tracer:      tracer,
+		Consistency: *consist && !*noConsist,
 	}
 	if *cacheFile != "" {
 		cache := rescache.New()

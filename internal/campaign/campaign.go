@@ -81,6 +81,9 @@ type Totals struct {
 	Exprs    int
 	Rows     map[harvest.Analysis]*compare.Row
 	Findings []compare.Finding
+	// ConsistencyChecks accumulates the cross-domain lint checks run by
+	// batches with the consistency lint enabled.
+	ConsistencyChecks int
 }
 
 func newTotals() Totals {
@@ -109,6 +112,7 @@ func (t *Totals) add(rep *compare.Report, exprs int) {
 		acc.Exprs += row.Exprs
 	}
 	t.Findings = append(t.Findings, rep.Findings...)
+	t.ConsistencyChecks += rep.ConsistencyChecks
 }
 
 // Campaign is one (possibly resumed) run of the testing loop.
@@ -194,14 +198,18 @@ func (c *Campaign) emitBatch(b int, rep *compare.Report, exprs int, elapsed time
 	for _, row := range rep.Rows {
 		exhausted += row.Exhausted
 	}
-	c.Events.Emit("batch", map[string]any{
+	ev := map[string]any{
 		"batch":      b,
 		"seed":       c.BatchSeed(b),
 		"exprs":      exprs,
 		"findings":   len(rep.Findings),
 		"exhausted":  exhausted,
 		"elapsed_ms": elapsed.Milliseconds(),
-	})
+	}
+	if rep.ConsistencyChecks > 0 {
+		ev["consistency_checks"] = rep.ConsistencyChecks
+	}
+	c.Events.Emit("batch", ev)
 	if c.Progress != nil {
 		fmt.Fprintf(c.Progress, "batch %4d seed %8d: %4d exprs, %2d findings, %3d exhausted, %6.1f exprs/min\n",
 			b, c.BatchSeed(b), exprs, len(rep.Findings), exhausted,
@@ -216,13 +224,18 @@ func (c *Campaign) emitBatch(b int, rep *compare.Report, exprs int, elapsed time
 // they are found; a week-long campaign should not sit on them until exit.
 func (c *Campaign) emitFindings(b int, rep *compare.Report) {
 	for _, f := range rep.Findings {
+		label, kind := "SOUNDNESS", compare.FindingSoundness
+		if f.Kind == compare.FindingInconsistent {
+			label, kind = "INCONSISTENT", compare.FindingInconsistent
+		}
 		if c.Progress != nil {
-			fmt.Fprintf(c.Progress, "=== SOUNDNESS FINDING (batch %d, %s) ===\n%s\n", b, f.ExprName, f)
+			fmt.Fprintf(c.Progress, "=== %s FINDING (batch %d, %s) ===\n%s\n", label, b, f.ExprName, f)
 		}
 		c.Events.Emit("finding", map[string]any{
 			"batch":       b,
 			"seed":        c.BatchSeed(b),
 			"expr":        f.ExprName,
+			"kind":        string(kind),
 			"analysis":    string(f.Result.Analysis),
 			"var":         f.Result.Var,
 			"oracle_fact": f.Result.OracleFact,
@@ -294,5 +307,6 @@ func (c *Campaign) Report() *compare.Report {
 		rep.Rows[a] = &cp
 	}
 	rep.Findings = append(rep.Findings, c.Totals.Findings...)
+	rep.ConsistencyChecks = c.Totals.ConsistencyChecks
 	return rep
 }

@@ -330,3 +330,74 @@ func TestCheckpointSaveErrorIsWarning(t *testing.T) {
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
 }
+
+// consistencyComparator is a comparator with the cross-domain lint on
+// and a bug the lint can catch without oracle help (bug 1 proves values
+// non-zero that other domains prove zero).
+func consistencyComparator() *compare.Comparator {
+	return &compare.Comparator{
+		Analyzer:    &llvmport.Analyzer{Bugs: llvmport.BugConfig{NonZeroAdd: true}},
+		Consistency: true,
+		Budget:      500,
+		Workers:     4,
+	}
+}
+
+// TestCheckpointPreservesInconsistentFindings: a checkpoint must carry
+// the finding kind and the consistency-check tally, so a resumed
+// campaign reports inconsistent findings as such rather than silently
+// reclassifying them as soundness findings.
+func TestCheckpointPreservesInconsistentFindings(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	c := New(testConfig(13, 1), consistencyComparator())
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The generated corpus need not hit the lint's trigger shape, so
+	// plant one inconsistent finding deterministically before saving.
+	c.Totals.Findings = append(c.Totals.Findings, compare.Finding{
+		ExprName: "planted",
+		Source:   "%0:i8 = add 0:i8, 0:i8\ninfer %0",
+		Kind:     compare.FindingInconsistent,
+		Result: compare.Result{
+			Analysis: compare.ConsistencyAnalysis,
+			Outcome:  compare.Inconsistent,
+			Var:      "add:i8",
+			LLVMFact: "non-zero proved but known bits 00000000 and range [0,1) admit only zero",
+		},
+	})
+	c.Totals.ConsistencyChecks += 9
+	if err := c.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+
+	r := New(testConfig(13, 1), consistencyComparator())
+	if err := r.Resume(path); err != nil {
+		t.Fatal(err)
+	}
+	if r.Totals.ConsistencyChecks != c.Totals.ConsistencyChecks {
+		t.Fatalf("consistency checks = %d, want %d", r.Totals.ConsistencyChecks, c.Totals.ConsistencyChecks)
+	}
+	var got *compare.Finding
+	for i := range r.Totals.Findings {
+		if r.Totals.Findings[i].Kind == compare.FindingInconsistent {
+			got = &r.Totals.Findings[i]
+		}
+	}
+	if got == nil {
+		t.Fatalf("inconsistent finding lost in round-trip: %+v", r.Totals.Findings)
+	}
+	if got.Result.Outcome != compare.Inconsistent || got.Result.Analysis != compare.ConsistencyAnalysis {
+		t.Fatalf("finding reclassified on resume: %+v", *got)
+	}
+	if got.Result.Var != "add:i8" || got.Result.LLVMFact == "" {
+		t.Fatalf("finding detail lost on resume: %+v", *got)
+	}
+
+	// The lint flag is part of the fingerprint: resuming without it must
+	// be rejected, like any other configuration change.
+	plain := New(testConfig(13, 1), testComparator())
+	if err := plain.Resume(path); err == nil || !strings.Contains(err.Error(), "configuration") {
+		t.Fatalf("resume under different consistency setting not rejected: %v", err)
+	}
+}

@@ -36,7 +36,11 @@ type wireRow struct {
 }
 
 type wireFinding struct {
-	Expr       string `json:"expr"`
+	Expr string `json:"expr"`
+	// Kind is "soundness" (oracle disagreement; also the meaning of an
+	// absent field in pre-consistency checkpoints) or "consistency"
+	// (cross-domain contradiction).
+	Kind       string `json:"kind,omitempty"`
 	Source     string `json:"source"`
 	Analysis   string `json:"analysis"`
 	Var        string `json:"var,omitempty"`
@@ -45,15 +49,16 @@ type wireFinding struct {
 }
 
 type wireCheckpoint struct {
-	Version   int           `json:"version"`
-	Tool      string        `json:"tool"`
-	Config    string        `json:"config"`
-	Seed      int64         `json:"seed"`
-	NextBatch int           `json:"next_batch"`
-	Batches   int           `json:"batches_done"`
-	Exprs     int           `json:"exprs"`
-	Rows      []wireRow     `json:"rows"`
-	Findings  []wireFinding `json:"findings"`
+	Version           int           `json:"version"`
+	Tool              string        `json:"tool"`
+	Config            string        `json:"config"`
+	Seed              int64         `json:"seed"`
+	NextBatch         int           `json:"next_batch"`
+	Batches           int           `json:"batches_done"`
+	Exprs             int           `json:"exprs"`
+	ConsistencyChecks int           `json:"consistency_checks,omitempty"`
+	Rows              []wireRow     `json:"rows"`
+	Findings          []wireFinding `json:"findings"`
 }
 
 // Fingerprint renders every configuration knob that determines the
@@ -75,10 +80,15 @@ func (c *Campaign) Fingerprint() string {
 	for _, w := range c.Widths {
 		widths += fmt.Sprintf("%d:%d,", w.Width, w.Weight)
 	}
+	consistency := false
+	if c.Comparator != nil {
+		consistency = c.Comparator.Consistency
+	}
 	return fmt.Sprintf("seed=%d;batches=%d;n=%d;max-insts=%d;widths=%s;max-width=%d;mutants=%d;canaries=%t;"+
-		"budget=%d;expr-timeout=%s;bug-nonzero=%t;bug-sremsign=%t;bug-sremknown=%t;modern=%t",
+		"budget=%d;expr-timeout=%s;bug-nonzero=%t;bug-sremsign=%t;bug-sremknown=%t;modern=%t;consistency=%t",
 		c.Seed, c.Batches, c.NumExprs, c.MaxInsts, widths, c.MaxCastWidth, c.Mutants, c.Canaries,
-		budget, exprTimeout, an.Bugs.NonZeroAdd, an.Bugs.SRemSignBits, an.Bugs.SRemKnownBits, an.Modern)
+		budget, exprTimeout, an.Bugs.NonZeroAdd, an.Bugs.SRemSignBits, an.Bugs.SRemKnownBits, an.Modern,
+		consistency)
 }
 
 // SaveCheckpoint writes the campaign state to path atomically: the file
@@ -93,6 +103,8 @@ func (c *Campaign) SaveCheckpoint(path string) error {
 		Batches:   c.Totals.Batches,
 		Exprs:     c.Totals.Exprs,
 		Findings:  []wireFinding{},
+
+		ConsistencyChecks: c.Totals.ConsistencyChecks,
 	}
 	for _, a := range harvest.AllAnalyses {
 		row := c.Totals.Rows[a]
@@ -110,8 +122,13 @@ func (c *Campaign) SaveCheckpoint(path string) error {
 		})
 	}
 	for _, f := range c.Totals.Findings {
+		kind := f.Kind
+		if kind == "" {
+			kind = compare.FindingSoundness
+		}
 		w.Findings = append(w.Findings, wireFinding{
 			Expr:       f.ExprName,
+			Kind:       string(kind),
 			Source:     f.Source,
 			Analysis:   string(f.Result.Analysis),
 			Var:        f.Result.Var,
@@ -180,7 +197,7 @@ func (c *Campaign) Resume(path string) error {
 		}
 	}
 	for _, f := range w.Findings {
-		if !valid[f.Analysis] {
+		if !valid[f.Analysis] && f.Analysis != string(compare.ConsistencyAnalysis) {
 			return fmt.Errorf("checkpoint %s: unknown analysis %q in finding", path, f.Analysis)
 		}
 	}
@@ -188,6 +205,7 @@ func (c *Campaign) Resume(path string) error {
 	t := newTotals()
 	t.Batches = w.Batches
 	t.Exprs = w.Exprs
+	t.ConsistencyChecks = w.ConsistencyChecks
 	for _, row := range w.Rows {
 		t.Rows[harvest.Analysis(row.Analysis)] = &compare.Row{
 			Analysis:  harvest.Analysis(row.Analysis),
@@ -200,12 +218,21 @@ func (c *Campaign) Resume(path string) error {
 		}
 	}
 	for _, f := range w.Findings {
+		kind := compare.FindingKind(f.Kind)
+		if kind == "" {
+			kind = compare.FindingSoundness // pre-consistency checkpoints
+		}
+		outcome := compare.LLVMMorePrecise
+		if kind == compare.FindingInconsistent {
+			outcome = compare.Inconsistent
+		}
 		t.Findings = append(t.Findings, compare.Finding{
 			ExprName: f.Expr,
 			Source:   f.Source,
+			Kind:     kind,
 			Result: compare.Result{
 				Analysis:   harvest.Analysis(f.Analysis),
-				Outcome:    compare.LLVMMorePrecise,
+				Outcome:    outcome,
 				Var:        f.Var,
 				OracleFact: f.OracleFact,
 				LLVMFact:   f.LLVMFact,

@@ -9,10 +9,13 @@ package compare
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
+	"dfcheck/internal/absint"
 	"dfcheck/internal/canon"
+	"dfcheck/internal/eval"
 	"dfcheck/internal/harvest"
 	"dfcheck/internal/ir"
 	"dfcheck/internal/llvmport"
@@ -26,12 +29,19 @@ import (
 // Outcome classifies one (expression, analysis) comparison.
 type Outcome int
 
-// Outcomes, in Table 1 column order.
+// Outcomes, in Table 1 column order. Inconsistent sits outside the
+// table: it is produced by the solver-free cross-domain lint, not by an
+// oracle comparison.
 const (
 	Same Outcome = iota
 	OracleMorePrecise
 	LLVMMorePrecise // a soundness bug in the compiler under test
 	ResourceExhausted
+	// Inconsistent marks a contradiction between two of the compiler's
+	// own domains on the same live value (reduced-product check): at
+	// least one transfer function is unsound, detected with zero solver
+	// queries.
+	Inconsistent
 )
 
 func (o Outcome) String() string {
@@ -44,9 +54,15 @@ func (o Outcome) String() string {
 		return "llvm is stronger"
 	case ResourceExhausted:
 		return "resource exhaustion"
+	case Inconsistent:
+		return "inconsistent domains"
 	}
 	return "unknown"
 }
+
+// ConsistencyAnalysis labels results produced by the cross-domain
+// consistency lint; it is not a Table 1 analysis.
+const ConsistencyAnalysis harvest.Analysis = "consistency"
 
 // Result is one comparison: the outcome and both facts rendered the way
 // the paper prints them.
@@ -104,6 +120,11 @@ type Comparator struct {
 	// analysis, oracle iteration, and solver query (the -trace flag).
 	// Nil compiles to the untraced near-zero-cost path.
 	Tracer *trace.Tracer
+	// Consistency additionally runs the solver-free cross-domain lint
+	// (internal/absint.CheckFacts) on every analyzed expression:
+	// contradictions between the compiler's own domains surface as
+	// Inconsistent findings without costing a single oracle query.
+	Consistency bool
 }
 
 // analysisOrder maps oracleSet.Elapsed indices to analysis names, in the
@@ -414,8 +435,74 @@ func (c *Comparator) CompareExpr(f *ir.Function) []Result {
 // interval and the remaining queries fail fast, so the expression still
 // comes back with well-formed (exhaustion-degraded) results promptly.
 func (c *Comparator) CompareExprContext(ctx context.Context, f *ir.Function) []Result {
+	results, _ := c.compareOne(ctx, f)
+	return results
+}
+
+// compareOne runs the oracle comparison and, when enabled, the
+// cross-domain consistency lint; it additionally returns the number of
+// consistency checks performed.
+func (c *Comparator) compareOne(ctx context.Context, f *ir.Function) ([]Result, int) {
 	fa := c.Analyzer.Analyze(f)
-	return c.classify(f, fa, c.computeOracle(ctx, f))
+	results := c.classify(f, fa, c.computeOracle(ctx, f))
+	if !c.Consistency {
+		return results, 0
+	}
+	sp := trace.FromContext(ctx).Child(trace.KindAnalysis, "consistency")
+	lint, checks := c.lintExpr(f, fa)
+	if sp != nil {
+		sp.SetInt("checks", int64(checks))
+		sp.End()
+	}
+	return append(results, lint...), checks
+}
+
+// lintExpr cross-checks the compiler's own domain facts for one analyzed
+// expression (absint.CheckFacts) and renders contradictions as
+// Inconsistent results. A contradiction only implies a bug when the
+// expression has at least one well-defined input — on an expression
+// whose every evaluation is poison/UB, arbitrary fact sets are vacuously
+// sound — so findings on dead expressions are suppressed. The
+// definedness probe runs only when a contradiction was found.
+func (c *Comparator) lintExpr(f *ir.Function, fa *llvmport.Facts) ([]Result, int) {
+	incons, checks := absint.CheckFacts(f, fa)
+	if c.Metrics != nil {
+		c.Metrics.Counter("consistency_checks").Add(int64(checks))
+	}
+	if len(incons) == 0 || !hasWellDefinedInput(f) {
+		return nil, checks
+	}
+	out := make([]Result, 0, len(incons))
+	for _, ic := range incons {
+		out = append(out, Result{
+			Analysis: ConsistencyAnalysis,
+			Outcome:  Inconsistent,
+			Var:      ic.Inst,
+			LLVMFact: ic.Detail,
+		})
+	}
+	return out, checks
+}
+
+// hasWellDefinedInput reports whether some input assignment evaluates f
+// without hitting UB/poison: exhaustively for small input spaces,
+// otherwise by deterministic random sampling (which can only err toward
+// suppressing a finding, never toward a false positive).
+func hasWellDefinedInput(f *ir.Function) bool {
+	if eval.TotalInputBits(f) <= 16 {
+		found := false
+		eval.ForEachInput(f, func(env eval.Env) bool {
+			if _, ok := eval.Eval(f, env); ok {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	rng := rand.New(rand.NewSource(1))
+	_, ok := eval.RandomWellDefinedEnv(f, rng, 4096)
+	return ok
 }
 
 func compareKnownBits(o oracle.KnownBitsResult, fa *llvmport.Facts) Result {
@@ -552,15 +639,33 @@ func compareDemanded(o oracle.DemandedBitsResult, fa *llvmport.Facts, f *ir.Func
 	return out
 }
 
+// FindingKind separates the two ways a soundness bug surfaces: the
+// oracle disagreeing with the compiler, or the compiler's own domains
+// disagreeing with each other.
+type FindingKind string
+
+// Finding kinds.
+const (
+	FindingSoundness    FindingKind = "soundness"   // LLVM claims more than the oracle allows
+	FindingInconsistent FindingKind = "consistency" // two LLVM domains contradict each other
+)
+
 // Finding is a soundness-bug report, printed the way §4.7 shows them.
 type Finding struct {
 	ExprName string
 	Source   string
+	Kind     FindingKind
 	Result   Result
 }
 
-// String renders the finding in the paper's report format.
+// String renders the finding in the paper's report format. Consistency
+// findings name the contradicting instruction (Result.Var) and the
+// contradiction itself (Result.LLVMFact).
 func (f Finding) String() string {
+	if f.Kind == FindingInconsistent {
+		return fmt.Sprintf("%s\nconsistency: %s: %s\ndomains are contradictory\n",
+			f.Source, f.Result.Var, f.Result.LLVMFact)
+	}
 	return fmt.Sprintf("%s\n%s from our tool: %s\n%s from llvm: %s\nllvm is stronger\n",
 		f.Source, f.Result.Analysis, f.Result.OracleFact, f.Result.Analysis, f.Result.LLVMFact)
 }
@@ -605,6 +710,9 @@ func (s CacheStats) HitRate() float64 {
 type Report struct {
 	Rows     map[harvest.Analysis]*Row
 	Findings []Finding
+	// ConsistencyChecks counts the cross-domain checks performed by the
+	// consistency lint (zero unless Comparator.Consistency).
+	ConsistencyChecks int
 	// Cache is set by cached runs (Comparator.Cache != nil).
 	Cache *CacheStats
 	// Interrupted is true when the run's context was cancelled before
@@ -628,6 +736,12 @@ func newReport() *Report {
 func (rep *Report) absorb(e harvest.Expr, results []Result) {
 	seen := map[harvest.Analysis]bool{}
 	for _, r := range results {
+		if r.Outcome == Inconsistent {
+			// Lint findings sit outside the Table 1 rows.
+			rep.Findings = append(rep.Findings, Finding{
+				ExprName: e.Name, Source: e.F.String(), Kind: FindingInconsistent, Result: r})
+			continue
+		}
 		row := rep.Rows[r.Analysis]
 		switch r.Outcome {
 		case Same:
@@ -636,7 +750,8 @@ func (rep *Report) absorb(e harvest.Expr, results []Result) {
 			row.OracleMP++
 		case LLVMMorePrecise:
 			row.LLVMMP++
-			rep.Findings = append(rep.Findings, Finding{ExprName: e.Name, Source: e.F.String(), Result: r})
+			rep.Findings = append(rep.Findings, Finding{
+				ExprName: e.Name, Source: e.F.String(), Kind: FindingSoundness, Result: r})
 		case ResourceExhausted:
 			row.Exhausted++
 		}
@@ -708,16 +823,20 @@ func (c *Comparator) RunContext(ctx context.Context, corpus []harvest.Expr) *Rep
 		return c.runCached(ctx, corpus)
 	}
 	perExpr := make([][]Result, len(corpus))
+	perChecks := make([]int, len(corpus))
+	analyzed := make([]bool, len(corpus))
 	c.forEach(ctx, len(corpus), func(i int) {
-		perExpr[i] = c.CompareExprContext(ctx, corpus[i].F)
+		perExpr[i], perChecks[i] = c.compareOne(ctx, corpus[i].F)
+		analyzed[i] = true
 	})
 
 	rep := newReport()
 	for i, e := range corpus {
-		if perExpr[i] == nil {
+		if !analyzed[i] {
 			rep.Skipped++
 			continue
 		}
+		rep.ConsistencyChecks += perChecks[i]
 		rep.absorb(e, perExpr[i])
 	}
 	rep.Interrupted = rep.Skipped > 0
@@ -731,7 +850,18 @@ func (c *Comparator) recordReport(rep *Report) {
 	if c.Metrics == nil {
 		return
 	}
-	c.Metrics.Counter("findings").Add(int64(len(rep.Findings)))
+	var sound, incons int64
+	for _, f := range rep.Findings {
+		if f.Kind == FindingInconsistent {
+			incons++
+		} else {
+			sound++
+		}
+	}
+	c.Metrics.Counter("findings").Add(sound)
+	if incons > 0 {
+		c.Metrics.Counter("inconsistent_findings").Add(incons)
+	}
 	if rep.Skipped > 0 {
 		c.Metrics.Counter("exprs_skipped").Add(int64(rep.Skipped))
 	}
@@ -813,6 +943,15 @@ func (c *Comparator) runCached(ctx context.Context, corpus []harvest.Expr) *Repo
 				r.Elapsed = gr.demTime
 			}
 			results = append(results, r)
+		}
+		if c.Consistency {
+			// The lint is solver-free and names instructions, so it runs
+			// per member (not per canonical group): a cheap re-analysis
+			// buys findings in the member's own variable namespace and
+			// counts identical to the uncached path.
+			lint, checks := c.lintExpr(e.F, c.Analyzer.Analyze(e.F))
+			results = append(results, lint...)
+			rep.ConsistencyChecks += checks
 		}
 		rep.absorb(e, results)
 	}

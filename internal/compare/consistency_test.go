@@ -1,0 +1,192 @@
+package compare
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dfcheck/internal/harvest"
+	"dfcheck/internal/ir"
+	"dfcheck/internal/llvmport"
+	"dfcheck/internal/metrics"
+	"dfcheck/internal/rescache"
+)
+
+func zeroAddCorpus() []harvest.Expr {
+	// Bug 1 proves "0 + 0" non-zero while known bits and the range prove
+	// it zero: a cross-domain contradiction on a well-defined expression.
+	return []harvest.Expr{
+		{Name: "zero-add", F: ir.MustParse("%0:i8 = add 0:i8, 0:i8\ninfer %0"), Freq: 1},
+	}
+}
+
+// TestInconsistentFindingThreaded: a bugged analyzer under the
+// consistency lint must surface an Inconsistent finding in the report,
+// flagged with the consistency kind and counted separately from the
+// soundness findings in both the text table and the JSON rendering.
+func TestInconsistentFindingThreaded(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := &Comparator{
+		Analyzer:    &llvmport.Analyzer{Bugs: llvmport.BugConfig{NonZeroAdd: true}},
+		Consistency: true,
+		Metrics:     reg,
+	}
+	rep := c.Run(zeroAddCorpus())
+	if rep.ConsistencyChecks == 0 {
+		t.Fatalf("no consistency checks recorded")
+	}
+	var incons []Finding
+	for _, f := range rep.Findings {
+		if f.Kind == FindingInconsistent {
+			incons = append(incons, f)
+		}
+	}
+	if len(incons) == 0 {
+		t.Fatalf("no inconsistent finding; findings: %v", rep.Findings)
+	}
+	f := incons[0]
+	if f.Result.Analysis != ConsistencyAnalysis || f.Result.Outcome != Inconsistent {
+		t.Errorf("finding misclassified: analysis %s, outcome %v", f.Result.Analysis, f.Result.Outcome)
+	}
+	if f.ExprName != "zero-add" || f.Source == "" || f.Result.LLVMFact == "" {
+		t.Errorf("finding not self-contained: %+v", f)
+	}
+	if s := f.String(); !strings.Contains(s, "consistency") {
+		t.Errorf("finding text does not name the lint: %q", s)
+	}
+
+	table := rep.Table()
+	if !strings.Contains(table, "INCONSISTENT FINDINGS (1)") {
+		t.Errorf("table missing inconsistent section:\n%s", table)
+	}
+	if !strings.Contains(table, "consistency checks:") {
+		t.Errorf("table missing consistency check count:\n%s", table)
+	}
+
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		ConsistencyChecks int `json:"consistency_checks"`
+		Findings          []struct {
+			Kind string `json:"kind"`
+		} `json:"soundness_findings"`
+	}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.ConsistencyChecks != rep.ConsistencyChecks {
+		t.Errorf("JSON consistency_checks = %d, want %d", parsed.ConsistencyChecks, rep.ConsistencyChecks)
+	}
+	found := false
+	for _, jf := range parsed.Findings {
+		if jf.Kind == string(FindingInconsistent) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("JSON findings missing consistency kind:\n%s", data)
+	}
+
+	if got := reg.Counter("consistency_checks").Value(); got == 0 {
+		t.Errorf("consistency_checks metric not bumped")
+	}
+	if got := reg.Counter("inconsistent_findings").Value(); got == 0 {
+		t.Errorf("inconsistent_findings metric not bumped")
+	}
+}
+
+// TestConsistencyCleanAnalyzerSilent: the clean analyzer must run the
+// lint (checks counted) without producing a single inconsistent finding
+// over a generated corpus.
+func TestConsistencyCleanAnalyzerSilent(t *testing.T) {
+	corpus := harvest.Generate(harvest.Config{
+		Seed:     3,
+		NumExprs: 40,
+		MaxInsts: 5,
+		Widths:   []harvest.WidthWeight{{Width: 4, Weight: 1}, {Width: 8, Weight: 1}},
+	})
+	c := &Comparator{Analyzer: &llvmport.Analyzer{}, Consistency: true}
+	rep := c.Run(corpus)
+	if rep.ConsistencyChecks == 0 {
+		t.Fatalf("no consistency checks recorded")
+	}
+	for _, f := range rep.Findings {
+		if f.Kind == FindingInconsistent {
+			t.Fatalf("clean analyzer flagged inconsistent: %s", f)
+		}
+	}
+}
+
+// TestConsistencySuppressedOnPoisonOnlyExpr: "add nuw 1, 1" at i1 has no
+// well-defined evaluation, so the analyzer's (genuinely contradictory,
+// but vacuously sound) facts must not become a finding.
+func TestConsistencySuppressedOnPoisonOnlyExpr(t *testing.T) {
+	corpus := []harvest.Expr{
+		{Name: "poison-only", F: ir.MustParse("%0:i1 = addnuw 1:i1, 1:i1\ninfer %0"), Freq: 1},
+	}
+	c := &Comparator{Analyzer: &llvmport.Analyzer{}, Consistency: true}
+	rep := c.Run(corpus)
+	for _, f := range rep.Findings {
+		if f.Kind == FindingInconsistent {
+			t.Fatalf("vacuous contradiction reported as finding: %s", f)
+		}
+	}
+	if rep.ConsistencyChecks == 0 {
+		t.Fatalf("lint did not run at all")
+	}
+}
+
+// TestConsistencyOffByDefault: without the flag the lint must not run —
+// no checks, no consistency results.
+func TestConsistencyOffByDefault(t *testing.T) {
+	c := &Comparator{Analyzer: &llvmport.Analyzer{Bugs: llvmport.BugConfig{NonZeroAdd: true}}}
+	rep := c.Run(zeroAddCorpus())
+	if rep.ConsistencyChecks != 0 {
+		t.Errorf("lint ran with Consistency unset: %d checks", rep.ConsistencyChecks)
+	}
+	for _, f := range rep.Findings {
+		if f.Kind == FindingInconsistent {
+			t.Errorf("inconsistent finding with Consistency unset: %s", f)
+		}
+	}
+}
+
+// TestConsistencyCachedParity: a cached run must report the same
+// consistency findings and check counts as an uncached one, including on
+// the cache-hit (fold-back) path — the corpus repeats the trigger under
+// two names to force a hit.
+func TestConsistencyCachedParity(t *testing.T) {
+	corpus := append(zeroAddCorpus(), harvest.Expr{
+		Name: "zero-add-again", F: ir.MustParse("%0:i8 = add 0:i8, 0:i8\ninfer %0"), Freq: 1,
+	})
+	mk := func(cached bool) *Report {
+		c := &Comparator{
+			Analyzer:    &llvmport.Analyzer{Bugs: llvmport.BugConfig{NonZeroAdd: true}},
+			Consistency: true,
+		}
+		if cached {
+			c.Cache = rescache.New()
+		}
+		return c.Run(corpus)
+	}
+	plain, cached := mk(false), mk(true)
+	count := func(rep *Report) (n int, names []string) {
+		for _, f := range rep.Findings {
+			if f.Kind == FindingInconsistent {
+				n++
+				names = append(names, f.ExprName)
+			}
+		}
+		return
+	}
+	pn, pNames := count(plain)
+	cn, cNames := count(cached)
+	if pn != 2 || cn != 2 {
+		t.Fatalf("inconsistent finding counts: plain %d (%v), cached %d (%v)", pn, pNames, cn, cNames)
+	}
+	if plain.ConsistencyChecks != cached.ConsistencyChecks {
+		t.Errorf("check counts diverge: plain %d, cached %d", plain.ConsistencyChecks, cached.ConsistencyChecks)
+	}
+}

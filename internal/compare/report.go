@@ -21,6 +21,7 @@ type jsonRow struct {
 
 type jsonFinding struct {
 	Expr       string `json:"expr"`
+	Kind       string `json:"kind,omitempty"`
 	Analysis   string `json:"analysis"`
 	Var        string `json:"var,omitempty"`
 	OracleFact string `json:"oracle_fact"`
@@ -38,9 +39,10 @@ type jsonCache struct {
 }
 
 type jsonReport struct {
-	Rows     []jsonRow     `json:"rows"`
-	Findings []jsonFinding `json:"soundness_findings"`
-	Cache    *jsonCache    `json:"cache,omitempty"`
+	Rows              []jsonRow     `json:"rows"`
+	Findings          []jsonFinding `json:"soundness_findings"`
+	ConsistencyChecks int           `json:"consistency_checks,omitempty"`
+	Cache             *jsonCache    `json:"cache,omitempty"`
 }
 
 // JSON renders the report as machine-readable JSON, rows in Table 1 order.
@@ -65,8 +67,13 @@ func (rep *Report) JSON() ([]byte, error) {
 		})
 	}
 	for _, f := range rep.Findings {
+		kind := f.Kind
+		if kind == "" {
+			kind = FindingSoundness
+		}
 		out.Findings = append(out.Findings, jsonFinding{
 			Expr:       f.ExprName,
+			Kind:       string(kind),
 			Analysis:   string(f.Result.Analysis),
 			Var:        f.Result.Var,
 			OracleFact: f.Result.OracleFact,
@@ -74,6 +81,7 @@ func (rep *Report) JSON() ([]byte, error) {
 			Source:     f.Source,
 		})
 	}
+	out.ConsistencyChecks = rep.ConsistencyChecks
 	if rep.Cache != nil {
 		out.Cache = &jsonCache{
 			Hits:        rep.Cache.Hits,
@@ -126,9 +134,27 @@ func (rep *Report) Table() string {
 			a, pct(row.Same), pct(row.OracleMP), pct(row.LLVMMP), pct(row.Exhausted),
 			avg.Round(10*time.Microsecond))
 	}
-	if len(rep.Findings) > 0 {
-		fmt.Fprintf(&sb, "\nSOUNDNESS FINDINGS (%d):\n\n", len(rep.Findings))
-		for _, f := range rep.Findings {
+	if rep.ConsistencyChecks > 0 {
+		fmt.Fprintf(&sb, "\nconsistency checks: %d\n", rep.ConsistencyChecks)
+	}
+	var sound, incons []Finding
+	for _, f := range rep.Findings {
+		if f.Kind == FindingInconsistent {
+			incons = append(incons, f)
+		} else {
+			sound = append(sound, f)
+		}
+	}
+	if len(sound) > 0 {
+		fmt.Fprintf(&sb, "\nSOUNDNESS FINDINGS (%d):\n\n", len(sound))
+		for _, f := range sound {
+			sb.WriteString(f.String())
+			sb.WriteByte('\n')
+		}
+	}
+	if len(incons) > 0 {
+		fmt.Fprintf(&sb, "\nINCONSISTENT FINDINGS (%d):\n\n", len(incons))
+		for _, f := range incons {
 			sb.WriteString(f.String())
 			sb.WriteByte('\n')
 		}

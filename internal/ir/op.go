@@ -243,6 +243,18 @@ func (op Op) IsShift() bool {
 	return op == OpShl || op == OpLShr || op == OpAShr
 }
 
+// AllOps returns every non-leaf operation in declaration order. Tools
+// that sweep the whole instruction set (the transfer-function verifier
+// in internal/absint) iterate this instead of hard-coding the list, so
+// a new opcode is picked up automatically.
+func AllOps() []Op {
+	ops := make([]Op, 0, int(numOps)-int(OpAdd))
+	for op := OpAdd; op < numOps; op++ {
+		ops = append(ops, op)
+	}
+	return ops
+}
+
 // OpFromName returns the op with the given Souper mnemonic.
 func OpFromName(name string) (Op, bool) {
 	for op := Op(1); op < numOps; op++ {

@@ -1,0 +1,60 @@
+package llvmport
+
+import (
+	"dfcheck/internal/constrange"
+	"dfcheck/internal/ir"
+	"dfcheck/internal/knownbits"
+)
+
+// AbsInput pins the forward facts of one input variable to explicit
+// abstract values, in place of what Analyze would derive from range
+// metadata. The transfer-function verifier (internal/absint) uses this
+// to drive each analysis with arbitrary abstract operands; ordinary
+// analysis never constructs one.
+type AbsInput struct {
+	Known    knownbits.Bits
+	Range    constrange.Range
+	SignBits uint
+}
+
+// TopInput returns the no-information input at width w: nothing known,
+// the full range, one sign bit.
+func TopInput(w uint) AbsInput {
+	return AbsInput{Known: knownbits.Unknown(w), Range: constrange.Full(w), SignBits: 1}
+}
+
+// AnalyzeWithInputs computes forward facts like Analyze, but takes each
+// listed variable's facts verbatim from inputs (keyed by variable name)
+// instead of computing them. Variables absent from the map are analyzed
+// normally. The injected facts then flow through exactly the transfer
+// functions ordinary analysis uses, which is what lets internal/absint
+// exercise those functions on every abstract input in isolation.
+func (an *Analyzer) AnalyzeWithInputs(f *ir.Function, inputs map[string]AbsInput) *Facts {
+	fa := &Facts{
+		an:       an,
+		f:        f,
+		known:    make(map[*ir.Inst]knownbits.Bits),
+		ranges:   make(map[*ir.Inst]constrange.Range),
+		signBits: make(map[*ir.Inst]uint),
+	}
+	if len(inputs) > 0 {
+		fa.overrides = make(map[*ir.Inst]AbsInput, len(inputs))
+		for _, v := range f.Vars {
+			if in, ok := inputs[v.Name]; ok {
+				fa.overrides[v] = in
+			}
+		}
+	}
+	for _, n := range f.Insts() {
+		if in, ok := fa.overrides[n]; ok {
+			fa.known[n] = in.Known
+			fa.ranges[n] = in.Range
+			fa.signBits[n] = in.SignBits
+			continue
+		}
+		fa.known[n] = fa.computeKnownBits(n)
+		fa.ranges[n] = fa.computeRange(n)
+		fa.signBits[n] = fa.computeNumSignBits(n)
+	}
+	return fa
+}

@@ -61,23 +61,14 @@ type Facts struct {
 	known    map[*ir.Inst]knownbits.Bits
 	ranges   map[*ir.Inst]constrange.Range
 	signBits map[*ir.Inst]uint
+	// overrides holds injected per-variable facts (AnalyzeWithInputs);
+	// nil for ordinary analysis.
+	overrides map[*ir.Inst]AbsInput
 }
 
 // Analyze computes all forward facts for f.
 func (an *Analyzer) Analyze(f *ir.Function) *Facts {
-	fa := &Facts{
-		an:       an,
-		f:        f,
-		known:    make(map[*ir.Inst]knownbits.Bits),
-		ranges:   make(map[*ir.Inst]constrange.Range),
-		signBits: make(map[*ir.Inst]uint),
-	}
-	for _, n := range f.Insts() {
-		fa.known[n] = fa.computeKnownBits(n)
-		fa.ranges[n] = fa.computeRange(n)
-		fa.signBits[n] = fa.computeNumSignBits(n)
-	}
-	return fa
+	return an.AnalyzeWithInputs(f, nil)
 }
 
 // KnownBits returns the known-bits fact for the root value.

@@ -31,7 +31,11 @@ func (fa *Facts) nonZero(n *ir.Inst, depth int) bool {
 		return !n.Val.IsZero()
 	case ir.OpVar:
 		// Range metadata excluding zero (LLVM's
-		// rangeMetadataExcludesValue).
+		// rangeMetadataExcludesValue). Injected facts
+		// (AnalyzeWithInputs) count as metadata.
+		if _, ok := fa.overrides[n]; ok {
+			return !fa.ranges[n].Contains(apint.Zero(n.Width))
+		}
 		return n.HasRange && !fa.ranges[n].Contains(apint.Zero(n.Width))
 	case ir.OpOr:
 		return fa.nonZero(n.Args[0], depth+1) || fa.nonZero(n.Args[1], depth+1)
