@@ -7,12 +7,13 @@ GO ?= go
 
 # The packages with real concurrency: the comparator worker pool (which
 # now also runs the consistency lint), the absint verifier worker pool,
-# the engine's cross-goroutine cancellation, the campaign loop, the
-# metrics instruments, and the cache. The full suite under the race
+# the engine's cross-goroutine cancellation, the SAT portfolio's racing
+# clones, the bit-sliced evaluator both pools share, the campaign loop,
+# the metrics instruments, and the cache. The full suite under the race
 # detector is the race-all target; it takes many minutes.
 RACE_PKGS = ./internal/compare ./internal/solver ./internal/sat \
             ./internal/campaign ./internal/metrics ./internal/rescache \
-            ./internal/trace ./internal/absint
+            ./internal/trace ./internal/absint ./internal/eval
 
 check: fmt lint build race
 

@@ -8,6 +8,12 @@
 // before an optimization and "current" after), merged across invocations:
 //
 //	go test -run NONE -bench Table1 -benchmem . | bench-json -out BENCH.json -as current
+//
+// The -compare mode reads two recorded artifacts instead of benchmark
+// output and prints per-benchmark speedup ratios (old ns/op over new),
+// so a PR can state "N× on row X vs the committed artifact" from data:
+//
+//	bench-json -compare BENCH_3.json -out BENCH_6.json -as current
 package main
 
 import (
@@ -58,13 +64,81 @@ func parseBench(r io.Reader) (map[string]map[string]float64, error) {
 	return out, sc.Err()
 }
 
+// loadSection reads one named section out of a bench-json artifact.
+func loadSection(file, section string) (map[string]map[string]float64, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	doc := make(map[string]map[string]map[string]float64)
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s is not a bench-json artifact: %v", file, err)
+	}
+	sec, ok := doc[section]
+	if !ok {
+		return nil, fmt.Errorf("%s has no %q section", file, section)
+	}
+	return sec, nil
+}
+
+// compareArtifacts prints the per-benchmark speedup of newFile over
+// oldFile (same section in both): ratios above 1 mean the new recording
+// is faster. Benchmarks present in only one artifact are listed but not
+// compared.
+func compareArtifacts(oldFile, newFile, section string) error {
+	oldSec, err := loadSection(oldFile, section)
+	if err != nil {
+		return err
+	}
+	newSec, err := loadSection(newFile, section)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(oldSec)+len(newSec))
+	for n := range oldSec {
+		names = append(names, n)
+	}
+	for n := range newSec {
+		if _, ok := oldSec[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-45s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "speedup")
+	for _, n := range names {
+		o, inOld := oldSec[n]
+		c, inNew := newSec[n]
+		switch {
+		case !inOld:
+			fmt.Printf("%-45s %14s %14.0f %9s\n", n, "-", c["ns/op"], "new")
+		case !inNew:
+			fmt.Printf("%-45s %14.0f %14s %9s\n", n, o["ns/op"], "-", "gone")
+		case c["ns/op"] == 0:
+			fmt.Printf("%-45s %14.0f %14.0f %9s\n", n, o["ns/op"], c["ns/op"], "?")
+		default:
+			fmt.Printf("%-45s %14.0f %14.0f %8.2fx\n", n, o["ns/op"], c["ns/op"], o["ns/op"]/c["ns/op"])
+		}
+	}
+	return nil
+}
+
 func main() {
 	var (
 		outFile = flag.String("out", "BENCH_3.json", "JSON artifact to create or merge into")
 		section = flag.String("as", "current", "section to record the parsed results under (e.g. baseline, current)")
 		inFile  = flag.String("in", "-", "benchmark output to parse (- = stdin)")
+		compare = flag.String("compare", "", "old artifact to diff against: print old/new ns/op speedups between its -as section and -out's, recording nothing")
 	)
 	flag.Parse()
+
+	if *compare != "" {
+		if err := compareArtifacts(*compare, *outFile, *section); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-json:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	in := io.Reader(os.Stdin)
 	if *inFile != "-" {

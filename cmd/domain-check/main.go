@@ -43,6 +43,7 @@ func main() {
 		bug3       = flag.Bool("bug3", false, "re-introduce the PR12541 computeKnownBits srem bug")
 		modern     = flag.Bool("modern", false, "test the post-LLVM-8 analyzer instead of the LLVM-8 port")
 		noProgress = flag.Bool("no-progress", false, "suppress the progress line")
+		noSliced   = flag.Bool("no-sliced", false, "ablation: grade against scalar per-input evaluation instead of the 64-lane bit-sliced sweep")
 	)
 	flag.Parse()
 
@@ -60,6 +61,7 @@ func main() {
 		MaxRangeWidth: *maxRangeW,
 		Workers:       *workers,
 		Lint:          *lint,
+		NoSliced:      *noSliced,
 	}
 	if *opsFlag != "" {
 		for _, name := range strings.Split(*opsFlag, ",") {

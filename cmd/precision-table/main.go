@@ -43,6 +43,8 @@ func main() {
 		consist   = flag.Bool("consistency", true, "cross-check the compiler's own domains on every expression (solver-free reduced-product lint)")
 		noConsist = flag.Bool("no-consistency", false, "disable the cross-domain consistency lint")
 		enumCut   = flag.Int("enum-cutoff", 0, "summed input bits at or below which expressions are enumerated instead of solved (0 = default, negative disables)")
+		portfolio = flag.Int("portfolio", 0, "clones racing each hard SAT query with clause sharing (0 = default, 1 or negative disables)")
+		noPortf   = flag.Bool("no-portfolio", false, "ablation: disable portfolio solving (same as -portfolio=-1)")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON span trace to this file (open in Perfetto, aggregate with trace-report)")
 		traceMax  = flag.Int64("trace-max-mb", 256, "rotate the trace file when it exceeds this many MiB (0 = unbounded)")
 	)
@@ -124,8 +126,12 @@ func main() {
 		NoStrash:    *noStrash,
 		NoSeed:      *noSeed,
 		EnumCutoff:  *enumCut,
+		Portfolio:   *portfolio,
 		Tracer:      tracer,
 		Consistency: *consist && !*noConsist,
+	}
+	if *noPortf {
+		c.Portfolio = -1
 	}
 	if *cacheFile != "" {
 		cache := rescache.New()

@@ -182,3 +182,43 @@ func TestVerifyProgress(t *testing.T) {
 		t.Fatalf("progress stopped at %d/%d", last, total)
 	}
 }
+
+// TestBuildTableSlicedMatchesScalar pins the sliced and scalar
+// concrete-table builders to identical output across every task of a
+// width-1..5 sweep (all ops, all flag variants, including UB entries).
+func TestBuildTableSlicedMatchesScalar(t *testing.T) {
+	cfg := Config{MinWidth: 1, MaxWidth: 5}.withDefaults()
+	for _, task := range buildTasks(cfg) {
+		if task.inDom != inputDomains[0] {
+			continue // the table depends only on (op, widths)
+		}
+		ws := task.operandWidths()
+		sliced := buildTable(task, ws, false)
+		scalar := buildTable(task, ws, true)
+		for i := range sliced {
+			if sliced[i] != scalar[i] {
+				t.Fatalf("%s %s: table[%d] sliced=%d scalar=%d",
+					task.v, task.widthLabel(), i, sliced[i], scalar[i])
+			}
+		}
+	}
+}
+
+// TestVerifyNoSlicedAblation: the scalar ablation path must produce the
+// same report as the default sliced path.
+func TestVerifyNoSlicedAblation(t *testing.T) {
+	ops := []ir.Op{ir.OpAdd, ir.OpSDiv, ir.OpShl, ir.OpCttz}
+	fast := Verify(Config{MaxWidth: 3, Ops: ops, Workers: 1})
+	slow := Verify(Config{MaxWidth: 3, Ops: ops, Workers: 1, NoSliced: true})
+	if len(fast.Stats) != len(slow.Stats) {
+		t.Fatalf("stat counts differ: sliced %d, scalar %d", len(fast.Stats), len(slow.Stats))
+	}
+	for i := range fast.Stats {
+		if fast.Stats[i] != slow.Stats[i] {
+			t.Fatalf("stat %d differs:\nsliced: %+v\nscalar: %+v", i, fast.Stats[i], slow.Stats[i])
+		}
+	}
+	if len(fast.Findings) != len(slow.Findings) {
+		t.Fatalf("finding counts differ: sliced %d, scalar %d", len(fast.Findings), len(slow.Findings))
+	}
+}

@@ -58,6 +58,35 @@ func TestAblationFlagsPreserveResults(t *testing.T) {
 	}
 }
 
+// TestPortfolioAblationEquivalence is the portfolio's contract: racing
+// perturbed solver clones on hard queries must not change a single
+// Table-1 outcome or finding versus sequential solving. EnumCutoff -1
+// forces every expression through the SAT engine so the portfolio policy
+// is actually in the loop, and the corpus solves well inside the default
+// budget (asserted via Exhausted == 0) — a portfolio can only perturb
+// results at budget edges, which this corpus therefore avoids.
+func TestPortfolioAblationEquivalence(t *testing.T) {
+	corpus := ablationCorpus()
+	seq := (&Comparator{
+		Analyzer:   &llvmport.Analyzer{},
+		Workers:    1,
+		EnumCutoff: -1,
+		Portfolio:  -1,
+	}).Run(corpus)
+	por := (&Comparator{
+		Analyzer:   &llvmport.Analyzer{},
+		Workers:    1,
+		EnumCutoff: -1,
+		Portfolio:  3,
+	}).Run(corpus)
+	compareReports(t, "portfolio", por, seq)
+	for _, a := range harvest.AllAnalyses {
+		if n := seq.Rows[a].Exhausted; n != 0 {
+			t.Fatalf("%s: %d expressions exhausted; the equivalence corpus must stay off budget edges", a, n)
+		}
+	}
+}
+
 // TestAblationFlagsPreserveBugDetection re-runs the comparison with the
 // PR12541 bug injected (§4.7): the fast paths must catch exactly the
 // soundness findings the historical paths catch.

@@ -116,6 +116,13 @@ type Comparator struct {
 	// are analyzed by exhaustive enumeration instead of SAT: 0 selects
 	// solver.DefaultEnumCutoff, negative disables the fast path.
 	EnumCutoff int
+	// Portfolio overrides the clone count for hard-query portfolio
+	// solving: 0 selects solver.DefaultPortfolio, negative disables the
+	// portfolio (the -no-portfolio ablation). PortfolioAfter overrides
+	// the conflict threshold before a query escalates (0 selects
+	// sat.DefaultPortfolioAfter).
+	Portfolio      int
+	PortfolioAfter int64
 	// Tracer, when set, records a hierarchical span per run, expression,
 	// analysis, oracle iteration, and solver query (the -trace flag).
 	// Nil compiles to the untraced near-zero-cost path.
@@ -187,11 +194,13 @@ func (c *Comparator) newEngine(ctx context.Context, f *ir.Function, deadline tim
 		ctx = nil
 	}
 	return solver.NewEngine(f, solver.Config{
-		Budget:     c.Budget,
-		Deadline:   deadline,
-		Ctx:        ctx,
-		NoStrash:   c.NoStrash,
-		EnumCutoff: c.EnumCutoff,
+		Budget:         c.Budget,
+		Deadline:       deadline,
+		Ctx:            ctx,
+		NoStrash:       c.NoStrash,
+		EnumCutoff:     c.EnumCutoff,
+		Portfolio:      c.Portfolio,
+		PortfolioAfter: c.PortfolioAfter,
 	})
 }
 
@@ -226,6 +235,10 @@ func (c *Comparator) recordOracle(o *oracleSet) {
 	c.Metrics.Counter("solver_enum_queries").Add(o.Solver.EnumQueries)
 	c.Metrics.Counter("solver_gates_built").Add(o.Solver.GatesBuilt)
 	c.Metrics.Counter("solver_gates_deduped").Add(o.Solver.GatesDeduped)
+	c.Metrics.Counter("solver_portfolio_runs").Add(o.Solver.PortfolioRuns)
+	c.Metrics.Counter("solver_portfolio_wins").Add(o.Solver.PortfolioWins)
+	c.Metrics.Counter("solver_units_imported").Add(o.Solver.UnitsImported)
+	c.Metrics.Counter("solver_units_exported").Add(o.Solver.UnitsExported)
 	c.Metrics.Histogram("expr_latency").Observe(total)
 }
 
@@ -301,9 +314,9 @@ func (c *Comparator) cacheConfig() string {
 	if c.Analyzer != nil {
 		an = *c.Analyzer
 	}
-	return fmt.Sprintf("bug-nonzero=%t;bug-sremsign=%t;bug-sremknown=%t;modern=%t;timeout=%s;no-seed=%t;no-strash=%t;enum-cutoff=%d",
+	return fmt.Sprintf("bug-nonzero=%t;bug-sremsign=%t;bug-sremknown=%t;modern=%t;timeout=%s;no-seed=%t;no-strash=%t;enum-cutoff=%d;portfolio=%d",
 		an.Bugs.NonZeroAdd, an.Bugs.SRemSignBits, an.Bugs.SRemKnownBits, an.Modern, c.ExprTimeout,
-		c.NoSeed, c.NoStrash, c.EnumCutoff)
+		c.NoSeed, c.NoStrash, c.EnumCutoff, c.Portfolio)
 }
 
 // oracleCached assembles the oracle set for a canonical expression,

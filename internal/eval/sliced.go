@@ -1,0 +1,785 @@
+package eval
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dfcheck/internal/apint"
+	"dfcheck/internal/ir"
+)
+
+// This file implements the transposed, bit-sliced execution mode: 64
+// concrete input environments are evaluated per call, with each IR value
+// held as `width` machine words — word i carries bit i of all 64 lanes —
+// so every plane operation acts on 64 environments at once. Per-lane
+// well-definedness is tracked in a single 64-bit mask with exactly the
+// rules of the scalar interpreter (div-by-zero, poison wraps, oversized
+// shifts, range metadata); a lane whose bit is clear in the mask carries a
+// meaningless value, just like Eval's ok=false.
+//
+// The enumeration sweeps (solver.EnumEngine, absint's concrete tables)
+// use EvalIndexed: because ForEachInput packs the input vector LSB-first
+// into the sweep index, an aligned 64-lane block needs no input transpose
+// at all — plane i of a variable is either one of six fixed alternating
+// masks (index bits 0..5, which vary within the block) or a constant
+// all-zeros/all-ones word taken from the block base. Only the output is
+// ever transposed back, lane by lane.
+
+// LaneIndex[k] has bit l set iff bit k of the lane number l is set: the
+// input planes of an aligned block, precomputed once for all sweeps.
+var LaneIndex = [6]uint64{
+	0xAAAAAAAAAAAAAAAA,
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
+// SlicedProgram is a Function compiled for 64-lane bit-sliced evaluation.
+// Like Program, it reuses internal scratch across calls and is not safe
+// for concurrent use; compile one per goroutine.
+type SlicedProgram struct {
+	f        *ir.Function
+	code     []progInst
+	vals     [][]uint64 // per slot: Width planes
+	varSlots []int      // slot of each f.Vars entry, in declaration order
+	total    uint       // summed input width (the packed-index bit count)
+
+	// Scratch planes for the op kernels; each holds up to 2*MaxWidth+1
+	// planes (the widest intermediate is a double-width product).
+	t0, t1, t2, t3, t4, t5, t6, t7 []uint64
+}
+
+// CompileSliced builds the bit-sliced evaluation program for f.
+func CompileSliced(f *ir.Function) *SlicedProgram {
+	order := f.Insts()
+	slot := make(map[*ir.Inst]int, len(order))
+	code := make([]progInst, len(order))
+	vals := make([][]uint64, len(order))
+	for i, n := range order {
+		slot[n] = i
+		pc := progInst{n: n}
+		switch len(n.Args) {
+		case 3:
+			pc.a2 = slot[n.Args[2]]
+			fallthrough
+		case 2:
+			pc.a1 = slot[n.Args[1]]
+			fallthrough
+		case 1:
+			pc.a0 = slot[n.Args[0]]
+		}
+		code[i] = pc
+		vals[i] = make([]uint64, n.Width)
+	}
+	p := &SlicedProgram{f: f, code: code, vals: vals, total: TotalInputBits(f)}
+	p.varSlots = make([]int, len(f.Vars))
+	for i, v := range f.Vars {
+		p.varSlots[i] = slot[v]
+	}
+	scratch := make([]uint64, 8*(2*apint.MaxWidth+1))
+	step := 2*apint.MaxWidth + 1
+	p.t0, p.t1, p.t2, p.t3 = scratch[:step], scratch[step:2*step], scratch[2*step:3*step], scratch[3*step:4*step]
+	p.t4, p.t5, p.t6, p.t7 = scratch[4*step:5*step], scratch[5*step:6*step], scratch[6*step:7*step], scratch[7*step:]
+	return p
+}
+
+// NumLanes reports how many lanes of an EvalIndexed block are meaningful:
+// 64, or the whole (smaller) input space when it fits inside one block.
+func (p *SlicedProgram) NumLanes() uint {
+	if p.total < 6 {
+		return 1 << p.total
+	}
+	return 64
+}
+
+// EvalIndexed evaluates the 64 packed input indices base..base+63 (the
+// same LSB-first packing as ForEachInput: variable k occupies the next
+// Width bits above variable k-1). base must be 64-aligned; when the whole
+// input space is smaller than a block, base must be 0 and only the low
+// 2^total lanes are marked ok. Returns the root's planes (valid until the
+// next Eval* call) and the well-defined-lane mask.
+func (p *SlicedProgram) EvalIndexed(base uint64) ([]uint64, uint64) {
+	valid := ^uint64(0)
+	if p.total < 6 {
+		if base != 0 {
+			panic("eval: EvalIndexed base must be 0 when the input space fits one block")
+		}
+		valid = 1<<(1<<p.total) - 1
+	} else if base&63 != 0 {
+		panic("eval: EvalIndexed base must be 64-aligned")
+	}
+	off := uint(0)
+	for i, v := range p.f.Vars {
+		planes := p.vals[p.varSlots[i]]
+		for j := uint(0); j < v.Width; j++ {
+			pos := off + j
+			switch {
+			case pos < 6:
+				planes[j] = LaneIndex[pos]
+			case base>>pos&1 == 1:
+				planes[j] = ^uint64(0)
+			default:
+				planes[j] = 0
+			}
+		}
+		off += v.Width
+	}
+	return p.run(valid)
+}
+
+// EvalBlock evaluates up to 64 arbitrary environments, envs[l] feeding
+// lane l. Lanes at or beyond len(envs) come back with ok clear. Each env
+// must bind every variable at its declared width, as Eval requires.
+func (p *SlicedProgram) EvalBlock(envs []Env) ([]uint64, uint64) {
+	if len(envs) > 64 {
+		panic("eval: EvalBlock of more than 64 environments")
+	}
+	valid := ^uint64(0)
+	if len(envs) < 64 {
+		valid = 1<<uint(len(envs)) - 1
+	}
+	for i, v := range p.f.Vars {
+		planes := p.vals[p.varSlots[i]]
+		for j := range planes {
+			planes[j] = 0
+		}
+		for l, env := range envs {
+			val, ok := env[v]
+			if !ok {
+				panic(fmt.Sprintf("eval: unbound var %%%s", v.Name))
+			}
+			if val.Width() != v.Width {
+				panic(fmt.Sprintf("eval: %%%s bound at width %d, want %d", v.Name, val.Width(), v.Width))
+			}
+			bits := val.Uint64()
+			for j := uint(0); j < v.Width; j++ {
+				planes[j] |= (bits >> j & 1) << uint(l)
+			}
+		}
+	}
+	return p.run(valid)
+}
+
+// Lane gathers one lane's value back out of a plane slice.
+func Lane(planes []uint64, l uint) uint64 {
+	var v uint64
+	for i, pl := range planes {
+		v |= (pl >> l & 1) << uint(i)
+	}
+	return v
+}
+
+// run executes the compiled code over the current input planes, returning
+// the root planes and the ok mask. Lanes drop out of ok exactly when the
+// scalar interpreter would return ok=false.
+func (p *SlicedProgram) run(valid uint64) ([]uint64, uint64) {
+	ok := valid
+	root := p.vals[len(p.vals)-1]
+	// Range metadata disqualifies lanes before any instruction runs,
+	// mirroring the InRange pre-check.
+	for i, v := range p.f.Vars {
+		if !v.HasRange {
+			continue
+		}
+		ok &= p.rangeMask(p.vals[p.varSlots[i]], v.Lo, v.Hi)
+	}
+	for ci := range p.code {
+		if ok == 0 {
+			return root, 0
+		}
+		pc := &p.code[ci]
+		n := pc.n
+		dst := p.vals[ci]
+		switch n.Op {
+		case ir.OpVar:
+			continue // planes were set by the caller
+		case ir.OpConst:
+			constPlanes(dst, n.Val.Uint64())
+			continue
+		}
+		a := p.vals[pc.a0]
+		b := p.vals[pc.a1]
+		c := p.vals[pc.a2]
+		w := uint(len(a)) // operand width (n.Width for most ops)
+		switch n.Op {
+		case ir.OpAdd:
+			carry := addPlanes(dst, a, b)
+			if n.Flags&ir.FlagNSW != 0 {
+				ok &^= ^(a[w-1] ^ b[w-1]) & (dst[w-1] ^ a[w-1])
+			}
+			if n.Flags&ir.FlagNUW != 0 {
+				ok &^= carry
+			}
+		case ir.OpSub:
+			borrow := subPlanes(dst, a, b)
+			if n.Flags&ir.FlagNSW != 0 {
+				ok &^= (a[w-1] ^ b[w-1]) & (dst[w-1] ^ a[w-1])
+			}
+			if n.Flags&ir.FlagNUW != 0 {
+				ok &^= borrow
+			}
+		case ir.OpMul:
+			prod := p.t0[:2*w]
+			mulPlanes(prod, a, b)
+			copy(dst, prod[:w])
+			if n.Flags&ir.FlagNUW != 0 {
+				ok &^= orPlanes(prod[w:])
+			}
+			if n.Flags&ir.FlagNSW != 0 {
+				ok &^= p.smulOverflow(a, b)
+			}
+		case ir.OpUDiv:
+			rem := p.t1[:w]
+			p.udivrem(dst, rem, a, b)
+			ok &^= zeroMask(b)
+			if n.Flags&ir.FlagExact != 0 {
+				ok &^= orPlanes(rem)
+			}
+		case ir.OpURem:
+			quo := p.t1[:w]
+			p.udivrem(quo, dst, a, b)
+			ok &^= zeroMask(b)
+		case ir.OpSDiv, ir.OpSRem:
+			sa, sb := a[w-1], b[w-1]
+			absA, absB := p.t2[:w], p.t3[:w]
+			condNeg(absA, a, sa)
+			condNeg(absB, b, sb)
+			quo, rem := p.t4[:w], p.t5[:w]
+			p.udivrem(quo, rem, absA, absB)
+			// UB: zero divisor, or MinSigned / -1.
+			minA := a[w-1]
+			allB := b[w-1]
+			for i := uint(0); i < w-1; i++ {
+				minA &^= a[i]
+				allB &= b[i]
+			}
+			ok &^= zeroMask(b) | (minA & allB)
+			if n.Op == ir.OpSDiv {
+				condNeg(dst, quo, sa^sb)
+				if n.Flags&ir.FlagExact != 0 {
+					ok &^= orPlanes(rem)
+				}
+			} else {
+				condNeg(dst, rem, sa) // remainder sign follows the dividend
+			}
+		case ir.OpAnd:
+			for i := range dst {
+				dst[i] = a[i] & b[i]
+			}
+		case ir.OpOr:
+			for i := range dst {
+				dst[i] = a[i] | b[i]
+			}
+		case ir.OpXor:
+			for i := range dst {
+				dst[i] = a[i] ^ b[i]
+			}
+		case ir.OpShl, ir.OpLShr, ir.OpAShr:
+			wc := p.t1[:w]
+			constPlanes(wc, uint64(w))
+			ok &^= ^ultPlanes(b, wc) // shift amount >= width is UB
+			copy(dst, a)
+			switch n.Op {
+			case ir.OpShl:
+				shlLanes(dst, b)
+				if n.Flags&ir.FlagNUW != 0 || n.Flags&ir.FlagNSW != 0 {
+					back := p.t2[:w]
+					copy(back, dst)
+					if n.Flags&ir.FlagNUW != 0 {
+						lshrLanes(back, b)
+						ok &^= neqMask(back, a)
+					}
+					if n.Flags&ir.FlagNSW != 0 {
+						copy(back, dst)
+						ashrLanes(back, b)
+						ok &^= neqMask(back, a)
+					}
+				}
+			case ir.OpLShr:
+				lshrLanes(dst, b)
+			default:
+				ashrLanes(dst, b)
+			}
+			if n.Op != ir.OpShl && n.Flags&ir.FlagExact != 0 {
+				back := p.t2[:w]
+				copy(back, dst)
+				shlLanes(back, b)
+				ok &^= neqMask(back, a)
+			}
+		case ir.OpEq:
+			dst[0] = eqMask(a, b)
+		case ir.OpNe:
+			dst[0] = ^eqMask(a, b)
+		case ir.OpULT:
+			dst[0] = ultPlanes(a, b)
+		case ir.OpULE:
+			dst[0] = ^ultPlanes(b, a)
+		case ir.OpSLT:
+			dst[0] = sltPlanes(a, b)
+		case ir.OpSLE:
+			dst[0] = ^sltPlanes(b, a)
+		case ir.OpSelect:
+			// Mirror the scalar rule cond == 1, not merely "non-zero".
+			m := a[0]
+			m &^= orPlanes(a[1:])
+			for i := range dst {
+				dst[i] = (b[i] & m) | (c[i] &^ m)
+			}
+		case ir.OpZExt:
+			copy(dst, a)
+			for i := w; i < uint(len(dst)); i++ {
+				dst[i] = 0
+			}
+		case ir.OpSExt:
+			copy(dst, a)
+			for i := w; i < uint(len(dst)); i++ {
+				dst[i] = a[w-1]
+			}
+		case ir.OpTrunc:
+			copy(dst, a[:len(dst)])
+		case ir.OpCtPop:
+			popCountPlanes(dst, a)
+		case ir.OpBSwap:
+			for i := uint(0); i < w; i++ {
+				byteIdx := i / 8
+				dst[i] = a[(w/8-1-byteIdx)*8+i%8]
+			}
+		case ir.OpBitReverse:
+			for i := uint(0); i < w; i++ {
+				dst[i] = a[w-1-i]
+			}
+		case ir.OpCttz:
+			// cttz(x) = popcount(^x & (x-1)); cttz(0) = width falls out.
+			t := p.t1[:w]
+			decPlanes(t, a)
+			for i := range t {
+				t[i] &^= a[i]
+			}
+			popCountPlanes(dst, t)
+		case ir.OpCtlz:
+			rev := p.t2[:w]
+			for i := uint(0); i < w; i++ {
+				rev[i] = a[w-1-i]
+			}
+			t := p.t1[:w]
+			decPlanes(t, rev)
+			for i := range t {
+				t[i] &^= rev[i]
+			}
+			popCountPlanes(dst, t)
+		case ir.OpRotL, ir.OpRotR:
+			r := p.t1[:w]
+			p.modConst(r, b, w)
+			if n.Op == ir.OpRotR {
+				// rotr by r = rotl by (w - r) mod w; negate-then-mod keeps
+				// one rotator. (w - r) mod w with r < w is w-r, or 0 at r=0.
+				neg := p.t3[:w]
+				constPlanes(neg, uint64(w))
+				subPlanes(neg, neg, r)
+				nz := orPlanes(r)
+				for i := range r {
+					r[i] = neg[i] & nz // r==0 stays 0 instead of w
+				}
+			}
+			copy(dst, a)
+			p.rotlLanes(dst, r)
+		case ir.OpUMin:
+			lt := ultPlanes(a, b)
+			selectPlanes(dst, lt, a, b)
+		case ir.OpUMax:
+			lt := ultPlanes(a, b)
+			selectPlanes(dst, lt, b, a)
+		case ir.OpSMin:
+			lt := sltPlanes(a, b)
+			selectPlanes(dst, lt, a, b)
+		case ir.OpSMax:
+			lt := sltPlanes(a, b)
+			selectPlanes(dst, lt, b, a)
+		case ir.OpAbs:
+			condNeg(dst, a, a[w-1])
+		case ir.OpFshl, ir.OpFshr:
+			// fshl/fshr are the two halves of rotating the 2w-bit concat
+			// a:b by s mod w (s == 0 degenerates to a and b respectively).
+			r := p.t1[:w]
+			p.modConst(r, c, w)
+			cat := p.t0[:2*w]
+			copy(cat[:w], b)
+			copy(cat[w:], a)
+			if n.Op == ir.OpFshl {
+				p.rotlLanes(cat, r)
+				copy(dst, cat[w:])
+			} else {
+				// rotr of the concat by r: rotl by (2w - r) mod 2w.
+				neg := p.t3[:w]
+				constPlanes(neg, uint64(2*w))
+				subPlanes(neg, neg, r)
+				nz := orPlanes(r)
+				for i := range neg {
+					neg[i] &= nz
+				}
+				p.rotlLanes(cat, neg)
+				copy(dst, cat[:w])
+			}
+		case ir.OpUAddO:
+			sum := p.t0[:w]
+			dst[0] = addPlanes(sum, a, b)
+		case ir.OpSAddO:
+			sum := p.t0[:w]
+			addPlanes(sum, a, b)
+			dst[0] = ^(a[w-1] ^ b[w-1]) & (sum[w-1] ^ a[w-1])
+		case ir.OpUSubO:
+			diff := p.t0[:w]
+			dst[0] = subPlanes(diff, a, b)
+		case ir.OpSSubO:
+			diff := p.t0[:w]
+			subPlanes(diff, a, b)
+			dst[0] = (a[w-1] ^ b[w-1]) & (diff[w-1] ^ a[w-1])
+		case ir.OpUMulO:
+			prod := p.t0[:2*w]
+			mulPlanes(prod, a, b)
+			dst[0] = orPlanes(prod[w:])
+		case ir.OpSMulO:
+			dst[0] = p.smulOverflow(a, b)
+		default:
+			panic(fmt.Sprintf("eval: unhandled op %v in sliced mode", n.Op))
+		}
+	}
+	return root, ok
+}
+
+// rangeMask reports per lane whether the value satisfies the (possibly
+// wrapped) range [lo, hi); lo == hi denotes the full set.
+func (p *SlicedProgram) rangeMask(v []uint64, lo, hi apint.Int) uint64 {
+	if lo.Eq(hi) {
+		return ^uint64(0)
+	}
+	loP, hiP := p.t0[:len(v)], p.t1[:len(v)]
+	constPlanes(loP, lo.Uint64())
+	constPlanes(hiP, hi.Uint64())
+	uge := ^ultPlanes(v, loP)
+	ult := ultPlanes(v, hiP)
+	if lo.ULT(hi) {
+		return uge & ult
+	}
+	return uge | ult
+}
+
+// constPlanes broadcasts a constant across all lanes.
+func constPlanes(dst []uint64, val uint64) {
+	for i := range dst {
+		if val>>uint(i)&1 == 1 {
+			dst[i] = ^uint64(0)
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// addPlanes computes dst = a + b with a ripple carry, returning the
+// carry-out mask. dst may alias a or b.
+func addPlanes(dst, a, b []uint64) uint64 {
+	var carry uint64
+	for i := range a {
+		ai, bi := a[i], b[i]
+		dst[i] = ai ^ bi ^ carry
+		carry = (ai & bi) | (carry & (ai ^ bi))
+	}
+	return carry
+}
+
+// subPlanes computes dst = a - b with a ripple borrow, returning the
+// borrow-out mask (a < b unsigned). dst may alias a or b.
+func subPlanes(dst, a, b []uint64) uint64 {
+	var borrow uint64
+	for i := range a {
+		ai, bi := a[i], b[i]
+		dst[i] = ai ^ bi ^ borrow
+		borrow = (^ai & bi) | ((^ai | bi) & borrow)
+	}
+	return borrow
+}
+
+// decPlanes computes dst = a - 1. dst must not alias a.
+func decPlanes(dst, a []uint64) {
+	borrow := ^uint64(0)
+	dst[0] = ^a[0]
+	borrow &= ^a[0]
+	for i := 1; i < len(a); i++ {
+		dst[i] = a[i] ^ borrow
+		borrow &= ^a[i]
+	}
+}
+
+// ultPlanes returns the mask of lanes where a < b unsigned.
+func ultPlanes(a, b []uint64) uint64 {
+	var borrow uint64
+	for i := range a {
+		ai, bi := a[i], b[i]
+		borrow = (^ai & bi) | ((^ai | bi) & borrow)
+	}
+	return borrow
+}
+
+// sltPlanes returns the mask of lanes where a < b signed: an unsigned
+// compare with both sign planes flipped.
+func sltPlanes(a, b []uint64) uint64 {
+	w := len(a)
+	var borrow uint64
+	for i := 0; i < w-1; i++ {
+		ai, bi := a[i], b[i]
+		borrow = (^ai & bi) | ((^ai | bi) & borrow)
+	}
+	ai, bi := ^a[w-1], ^b[w-1]
+	return (^ai & bi) | ((^ai | bi) & borrow)
+}
+
+// eqMask returns the mask of lanes where a == b.
+func eqMask(a, b []uint64) uint64 {
+	var diff uint64
+	for i := range a {
+		diff |= a[i] ^ b[i]
+	}
+	return ^diff
+}
+
+// neqMask returns the mask of lanes where a != b.
+func neqMask(a, b []uint64) uint64 {
+	var diff uint64
+	for i := range a {
+		diff |= a[i] ^ b[i]
+	}
+	return diff
+}
+
+// orPlanes ORs all planes: the mask of lanes with any bit set.
+func orPlanes(a []uint64) uint64 {
+	var or uint64
+	for _, p := range a {
+		or |= p
+	}
+	return or
+}
+
+// zeroMask returns the mask of lanes whose value is zero.
+func zeroMask(a []uint64) uint64 {
+	return ^orPlanes(a)
+}
+
+// selectPlanes computes dst = m ? a : b per lane. dst may alias a or b.
+func selectPlanes(dst []uint64, m uint64, a, b []uint64) {
+	for i := range dst {
+		dst[i] = (a[i] & m) | (b[i] &^ m)
+	}
+}
+
+// condNeg computes dst = m ? -a : a per lane (two's complement; MinSigned
+// maps to itself, as AbsValue does). dst may alias a.
+func condNeg(dst, a []uint64, m uint64) {
+	carry := m
+	for i := range a {
+		t := a[i] ^ m
+		dst[i] = t ^ carry
+		carry &= t
+	}
+}
+
+// popCountPlanes computes dst = popcount(a) per lane by rippling an
+// increment through dst for every set source plane. dst must not alias a.
+func popCountPlanes(dst, a []uint64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, carry := range a {
+		for i := 0; carry != 0 && i < len(dst); i++ {
+			x := dst[i]
+			dst[i] = x ^ carry
+			carry &= x
+		}
+	}
+}
+
+// mulPlanes computes the full double-width product dst = a * b by
+// conditional shifted addition. dst has 2*len(a) planes and must not
+// alias a or b.
+func mulPlanes(dst, a, b []uint64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	w := len(a)
+	for j := 0; j < w; j++ {
+		m := b[j]
+		if m == 0 {
+			continue
+		}
+		var carry uint64
+		for i := 0; i < w; i++ {
+			x, y := dst[j+i], a[i]&m
+			dst[j+i] = x ^ y ^ carry
+			carry = (x & y) | (carry & (x ^ y))
+		}
+		for p := j + w; carry != 0 && p < len(dst); p++ {
+			x := dst[p]
+			dst[p] = x ^ carry
+			carry &= x
+		}
+	}
+}
+
+// smulOverflow returns the mask of lanes where a*b overflows signed: the
+// magnitude product exceeds 2^(w-1)-1, except that exactly 2^(w-1) is
+// representable when the result is negative.
+func (p *SlicedProgram) smulOverflow(a, b []uint64) uint64 {
+	w := uint(len(a))
+	sa, sb := a[w-1], b[w-1]
+	absA, absB := p.t1[:w], p.t2[:w]
+	condNeg(absA, a, sa)
+	condNeg(absB, b, sb)
+	prod := p.t3[:2*w]
+	mulPlanes(prod, absA, absB)
+	neg := sa ^ sb
+	hi := orPlanes(prod[w:])
+	geHalf := hi | prod[w-1]
+	exact := prod[w-1] &^ (orPlanes(prod[:w-1]) | hi)
+	return geHalf &^ (exact & neg)
+}
+
+// udivrem computes quo = a / b and rem = a % b unsigned by lane-parallel
+// restoring division. Lanes with b == 0 produce garbage (the caller masks
+// them as UB). quo and rem must not alias a, b, or p.t0.
+func (p *SlicedProgram) udivrem(quo, rem, a, b []uint64) {
+	w := len(a)
+	rx := p.t0[:w+1] // running remainder, one guard plane for the shift-in
+	for i := range rx {
+		rx[i] = 0
+	}
+	for i := w - 1; i >= 0; i-- {
+		// rx = rx<<1 | a[i]
+		copy(rx[1:], rx[:w])
+		rx[0] = a[i]
+		// ge = rx >= b (b zero-extended by one plane)
+		var borrow uint64
+		for j := 0; j < w; j++ {
+			rj, bj := rx[j], b[j]
+			borrow = (^rj & bj) | ((^rj | bj) & borrow)
+		}
+		ge := ^(^rx[w] & borrow)
+		// rx -= b where ge
+		borrow = 0
+		for j := 0; j < w; j++ {
+			rj, bj := rx[j], b[j]
+			d := rj ^ bj ^ borrow
+			borrow = (^rj & bj) | ((^rj | bj) & borrow)
+			rx[j] = (d & ge) | (rj &^ ge)
+		}
+		rx[w] = ((rx[w] ^ borrow) & ge) | (rx[w] &^ ge)
+		quo[i] = ge
+	}
+	copy(rem, rx[:w])
+}
+
+// shlLanes shifts each lane of dst left by its amount in amt, in place.
+// Amounts >= width leave garbage (the caller marks those lanes UB).
+func shlLanes(dst, amt []uint64) {
+	w := len(dst)
+	for k := 0; 1<<uint(k) < w; k++ {
+		m := amt[k]
+		if m == 0 {
+			continue
+		}
+		c := 1 << uint(k)
+		for i := w - 1; i >= c; i-- {
+			dst[i] = (dst[i-c] & m) | (dst[i] &^ m)
+		}
+		for i := c - 1; i >= 0; i-- {
+			dst[i] &^= m
+		}
+	}
+}
+
+// lshrLanes shifts each lane of dst right (logical) by its amount in amt.
+func lshrLanes(dst, amt []uint64) {
+	w := len(dst)
+	for k := 0; 1<<uint(k) < w; k++ {
+		m := amt[k]
+		if m == 0 {
+			continue
+		}
+		c := 1 << uint(k)
+		for i := 0; i < w-c; i++ {
+			dst[i] = (dst[i+c] & m) | (dst[i] &^ m)
+		}
+		for i := w - c; i < w; i++ {
+			dst[i] &^= m
+		}
+	}
+}
+
+// ashrLanes shifts each lane of dst right (arithmetic) by its amount.
+func ashrLanes(dst, amt []uint64) {
+	w := len(dst)
+	for k := 0; 1<<uint(k) < w; k++ {
+		m := amt[k]
+		if m == 0 {
+			continue
+		}
+		c := 1 << uint(k)
+		sign := dst[w-1]
+		for i := 0; i < w-c; i++ {
+			dst[i] = (dst[i+c] & m) | (dst[i] &^ m)
+		}
+		for i := w - c; i < w; i++ {
+			dst[i] = (sign & m) | (dst[i] &^ m)
+		}
+	}
+}
+
+// rotlLanes rotates each lane of dst left by its amount in r, in place.
+// Amounts must already be reduced below len(dst) (planes 6+ of r are
+// ignored: a reduced amount never reaches them).
+func (p *SlicedProgram) rotlLanes(dst, r []uint64) {
+	w := len(dst)
+	tmp := p.t7[:w]
+	for k := 0; 1<<uint(k) < w && k < len(r); k++ {
+		m := r[k]
+		if m == 0 {
+			continue
+		}
+		c := 1 << uint(k)
+		for i := 0; i < w; i++ {
+			tmp[i] = dst[(i+w-c)%w]
+		}
+		for i := 0; i < w; i++ {
+			dst[i] = (tmp[i] & m) | (dst[i] &^ m)
+		}
+	}
+}
+
+// modConst computes dst = s mod m per lane (m >= 1), the rotate-amount
+// reduction. dst must not alias s.
+func (p *SlicedProgram) modConst(dst, s []uint64, m uint) {
+	w := len(s)
+	if m&(m-1) == 0 {
+		// Power of two: keep the low log2(m) planes.
+		lg := bits.TrailingZeros(m)
+		for i := range dst {
+			if i < lg {
+				dst[i] = s[i]
+			} else {
+				dst[i] = 0
+			}
+		}
+		return
+	}
+	copy(dst, s)
+	mc, t := p.t6[:w], p.t7[:w]
+	for k := w - bits.Len(m); k >= 0; k-- {
+		constPlanes(mc, uint64(m)<<uint(k))
+		borrow := subPlanes(t, dst, mc)
+		ge := ^borrow
+		for i := range dst {
+			dst[i] = (t[i] & ge) | (dst[i] &^ ge)
+		}
+	}
+}

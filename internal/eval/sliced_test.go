@@ -1,0 +1,246 @@
+package eval_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dfcheck/internal/apint"
+	"dfcheck/internal/eval"
+	"dfcheck/internal/harvest"
+	"dfcheck/internal/ir"
+)
+
+// checkExhaustive sweeps f's entire input space through EvalIndexed and
+// demands per-lane agreement with the scalar Program on both the ok bit
+// and (on ok lanes) the value.
+func checkExhaustive(t *testing.T, name string, f *ir.Function) {
+	t.Helper()
+	total := eval.TotalInputBits(f)
+	if total > 16 {
+		t.Fatalf("%s: %d input bits is too large for an exhaustive check", name, total)
+	}
+	sp := eval.CompileSliced(f)
+	p := eval.Compile(f)
+	count := uint64(1) << total
+	lanes := uint64(64)
+	if count < 64 {
+		lanes = count
+	}
+	env := make(eval.Env, len(f.Vars))
+	for base := uint64(0); base < count; base += 64 {
+		planes, ok := sp.EvalIndexed(base)
+		for l := uint64(0); l < lanes; l++ {
+			idx := base + l
+			bits := idx
+			for _, v := range f.Vars {
+				env[v] = apint.New(v.Width, bits)
+				bits >>= v.Width
+			}
+			want, wantOK := p.Eval(env)
+			gotOK := ok>>l&1 == 1
+			if gotOK != wantOK {
+				t.Fatalf("%s: input %#x: sliced ok=%v, scalar ok=%v", name, idx, gotOK, wantOK)
+			}
+			if gotOK {
+				if got := eval.Lane(planes, uint(l)); got != want.Uint64() {
+					t.Fatalf("%s: input %#x: sliced %#x, scalar %#x", name, idx, got, want.Uint64())
+				}
+			}
+		}
+	}
+}
+
+// singleOpFuncs builds every (op, width, flags) single-instruction
+// function worth sweeping, covering the full instruction set — including
+// OpSSubO/OpUMulO, which the harvest generator's op mix omits.
+func singleOpFuncs() map[string]*ir.Function {
+	out := make(map[string]*ir.Function)
+	add := func(name string, root func(b *ir.Builder) *ir.Inst) {
+		b := ir.NewBuilder()
+		out[name] = b.Function(root(b))
+	}
+	flagSets := func(valid ir.Flags) []ir.Flags {
+		sets := []ir.Flags{0}
+		for _, fl := range []ir.Flags{ir.FlagNSW, ir.FlagNUW, ir.FlagExact} {
+			if valid&fl != 0 {
+				sets = append(sets, fl)
+			}
+		}
+		if valid&(ir.FlagNSW|ir.FlagNUW) == ir.FlagNSW|ir.FlagNUW {
+			sets = append(sets, ir.FlagNSW|ir.FlagNUW)
+		}
+		return sets
+	}
+	for _, op := range ir.AllOps() {
+		op := op
+		switch {
+		case op.IsCast():
+			from, to := uint(3), uint(8)
+			if op == ir.OpTrunc {
+				from, to = 8, 3
+			}
+			add(fmt.Sprintf("%v_i%d_i%d", op, from, to), func(b *ir.Builder) *ir.Inst {
+				return b.BuildCast(op, to, b.Var("x", from))
+			})
+			add(fmt.Sprintf("%v_i1", op), func(b *ir.Builder) *ir.Inst {
+				if op == ir.OpTrunc {
+					return b.BuildCast(op, 1, b.Var("x", 4))
+				}
+				return b.BuildCast(op, 4, b.Var("x", 1))
+			})
+		case op.Arity() == 1:
+			widths := []uint{1, 4, 8}
+			if op == ir.OpBSwap {
+				widths = []uint{8, 16}
+			}
+			for _, w := range widths {
+				w := w
+				add(fmt.Sprintf("%v_i%d", op, w), func(b *ir.Builder) *ir.Inst {
+					return b.Build(op, 0, b.Var("x", w))
+				})
+			}
+		case op == ir.OpSelect:
+			for _, w := range []uint{1, 4, 7} {
+				w := w
+				add(fmt.Sprintf("%v_i%d", op, w), func(b *ir.Builder) *ir.Inst {
+					return b.Build(op, 0, b.Var("c", 1), b.Var("x", w), b.Var("y", w))
+				})
+			}
+		case op == ir.OpFshl || op == ir.OpFshr:
+			for _, w := range []uint{1, 3, 4, 5} {
+				w := w
+				add(fmt.Sprintf("%v_i%d", op, w), func(b *ir.Builder) *ir.Inst {
+					return b.Build(op, 0, b.Var("x", w), b.Var("y", w), b.Var("s", w))
+				})
+			}
+		default: // arity-2 ops, including comparisons and overflow predicates
+			for _, w := range []uint{1, 3, 4, 8} {
+				for _, fl := range flagSets(op.ValidFlags()) {
+					w, fl := w, fl
+					add(fmt.Sprintf("%v%v_i%d", op, fl, w), func(b *ir.Builder) *ir.Inst {
+						return b.Build(op, fl, b.Var("x", w), b.Var("y", w))
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestSlicedAllOpsExhaustive sweeps every opcode at several widths and
+// every legal flag combination over the full input space.
+func TestSlicedAllOpsExhaustive(t *testing.T) {
+	for name, f := range singleOpFuncs() {
+		checkExhaustive(t, name, f)
+	}
+}
+
+// TestSlicedRangeMetadata checks that range-constrained variables (both
+// ordinary and wrapped ranges, and the lo==hi full set) disqualify
+// exactly the lanes the scalar interpreter rejects.
+func TestSlicedRangeMetadata(t *testing.T) {
+	cases := []struct {
+		name   string
+		lo, hi uint64
+	}{
+		{"plain", 3, 11},
+		{"wrapped", 200, 9},
+		{"full", 5, 5},
+		{"singleton", 7, 8},
+	}
+	for _, c := range cases {
+		b := ir.NewBuilder()
+		x := b.VarRange("x", 8, apint.New(8, c.lo), apint.New(8, c.hi))
+		y := b.Var("y", 4)
+		f := b.Function(b.Add(x, b.ZExt(y, 8)))
+		checkExhaustive(t, "range_"+c.name, f)
+	}
+}
+
+// TestSlicedMatchesScalarRandomFunctions drives random harvested
+// functions (which include ranged variables and poison flags) through
+// EvalBlock on random 64-environment blocks, demanding lane-for-lane
+// agreement with scalar Eval on the (value, ok) pair.
+func TestSlicedMatchesScalarRandomFunctions(t *testing.T) {
+	exprs := harvest.Generate(harvest.Config{
+		Seed:     1234,
+		NumExprs: 120,
+		MaxInsts: 7,
+		Widths:   []harvest.WidthWeight{{Width: 4, Weight: 2}, {Width: 8, Weight: 3}, {Width: 13, Weight: 1}, {Width: 32, Weight: 1}},
+	})
+	rng := rand.New(rand.NewSource(99))
+	for _, e := range exprs {
+		sp := eval.CompileSliced(e.F)
+		p := eval.Compile(e.F)
+		for round := 0; round < 4; round++ {
+			n := 64
+			if round == 3 {
+				n = 17 // partial block: lanes past len(envs) must read not-ok
+			}
+			envs := make([]eval.Env, n)
+			for i := range envs {
+				envs[i] = eval.RandomEnv(e.F, rng)
+			}
+			planes, ok := sp.EvalBlock(envs)
+			if n < 64 && ok>>uint(n) != 0 {
+				t.Fatalf("%s: lanes beyond len(envs)=%d marked ok (mask %#x)", e.Name, n, ok)
+			}
+			for l, env := range envs {
+				want, wantOK := p.Eval(env)
+				gotOK := ok>>uint(l)&1 == 1
+				if gotOK != wantOK {
+					t.Fatalf("%s: lane %d: sliced ok=%v, scalar ok=%v", e.Name, l, gotOK, wantOK)
+				}
+				if gotOK {
+					if got := eval.Lane(planes, uint(l)); got != want.Uint64() {
+						t.Fatalf("%s: lane %d: sliced %#x, scalar %#x", e.Name, l, got, want.Uint64())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSlicedEvalIndexedRandomFunctions runs full-space EvalIndexed sweeps
+// on harvested functions small enough to enumerate.
+func TestSlicedEvalIndexedRandomFunctions(t *testing.T) {
+	exprs := harvest.Generate(harvest.Config{
+		Seed:     555,
+		NumExprs: 150,
+		MaxInsts: 6,
+		Widths:   []harvest.WidthWeight{{Width: 3, Weight: 1}, {Width: 4, Weight: 2}, {Width: 5, Weight: 1}},
+	})
+	checked := 0
+	for _, e := range exprs {
+		if eval.TotalInputBits(e.F) > 14 {
+			continue
+		}
+		checkExhaustive(t, e.Name, e.F)
+		checked++
+	}
+	if checked < 20 {
+		t.Fatalf("only %d functions were small enough to sweep; corpus too thin", checked)
+	}
+}
+
+// TestEvalBlockAlignmentPanics pins the EvalIndexed preconditions.
+func TestEvalBlockAlignmentPanics(t *testing.T) {
+	f := ir.MustParse("%x:i8 = var\n%0:i8 = add %x, %x\ninfer %0")
+	sp := eval.CompileSliced(f)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("unaligned base", func() { sp.EvalIndexed(3) })
+	small := ir.MustParse("%x:i3 = var\n%0:i3 = add %x, %x\ninfer %0")
+	ssp := eval.CompileSliced(small)
+	mustPanic("nonzero base on small space", func() { ssp.EvalIndexed(64) })
+	if got := ssp.NumLanes(); got != 8 {
+		t.Errorf("NumLanes on a 3-bit space: got %d, want 8", got)
+	}
+}

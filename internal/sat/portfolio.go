@@ -1,0 +1,311 @@
+package sat
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the clause-sharing portfolio: when a query is
+// still undecided after PortfolioAfter conflicts, the solver forks
+// Portfolio clones of itself, perturbs every clone but the first (random
+// phase initialization, a small random-decision rate, jittered VSIDS
+// activities, a different Luby restart base), and races them on separate
+// goroutines. The first definitive answer wins; the losers are cancelled
+// through the clones' shared abort callback. At every restart each clone
+// publishes its newly derived level-0 unit clauses to a shared pool and
+// imports the other clones' — learnt clauses are resolvents of the clause
+// database alone (assumptions only ever act as decisions, never as
+// reasons), so a level-0 unit holds in every clone and in the parent
+// regardless of which assumptions were active when it was derived.
+//
+// Only the winner's counter deltas are charged to the parent, so the
+// engine-level shared conflict budget keeps its meaning (the portfolio
+// buys wall-clock speed with cores, not with budget).
+
+// MaxClones caps the portfolio size (and sizes the per-clone win
+// histogram in Stats).
+const MaxClones = 4
+
+// DefaultPortfolioAfter is the conflict threshold before a Solve fans
+// out: most queries finish well under it, so the portfolio machinery only
+// engages on the hard tail where a second search trajectory pays.
+const DefaultPortfolioAfter = 4000
+
+// rng is a tiny splitmix64 generator: portfolio perturbation needs speed
+// and determinism-per-seed, not statistical perfection.
+type rng struct{ state uint64 }
+
+func newRng(seed int64) *rng {
+	return &rng{state: uint64(seed)*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// unitPool is the clause-exchange channel between clones: level-0 unit
+// literals, deduplicated, with exchange-volume counters.
+type unitPool struct {
+	mu       sync.Mutex
+	units    []Lit
+	seen     map[Lit]bool
+	exported int64
+	imported int64
+}
+
+// exchangeUnits publishes this solver's level-0 trail literals that the
+// pool has not seen and enqueues the pool's literals this solver does not
+// have yet. Must be called at decision level 0. Returns false when an
+// imported unit (or its propagation) contradicts the level-0 trail —
+// since both sides are implied by the shared clause database, that means
+// the database itself is unsatisfiable.
+func (s *Solver) exchangeUnits(pool *unitPool) bool {
+	pool.mu.Lock()
+	for _, l := range s.trail {
+		if !pool.seen[l] {
+			pool.seen[l] = true
+			pool.units = append(pool.units, l)
+			pool.exported++
+			s.unitsExported++
+		}
+	}
+	incoming := make([]Lit, len(pool.units))
+	copy(incoming, pool.units)
+	pool.mu.Unlock()
+
+	var took int64
+	for _, l := range incoming {
+		switch s.litValue(l) {
+		case lTrue:
+			continue
+		case lFalse:
+			return false
+		}
+		took++
+		s.unitsImported++
+		if !s.enqueue(l, nilReason) {
+			return false
+		}
+	}
+	if took > 0 {
+		pool.mu.Lock()
+		pool.imported += took
+		pool.mu.Unlock()
+	}
+	return s.propagate() == nilClauseIdx
+}
+
+// clone deep-copies the solver's search state for a portfolio run. The
+// solver must be at decision level 0 with propagation complete (the state
+// solveLoop leaves behind). Clause slices are copied individually —
+// propagation reorders a clause's first two literals in place — and the
+// watcher lists are rebuilt from the first two positions, which is
+// exactly the two-watched-literal invariant.
+func (s *Solver) clone() *Solver {
+	if len(s.trailLim) != 0 {
+		panic("sat: clone above decision level 0")
+	}
+	c := &Solver{
+		claInc:            s.claInc,
+		varInc:            s.varInc,
+		maxLearn:          s.maxLearn,
+		ConflictBudget:    s.ConflictBudget,
+		PropagationBudget: s.PropagationBudget,
+		Conflicts:         s.Conflicts,
+		Propagations:      s.Propagations,
+		Decisions:         s.Decisions,
+		Restarts:          s.Restarts,
+		learned:           s.learned,
+		addedClauses:      s.addedClauses,
+		unsat:             s.unsat,
+		qhead:             len(s.trail),
+		lastWinner:        -1,
+	}
+	c.clauses = make([][]Lit, len(s.clauses))
+	for i, lits := range s.clauses {
+		if lits != nil {
+			c.clauses[i] = append([]Lit(nil), lits...)
+		}
+	}
+	c.deleted = append([]bool(nil), s.deleted...)
+	c.learnts = append([]clauseRef(nil), s.learnts...)
+	c.claAct = make(map[clauseRef]float64, len(s.claAct))
+	for k, v := range s.claAct {
+		c.claAct[k] = v
+	}
+	c.assigns = append([]lbool(nil), s.assigns...)
+	c.phase = append([]bool(nil), s.phase...)
+	c.level = append([]int32(nil), s.level...)
+	c.reason = append([]clauseRef(nil), s.reason...)
+	c.activity = append([]float64(nil), s.activity...)
+	c.trail = append([]Lit(nil), s.trail...)
+	c.seen = make([]bool, len(s.seen))
+	c.watches = make([][]watcher, len(s.watches))
+	for i, lits := range c.clauses {
+		cref := clauseRef(i)
+		if lits == nil || c.deleted[cref] {
+			continue
+		}
+		c.watchClause(lits[0].Not(), watcher{cref, lits[1]})
+		c.watchClause(lits[1].Not(), watcher{cref, lits[0]})
+	}
+	for v := Var(0); int(v) < len(c.assigns); v++ {
+		c.heap.push(v, c.activity)
+	}
+	return c
+}
+
+// perturb diversifies a clone's search: fresh random phases for the
+// unassigned variables, a 2% random-decision rate, a multiplicative
+// jitter on the VSIDS activities (breaking popMax ties differently per
+// clone), and a clone-specific Luby restart base.
+func (c *Solver) perturb(seed int64) {
+	c.rng = newRng(seed)
+	c.randFreq = 0.02
+	for v := range c.phase {
+		if c.assigns[v] == lUndef {
+			c.phase[v] = c.rng.next()&1 == 0
+		}
+	}
+	for v := range c.activity {
+		c.activity[v] *= 1 + 0.2*c.rng.float64()
+	}
+	// The heap was built against the unjittered activities; rebuild.
+	c.heap = varHeap{}
+	for v := Var(0); int(v) < len(c.assigns); v++ {
+		c.heap.push(v, c.activity)
+	}
+	c.restartBase = 50 + int64(c.rng.intn(150))
+}
+
+// solvePortfolio races Portfolio perturbed clones of s on the query.
+// Clone 0 continues the parent's exact trajectory, so the portfolio never
+// answers later than the sequential solver would have (modulo clause
+// exchange, which only adds derived facts). The parent adopts the
+// winner's answer, imports the exchanged units permanently, and charges
+// itself only the winner's counter deltas.
+func (s *Solver) solvePortfolio(assumptions []Lit) Status {
+	n := s.Portfolio
+	if n > MaxClones {
+		n = MaxClones
+	}
+	s.portfolioRuns++
+	fork := s.Stats()
+
+	pool := &unitPool{seen: make(map[Lit]bool, len(s.trail))}
+	for _, l := range s.trail {
+		pool.seen[l] = true // pre-seed: the shared trail is not news
+	}
+
+	var done atomic.Bool
+	parentAbort := s.Abort
+	abort := func() bool {
+		return done.Load() || (parentAbort != nil && parentAbort())
+	}
+
+	clones := make([]*Solver, n)
+	for k := range clones {
+		c := s.clone()
+		c.Abort = abort
+		c.AbortCheckEvery = 1024 // poll tighter: cancellation latency
+		if k > 0 {
+			c.perturb(s.PortfolioSeed + int64(k))
+		}
+		clones[k] = c
+	}
+
+	results := make([]Status, n)
+	var winnerIdx atomic.Int32
+	winnerIdx.Store(-1)
+	var wg sync.WaitGroup
+	for k := range clones {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			st := clones[k].solveLoop(assumptions, 0, pool)
+			results[k] = st
+			if st != Unknown && winnerIdx.CompareAndSwap(-1, int32(k)) {
+				done.Store(true)
+			}
+		}(k)
+	}
+	wg.Wait()
+
+	pool.mu.Lock()
+	s.unitsExported += pool.exported
+	s.unitsImported += pool.imported
+	pool.mu.Unlock()
+
+	win := winnerIdx.Load()
+	if win < 0 {
+		// All clones exhausted a budget or the parent abort fired: charge
+		// the largest clone spend (the wall-clock-equivalent work).
+		var maxDelta Stats
+		for _, c := range clones {
+			if d := c.Stats().Sub(fork); d.Conflicts > maxDelta.Conflicts {
+				maxDelta = d
+			}
+		}
+		s.chargeDelta(maxDelta)
+		s.aborted = parentAbort != nil && parentAbort()
+		s.adoptUnits(pool)
+		return Unknown
+	}
+
+	w := clones[win]
+	s.chargeDelta(w.Stats().Sub(fork))
+	s.cloneWins[win]++
+	s.lastWinner = int64(win)
+	s.aborted = false
+	// An Unsat under assumptions is relative; only the clone's own
+	// level-0-derived unsat flag transfers to the parent's database.
+	s.unsat = s.unsat || w.unsat
+	if results[win] == Sat {
+		s.model = append([]bool(nil), w.model...)
+	}
+	s.adoptUnits(pool)
+	return results[win]
+}
+
+// chargeDelta adds one clone's search-counter deltas to the parent.
+func (s *Solver) chargeDelta(d Stats) {
+	s.Conflicts += d.Conflicts
+	s.Propagations += d.Propagations
+	s.Decisions += d.Decisions
+	s.Restarts += d.Restarts
+	s.learned += d.Learned
+}
+
+// adoptUnits permanently installs the portfolio's exchanged level-0 units
+// into the parent (which sits at decision level 0 after solveLoop): every
+// one is implied by the clause database, so later queries inherit them
+// like any other level-0 fact.
+func (s *Solver) adoptUnits(pool *unitPool) {
+	if s.unsat {
+		return
+	}
+	for _, l := range pool.units {
+		switch s.litValue(l) {
+		case lTrue:
+			continue
+		case lFalse:
+			s.unsat = true
+			return
+		}
+		if !s.enqueue(l, nilReason) {
+			s.unsat = true
+			return
+		}
+	}
+	if s.propagate() != nilClauseIdx {
+		s.unsat = true
+	}
+}

@@ -1,0 +1,155 @@
+package sat
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// addParity constrains x0 ^ x1 ^ ... ^ x(n-1) = parity over fresh
+// variables via the standard chain encoding, returning the variables.
+// Parity chains produce long propagation-heavy searches — a good Sat/
+// Unsat workload that, unlike pigeonhole, has models to find.
+func addParity(s *Solver, n int, parity bool) []Var {
+	vars := make([]Var, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	acc := vars[0]
+	for i := 1; i < n; i++ {
+		nxt := s.NewVar()
+		// nxt = acc XOR vars[i]
+		s.AddClause(NegLit(nxt), PosLit(acc), PosLit(vars[i]))
+		s.AddClause(NegLit(nxt), NegLit(acc), NegLit(vars[i]))
+		s.AddClause(PosLit(nxt), NegLit(acc), PosLit(vars[i]))
+		s.AddClause(PosLit(nxt), PosLit(acc), NegLit(vars[i]))
+		acc = nxt
+	}
+	if parity {
+		s.AddClause(PosLit(acc))
+	} else {
+		s.AddClause(NegLit(acc))
+	}
+	return vars
+}
+
+// TestPortfolioMatchesSequentialUnsat races a portfolio on PHP(7,6),
+// with a threshold of 1 conflict so the fan-out machinery always
+// engages, and demands the sequential answer.
+func TestPortfolioMatchesSequentialUnsat(t *testing.T) {
+	seq := New()
+	addPigeonhole(seq, 7, 6)
+	if st := seq.Solve(); st != Unsat {
+		t.Fatalf("sequential PHP(7,6) = %v, want unsat", st)
+	}
+
+	for clones := 2; clones <= 4; clones++ {
+		p := New()
+		addPigeonhole(p, 7, 6)
+		p.Portfolio = clones
+		p.PortfolioAfter = 1
+		p.PortfolioSeed = int64(clones)
+		if st := p.Solve(); st != Unsat {
+			t.Fatalf("portfolio(%d) PHP(7,6) = %v, want unsat", clones, st)
+		}
+		st := p.Stats()
+		if st.PortfolioRuns != 1 {
+			t.Fatalf("portfolio(%d): runs = %d, want 1", clones, st.PortfolioRuns)
+		}
+		if st.LastWinner < 0 || st.LastWinner >= int64(clones) {
+			t.Fatalf("portfolio(%d): winner %d out of range", clones, st.LastWinner)
+		}
+		var wins int64
+		for _, w := range st.CloneWins {
+			wins += w
+		}
+		if wins != 1 {
+			t.Fatalf("portfolio(%d): clone wins sum to %d, want 1", clones, wins)
+		}
+	}
+}
+
+// TestPortfolioMatchesSequentialSat checks the satisfiable side: the
+// portfolio must return Sat with a genuine model of the formula.
+func TestPortfolioMatchesSequentialSat(t *testing.T) {
+	p := New()
+	vars := addParity(p, 40, true)
+	// A small pigeonhole that is satisfiable (3 pigeons, 3 holes) for
+	// extra search structure.
+	addPigeonhole(p, 3, 3)
+	p.Portfolio = 3
+	p.PortfolioAfter = 1
+	if st := p.Solve(); st != Sat {
+		t.Fatalf("portfolio parity = %v, want sat", st)
+	}
+	par := false
+	for _, v := range vars {
+		par = par != p.Value(v)
+	}
+	if !par {
+		t.Fatalf("portfolio model violates the parity constraint")
+	}
+}
+
+// TestPortfolioUnderAssumptions: an Unsat under assumptions must not
+// poison the solver's clause database — the same solver must still
+// answer Sat when the assumptions are dropped.
+func TestPortfolioUnderAssumptions(t *testing.T) {
+	s := New()
+	vars := addParity(s, 30, true)
+	s.Portfolio = 3
+	s.PortfolioAfter = 1
+	// Assume all inputs false: forces parity 0, contradicting the chain.
+	assumptions := make([]Lit, len(vars))
+	for i, v := range vars {
+		assumptions[i] = NegLit(v)
+	}
+	if st := s.Solve(assumptions...); st != Unsat {
+		t.Fatalf("assumed-all-false parity = %v, want unsat", st)
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("after relative unsat, unconstrained solve = %v, want sat", st)
+	}
+}
+
+// TestPortfolioRespectsAbort: a portfolio run under a fired abort
+// callback returns Unknown and reports no winner.
+func TestPortfolioRespectsAbort(t *testing.T) {
+	s := New()
+	addPigeonhole(s, 9, 8)
+	s.Portfolio = 3
+	s.PortfolioAfter = 1
+	s.AbortCheckEvery = 64
+	// Under a portfolio the abort callback is polled concurrently by
+	// every clone, so it must be thread-safe.
+	var calls atomic.Int64
+	s.Abort = func() bool {
+		return calls.Add(1) > 4
+	}
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("aborted portfolio = %v, want unknown", st)
+	}
+	if st := s.Stats(); st.LastWinner != -1 {
+		t.Fatalf("aborted portfolio recorded winner %d", st.LastWinner)
+	}
+}
+
+// TestCloneEquivalence: an unperturbed clone must behave exactly like
+// its parent — same answer, and (being a faithful state copy) a legal
+// model on the satisfiable side.
+func TestCloneEquivalence(t *testing.T) {
+	s := New()
+	addParity(s, 25, false)
+	addPigeonhole(s, 4, 4)
+	// Put the solver through a bounded solve so the clone starts from a
+	// mid-search state with learnt clauses and level-0 facts.
+	s.ConflictBudget = 30
+	_ = s.Solve()
+	s.ConflictBudget = 0
+
+	c := s.clone()
+	stSeq := s.Solve()
+	stClone := c.Solve()
+	if stSeq != stClone {
+		t.Fatalf("clone answered %v, parent %v", stClone, stSeq)
+	}
+}

@@ -57,6 +57,7 @@ func (e *SATEngine) solveAssuming(name, class string, s *sat.Solver, assumptions
 	before := s.Stats()
 	s.ConflictBudget = s.Conflicts + e.remaining()
 	e.armAbort(s)
+	e.armPortfolio(s)
 	sp, _ := e.startQuery(name, class, s)
 	st := s.Solve(assumptions...)
 	endQuery(sp, s, before, st)
@@ -68,6 +69,10 @@ func (e *SATEngine) solveAssuming(name, class string, s *sat.Solver, assumptions
 	e.stats.Decisions += delta.Decisions
 	e.stats.Restarts += delta.Restarts
 	e.stats.Learned += delta.Learned
+	e.stats.PortfolioRuns += delta.PortfolioRuns
+	e.stats.PortfolioWins += cloneWinsTotal(delta)
+	e.stats.UnitsImported += delta.UnitsImported
+	e.stats.UnitsExported += delta.UnitsExported
 	if st == sat.Unknown {
 		e.stats.Exhausted++
 		return false, false

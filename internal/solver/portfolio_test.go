@@ -1,0 +1,74 @@
+package solver
+
+import (
+	"testing"
+
+	"dfcheck/internal/ir"
+)
+
+// portfolioProbe is a 16-bit-input expression (routed to SAT at the
+// default cutoff) whose validity queries take real search.
+func portfolioProbe() *ir.Function {
+	return ir.MustParse(`
+		%x:i8 = var
+		%y:i8 = var
+		%0:i8 = mul %x, %y
+		%1:i8 = mul %y, %x
+		%2:i8 = xor %0, %1
+		%3:i8 = add %2, %x
+		infer %3
+	`)
+}
+
+// TestPortfolioEngineEquivalence runs the same query sequence through a
+// portfolio engine (threshold 1, so every nontrivial query fans out) and
+// a sequential one, and requires identical answers plus evidence the
+// portfolio actually engaged.
+func TestPortfolioEngineEquivalence(t *testing.T) {
+	seqE := NewEngine(portfolioProbe(), Config{Portfolio: -1}).(*SATEngine)
+	porE := NewEngine(portfolioProbe(), Config{Portfolio: 3, PortfolioAfter: 1}).(*SATEngine)
+
+	type answer struct {
+		res, ok bool
+	}
+	ask := func(e *SATEngine) []answer {
+		var out []answer
+		r, ok := e.Feasible()
+		out = append(out, answer{r, ok})
+		for i := uint(0); i < 8; i++ {
+			r, ok = e.OutputBitCanBe(i, true)
+			out = append(out, answer{r, ok})
+			r, ok = e.OutputBitCanBe(i, false)
+			out = append(out, answer{r, ok})
+		}
+		r, ok = e.CanBeZero()
+		out = append(out, answer{r, ok})
+		return out
+	}
+
+	seq := ask(seqE)
+	por := ask(porE)
+	for i := range seq {
+		if seq[i] != por[i] {
+			t.Errorf("query %d: sequential %+v, portfolio %+v", i, seq[i], por[i])
+		}
+	}
+
+	sst, pst := seqE.Stats(), porE.Stats()
+	if sst.PortfolioRuns != 0 {
+		t.Errorf("sequential engine ran %d portfolios", sst.PortfolioRuns)
+	}
+	if pst.PortfolioRuns == 0 {
+		t.Error("portfolio engine never escalated despite threshold 1")
+	}
+	if pst.PortfolioWins == 0 {
+		t.Error("no portfolio run produced a winner")
+	}
+	if pst.PortfolioWins > pst.PortfolioRuns {
+		t.Errorf("wins %d > runs %d", pst.PortfolioWins, pst.PortfolioRuns)
+	}
+	if sst.Exhausted != 0 || pst.Exhausted != 0 {
+		t.Fatalf("probe exhausted its budget (seq %d, portfolio %d); equivalence not meaningful",
+			sst.Exhausted, pst.Exhausted)
+	}
+}

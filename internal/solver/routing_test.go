@@ -18,6 +18,20 @@ func TestNewEngineRouting(t *testing.T) {
 	if _, ok := NewEngine(large, Config{}).(*SATEngine); !ok {
 		t.Error("32 input bits: want SATEngine")
 	}
+
+	// The sliced-evaluation default is 14: a 12-bit space enumerates, a
+	// 16-bit one still bit-blasts.
+	if DefaultEnumCutoff != 14 {
+		t.Errorf("DefaultEnumCutoff = %d, want 14", DefaultEnumCutoff)
+	}
+	twelve := ir.MustParse("%x:i8 = var\n%y:i4 = var\n%0:i4 = trunc %x\n%1:i4 = add %0, %y\ninfer %1")
+	if _, ok := NewEngine(twelve, Config{}).(*EnumEngine); !ok {
+		t.Error("12 input bits at the default cutoff: want EnumEngine")
+	}
+	sixteen := ir.MustParse("%x:i8 = var\n%y:i8 = var\n%0:i8 = add %x, %y\ninfer %0")
+	if _, ok := NewEngine(sixteen, Config{}).(*SATEngine); !ok {
+		t.Error("16 input bits at the default cutoff: want SATEngine")
+	}
 	if _, ok := NewEngine(small, Config{EnumCutoff: -1}).(*SATEngine); !ok {
 		t.Error("negative cutoff must disable the enumeration path")
 	}
@@ -42,6 +56,18 @@ func TestNewEngineRouting(t *testing.T) {
 	e := NewEngine(large, Config{NoStrash: true}).(*SATEngine)
 	if !e.NoStrash {
 		t.Error("NoStrash not plumbed through NewEngine")
+	}
+
+	// Portfolio follows the EnumCutoff convention: 0 = default,
+	// negative = disabled, positive = explicit clone count.
+	if e.Portfolio != DefaultPortfolio {
+		t.Errorf("default Portfolio = %d, want %d", e.Portfolio, DefaultPortfolio)
+	}
+	if p := NewEngine(large, Config{Portfolio: -1}).(*SATEngine).Portfolio; p >= 2 {
+		t.Errorf("Portfolio -1 must disable the portfolio, got %d", p)
+	}
+	if p := NewEngine(large, Config{Portfolio: 2}).(*SATEngine).Portfolio; p != 2 {
+		t.Errorf("Portfolio 2 not plumbed through, got %d", p)
 	}
 }
 

@@ -15,6 +15,7 @@ package solver
 
 import (
 	"context"
+	mathbits "math/bits"
 	"time"
 
 	"dfcheck/internal/apint"
@@ -91,6 +92,15 @@ type Stats struct {
 	// Pruned counts queries eliminated before any solving: answers fixed
 	// by a sound abstract seed (oracle.Seed) or by an engine memo.
 	Pruned int64
+	// PortfolioRuns counts hard queries that escalated to a clone
+	// portfolio; PortfolioWins counts those a clone answered definitively
+	// (the rest exhausted their budget or were aborted). UnitsImported /
+	// UnitsExported total the level-0 unit literals exchanged between
+	// clones during those runs.
+	PortfolioRuns int64
+	PortfolioWins int64
+	UnitsImported int64
+	UnitsExported int64
 	// EnumQueries counts queries answered by exhaustive enumeration
 	// rather than SAT (the small-width fast path).
 	EnumQueries int64
@@ -114,6 +124,10 @@ func (s *Stats) Add(o Stats) {
 	s.Learned += o.Learned
 	s.Exhausted += o.Exhausted
 	s.Pruned += o.Pruned
+	s.PortfolioRuns += o.PortfolioRuns
+	s.PortfolioWins += o.PortfolioWins
+	s.UnitsImported += o.UnitsImported
+	s.UnitsExported += o.UnitsExported
 	s.EnumQueries += o.EnumQueries
 	s.GatesBuilt += o.GatesBuilt
 	s.GatesDeduped += o.GatesDeduped
@@ -135,12 +149,21 @@ func (s *Stats) addCircuit(cs bitblast.CircuitStats) {
 const DefaultConflictBudget = 200000
 
 // DefaultEnumCutoff is the summed-input-width at or below which NewEngine
-// prefers exhaustive enumeration over bit-blasting: at ≤ 2^8 evaluations
-// an interpreter sweep undercuts even a single CNF construction. Measured
-// on the Table-1 corpus the break-even sits at 8–10 summed bits — beyond
-// that the 2^n interpreter sweeps (worst at demanded bits, which evaluates
-// the whole space once per input variable) dwarf the incremental SAT path.
-const DefaultEnumCutoff = 8
+// prefers exhaustive enumeration over bit-blasting. The bit-sliced
+// evaluator sweeps 64 inputs per call, so a full 2^14 pass costs ~256
+// block evaluations — still cheaper than a single CNF construction. On
+// the Table-1 corpus the break-even for the sliced sweeps sits at 14–16
+// summed bits (the scalar interpreter's was 8–10); demanded bits, the
+// worst case, now pays one 64-lane sweep per input variable instead of a
+// scalar sweep per variable bit.
+const DefaultEnumCutoff = 14
+
+// DefaultPortfolio is the clone count for the portfolio escalation of
+// hard SAT queries (sat.Solver.Portfolio). Three clones cover the three
+// classic diversification axes — the parent's own trajectory, a
+// random-phase restart-happy explorer, and an activity-jittered variant —
+// while staying well inside the worker-parallel campaign's core budget.
+const DefaultPortfolio = 3
 
 // Config parameterizes NewEngine.
 type Config struct {
@@ -157,6 +180,13 @@ type Config struct {
 	// below the cutoff to the enumeration engine. 0 selects
 	// DefaultEnumCutoff; negative disables the fast path entirely.
 	EnumCutoff int
+	// Portfolio is the clone count for hard-query portfolio solving.
+	// 0 selects DefaultPortfolio; negative disables the portfolio (the
+	// -no-portfolio ablation), mirroring the EnumCutoff convention.
+	Portfolio int
+	// PortfolioAfter overrides the conflict threshold before a query
+	// escalates to the portfolio (0 selects sat.DefaultPortfolioAfter).
+	PortfolioAfter int64
 }
 
 // NewEngine selects the fastest engine for f under cfg: the enumeration
@@ -181,6 +211,11 @@ func NewEngine(f *ir.Function, cfg Config) Engine {
 	e.Deadline = cfg.Deadline
 	e.Ctx = cfg.Ctx
 	e.NoStrash = cfg.NoStrash
+	e.Portfolio = cfg.Portfolio
+	if e.Portfolio == 0 {
+		e.Portfolio = DefaultPortfolio
+	}
+	e.PortfolioAfter = cfg.PortfolioAfter
 	return e
 }
 
@@ -215,6 +250,17 @@ type SATEngine struct {
 	// NoStrash disables structural hashing in the bit-blaster — the
 	// ablation path cross-checked against the default strashed circuits.
 	NoStrash bool
+
+	// Portfolio is the clone count passed to every solver this engine
+	// creates (sat.Solver.Portfolio): queries still undecided after
+	// sat.DefaultPortfolioAfter conflicts escalate to that many perturbed
+	// clones racing in parallel. Values below 2 keep solving sequential.
+	// NewSAT leaves it 0 (off); NewEngine resolves the Config default.
+	Portfolio int
+
+	// PortfolioAfter overrides the per-query conflict threshold before the
+	// portfolio engages (0 selects sat.DefaultPortfolioAfter).
+	PortfolioAfter int64
 
 	// Deadline, when non-zero, bounds the total dataflow computation per
 	// expression — the paper's five-minute cap (§4.1). Queries issued
@@ -279,7 +325,30 @@ func endQuery(sp *trace.Span, s *sat.Solver, before sat.Stats, st sat.Status) {
 	sp.SetInt("learned", d.Learned)
 	sp.SetInt("vars", now.Vars)
 	sp.SetInt("clauses", now.Clauses)
+	if d.PortfolioRuns > 0 {
+		sp.SetInt("portfolio-runs", d.PortfolioRuns)
+		sp.SetInt("portfolio-winner", now.LastWinner)
+		sp.SetInt("units-imported", d.UnitsImported)
+		sp.SetInt("units-exported", d.UnitsExported)
+	}
 	sp.End()
+}
+
+// cloneWinsTotal sums a sat stats delta's per-clone win histogram — the
+// number of portfolio runs in the delta that a clone answered.
+func cloneWinsTotal(d sat.Stats) int64 {
+	var n int64
+	for _, w := range d.CloneWins {
+		n += w
+	}
+	return n
+}
+
+// armPortfolio applies the engine's portfolio policy to a solver it is
+// about to search on.
+func (e *SATEngine) armPortfolio(s *sat.Solver) {
+	s.Portfolio = e.Portfolio
+	s.PortfolioAfter = e.PortfolioAfter
 }
 
 // NewSAT returns a SAT-backed engine. budget <= 0 selects
@@ -371,6 +440,7 @@ func (e *SATEngine) query(name, class string, pred func(c *bitblast.Circuit, b *
 	s := sat.New()
 	s.ConflictBudget = e.remaining()
 	e.armAbort(s)
+	e.armPortfolio(s)
 	b := e.blast(s)
 	cond := b.C.And(b.WellDefined, pred(b.C, b))
 	s.AddClause(cond)
@@ -396,6 +466,10 @@ func (e *SATEngine) addSolve(st sat.Stats) {
 	e.stats.Decisions += st.Decisions
 	e.stats.Restarts += st.Restarts
 	e.stats.Learned += st.Learned
+	e.stats.PortfolioRuns += st.PortfolioRuns
+	e.stats.PortfolioWins += cloneWinsTotal(st)
+	e.stats.UnitsImported += st.UnitsImported
+	e.stats.UnitsExported += st.UnitsExported
 }
 
 // Feasible implements Engine.
@@ -516,6 +590,7 @@ func (e *SATEngine) ForcedBitMatters(v *ir.Inst, bit uint, val bool) (bool, bool
 	s := sat.New()
 	s.ConflictBudget = e.remaining()
 	e.armAbort(s)
+	e.armPortfolio(s)
 	b1 := e.blast(s)
 	c := b1.C
 
@@ -552,10 +627,10 @@ func (e *SATEngine) ForcedBitMatters(v *ir.Inst, bit uint, val bool) (bool, bool
 // instead of a fresh 2^inputs interpreter sweep; demanded-bits queries
 // similarly compute one per-variable matrix in a single pass.
 type EnumEngine struct {
-	f     *ir.Function
-	prog  *eval.Program
-	stats Stats
-	span  *trace.Span
+	f      *ir.Function
+	sliced *eval.SlicedProgram
+	stats  Stats
+	span   *trace.Span
 
 	// Ctx, when non-nil, cancels enumeration: queries issued after it is
 	// done (or interrupted mid-sweep) return not-ok, counted exhausted.
@@ -570,16 +645,18 @@ type EnumEngine struct {
 	demanded   map[*ir.Inst][]bool
 }
 
-// enumCancelCheckEvery is how many evaluations pass between context polls
-// during an enumeration sweep.
-const enumCancelCheckEvery = 4096
+// enumCancelBlockMask polls the context every 64 sliced blocks (4096
+// evaluations) during an enumeration sweep.
+const enumCancelBlockMask = 63
 
-// NewEnum returns an enumeration-backed engine.
+// NewEnum returns an enumeration-backed engine. Sweeps run on the
+// bit-sliced evaluator: 64 input vectors per call, so the whole space
+// costs 2^total/64 block evaluations.
 func NewEnum(f *ir.Function) *EnumEngine {
 	if eval.TotalInputBits(f) > eval.MaxEnumBits {
 		panic("solver: function too wide for EnumEngine")
 	}
-	return &EnumEngine{f: f, prog: eval.Compile(f)}
+	return &EnumEngine{f: f, sliced: eval.CompileSliced(f)}
 }
 
 // Stats returns cumulative counters.
@@ -636,23 +713,47 @@ func (e *EnumEngine) ensureOutputs(parent *trace.Span) bool {
 		return false
 	}
 	sweep := parent.Child(trace.KindIter, "enum-sweep")
-	seen := make(map[uint64]bool)
+	w := e.f.Root.Width
+	count := uint64(1) << eval.TotalInputBits(e.f)
+	// Dedup through a bitset: the root is at most 64 bits wide, but any
+	// enumerable function's achievable-output count is bounded by the
+	// input count, so a map fallback only matters for wide roots.
+	var seenSet []uint64
+	var seenMap map[uint64]bool
+	if w <= 16 {
+		seenSet = make([]uint64, (uint64(1)<<w+63)/64)
+	} else {
+		seenMap = make(map[uint64]bool)
+	}
 	var outs []apint.Int
-	n, ok := 0, true
-	eval.ForEachInput(e.f, func(env eval.Env) bool {
-		n++
-		if n&(enumCancelCheckEvery-1) == 0 && e.cancelled() {
+	var n int64
+	ok := true
+	for base, blocks := uint64(0), 0; base < count; base += 64 {
+		if blocks++; blocks&enumCancelBlockMask == 0 && e.cancelled() {
 			ok = false
-			return false
+			break
 		}
-		if v, defined := e.prog.Eval(env); defined && !seen[v.Uint64()] {
-			seen[v.Uint64()] = true
-			outs = append(outs, v)
+		planes, okm := e.sliced.EvalIndexed(base)
+		n += 64
+		for ; okm != 0; okm &= okm - 1 {
+			l := uint(mathbits.TrailingZeros64(okm))
+			v := eval.Lane(planes, l)
+			if seenSet != nil {
+				if seenSet[v>>6]>>(v&63)&1 == 1 {
+					continue
+				}
+				seenSet[v>>6] |= 1 << (v & 63)
+			} else {
+				if seenMap[v] {
+					continue
+				}
+				seenMap[v] = true
+			}
+			outs = append(outs, apint.New(w, v))
 		}
-		return true
-	})
+	}
 	if sweep != nil {
-		sweep.SetInt("evals", int64(n))
+		sweep.SetInt("evals", n)
 		sweep.End()
 	}
 	if !ok {
@@ -757,12 +858,14 @@ func (e *EnumEngine) ForcedBitMatters(v *ir.Inst, bit uint, val bool) (bool, boo
 	return m[bit], true
 }
 
-// demandedFor computes, in one pass over the input space, whether each bit
-// of v can change the output: for every well-defined input with the bit
-// clear, evaluate the bit-set sibling and compare. Visiting each
-// {bit=0, bit=1} pair exactly once from its bit=0 side halves the work; a
-// pair with either side ill-defined never counts, matching the two-copy
-// well-definedness condition of Algorithm 2.
+// demandedFor computes whether each bit of v can change the output: a bit
+// is demanded iff some pair of well-defined inputs differing only in that
+// bit produces different outputs (the two-copy well-definedness condition
+// of Algorithm 2). On the sliced evaluator a bit's two sides are either
+// lanes of the same block (packed position < 6: one sweep decides all
+// such bits via in-register butterflies) or corresponding lanes of two
+// sibling blocks (position ≥ 6: one sweep per bit over the bit-clear half
+// of the space, evaluating each sibling pair once).
 func (e *EnumEngine) demandedFor(parent *trace.Span, v *ir.Inst) ([]bool, bool) {
 	if m, ok := e.demanded[v]; ok {
 		return m, true
@@ -772,37 +875,105 @@ func (e *EnumEngine) demandedFor(parent *trace.Span, v *ir.Inst) ([]bool, bool) 
 	}
 	sweep := parent.Child(trace.KindIter, "demanded-sweep")
 	sweep.SetStr("var", v.Name)
+
+	var varOff uint // packed-index offset of v's bits (LSB-first layout)
+	for _, u := range e.f.Vars {
+		if u == v {
+			break
+		}
+		varOff += u.Width
+	}
+	count := uint64(1) << eval.TotalInputBits(e.f)
 	m := make([]bool, v.Width)
 	undecided := int(v.Width) // bits not yet proven demanded
-	n, ok := 0, true
-	eval.ForEachInput(e.f, func(env eval.Env) bool {
-		n++
-		if n&(enumCancelCheckEvery-1) == 0 && e.cancelled() {
-			ok = false
-			return false
+	var n int64
+	ok := true
+
+	// Pass 1: bits whose packed position lands inside a block. The
+	// sibling of lane l is lane l^(1<<pos) of the same block, so one
+	// sweep decides every such bit at once.
+	if lowBits := int(6 - varOff); lowBits > 0 {
+		if lowBits > int(v.Width) {
+			lowBits = int(v.Width)
 		}
-		orig, defined := e.prog.Eval(env)
-		if !defined {
-			return true
-		}
-		saved := env[v]
-		for bit := uint(0); bit < v.Width; bit++ {
-			if m[bit] || saved.Bit(bit) {
+		lowUndecided := lowBits
+		for base, blocks := uint64(0), 0; base < count && lowUndecided > 0; base += 64 {
+			if blocks++; blocks&enumCancelBlockMask == 0 && e.cancelled() {
+				ok = false
+				break
+			}
+			planes, okm := e.sliced.EvalIndexed(base)
+			n += 64
+			if okm == 0 {
 				continue
 			}
-			env[v] = saved.SetBit(bit)
-			if flipped, definedF := e.prog.Eval(env); definedF && orig.Ne(flipped) {
-				m[bit] = true
-				undecided--
+			for bit := uint(0); bit < uint(lowBits); bit++ {
+				if m[bit] {
+					continue
+				}
+				pos := varOff + bit
+				d := uint(1) << pos
+				mSet := eval.LaneIndex[pos]
+				okSib := ((okm >> d) &^ mSet) | ((okm << d) & mSet)
+				both := okm & okSib
+				if both == 0 {
+					continue
+				}
+				var diff uint64
+				for _, p := range planes {
+					q := ((p >> d) &^ mSet) | ((p << d) & mSet)
+					diff |= p ^ q
+				}
+				if diff&both != 0 {
+					m[bit] = true
+					undecided--
+					lowUndecided--
+				}
 			}
 		}
-		env[v] = saved
-		// Once every bit is proven demanded no further input can change
-		// the matrix — stop the sweep early.
-		return undecided > 0
-	})
+	}
+
+	// Pass 2: bits at packed positions ≥ 6 pair corresponding lanes of
+	// sibling blocks base and base^(1<<pos); visit each pair once from
+	// the bit-clear side. EvalIndexed reuses its buffers, so block A's
+	// root and ok mask are copied out before evaluating block B.
+	rootA := make([]uint64, e.f.Root.Width)
+	blocks := 0
+	for bit := uint(0); ok && undecided > 0 && bit < v.Width; bit++ {
+		pos := varOff + bit
+		if pos < 6 || m[bit] {
+			continue
+		}
+		step := uint64(1) << pos
+	pairSweep:
+		for hi := uint64(0); hi < count && !m[bit]; hi += 2 * step {
+			for base := hi; base < hi+step && !m[bit]; base += 64 {
+				if blocks++; blocks&(enumCancelBlockMask>>1) == 0 && e.cancelled() {
+					ok = false
+					break pairSweep
+				}
+				pA, okA := e.sliced.EvalIndexed(base)
+				copy(rootA, pA)
+				pB, okB := e.sliced.EvalIndexed(base ^ step)
+				n += 128
+				both := okA & okB
+				if both == 0 {
+					continue
+				}
+				var diff uint64
+				for i, p := range pB {
+					diff |= rootA[i] ^ p
+				}
+				if diff&both != 0 {
+					m[bit] = true
+					undecided--
+				}
+			}
+		}
+	}
+
 	if sweep != nil {
-		sweep.SetInt("evals", int64(n))
+		sweep.SetInt("evals", n)
 		sweep.End()
 	}
 	if !ok {
