@@ -6,14 +6,16 @@ GO ?= go
 .PHONY: check fmt vet lint build test race race-all bench bench-json
 
 # The packages with real concurrency: the comparator worker pool (which
-# now also runs the consistency lint), the absint verifier worker pool,
-# the engine's cross-goroutine cancellation, the SAT portfolio's racing
-# clones, the bit-sliced evaluator both pools share, the campaign loop,
-# the metrics instruments, and the cache. The full suite under the race
-# detector is the race-all target; it takes many minutes.
+# now also runs the consistency lint and the n-way cross-check), the
+# absint verifier worker pool, the engine's cross-goroutine cancellation,
+# the SAT portfolio's racing clones, the bit-sliced evaluator both pools
+# share, the campaign loop, the metrics instruments, the cache, and the
+# n-way/reducer packages the worker pool calls into. The full suite under
+# the race detector is the race-all target; it takes many minutes.
 RACE_PKGS = ./internal/compare ./internal/solver ./internal/sat \
             ./internal/campaign ./internal/metrics ./internal/rescache \
-            ./internal/trace ./internal/absint ./internal/eval
+            ./internal/trace ./internal/absint ./internal/eval \
+            ./internal/nway ./internal/reduce
 
 check: fmt lint build race
 

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -57,6 +58,11 @@ func parseBench(r io.Reader) (map[string]map[string]float64, error) {
 			if err != nil {
 				return nil, fmt.Errorf("bad value %q in line %q", fields[i], line)
 			}
+			// json.Marshal rejects NaN/Inf outright; catch them here with
+			// the offending line so the artifact is never half-written.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("non-finite value %q in line %q", fields[i], line)
+			}
 			m[fields[i+1]] = v
 		}
 		out[name] = m
@@ -81,11 +87,23 @@ func loadSection(file, section string) (map[string]map[string]float64, error) {
 	return sec, nil
 }
 
+// usableBaseline reports whether an old-artifact ns/op can serve as a
+// ratio denominator: present, finite, and positive. A zero or NaN
+// baseline would print a +Inf/NaN "speedup", which then gets pasted into
+// PR descriptions as if it meant something.
+func usableBaseline(m map[string]float64) bool {
+	v, ok := m["ns/op"]
+	return ok && !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0
+}
+
 // compareArtifacts prints the per-benchmark speedup of newFile over
 // oldFile (same section in both): ratios above 1 mean the new recording
-// is faster. Benchmarks present in only one artifact are listed but not
-// compared.
-func compareArtifacts(oldFile, newFile, section string) error {
+// is faster. Benchmarks whose baseline is missing or unusable (absent
+// entry, zero or non-finite ns/op) are marked "baseline-missing" and make
+// the comparison fail, so CI can't silently report speedups against a
+// truncated or corrupt baseline artifact; benchmarks that disappeared
+// from the new recording are listed as "gone" but are not an error.
+func compareArtifacts(w io.Writer, oldFile, newFile, section string) error {
 	oldSec, err := loadSection(oldFile, section)
 	if err != nil {
 		return err
@@ -105,20 +123,28 @@ func compareArtifacts(oldFile, newFile, section string) error {
 	}
 	sort.Strings(names)
 
-	fmt.Printf("%-45s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "speedup")
+	missing := 0
+	fmt.Fprintf(w, "%-45s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "speedup")
 	for _, n := range names {
 		o, inOld := oldSec[n]
 		c, inNew := newSec[n]
 		switch {
 		case !inOld:
-			fmt.Printf("%-45s %14s %14.0f %9s\n", n, "-", c["ns/op"], "new")
+			missing++
+			fmt.Fprintf(w, "%-45s %14s %14.0f %9s\n", n, "-", c["ns/op"], "baseline-missing")
 		case !inNew:
-			fmt.Printf("%-45s %14.0f %14s %9s\n", n, o["ns/op"], "-", "gone")
+			fmt.Fprintf(w, "%-45s %14.0f %14s %9s\n", n, o["ns/op"], "-", "gone")
+		case !usableBaseline(o):
+			missing++
+			fmt.Fprintf(w, "%-45s %14.0f %14.0f %9s\n", n, o["ns/op"], c["ns/op"], "baseline-missing")
 		case c["ns/op"] == 0:
-			fmt.Printf("%-45s %14.0f %14.0f %9s\n", n, o["ns/op"], c["ns/op"], "?")
+			fmt.Fprintf(w, "%-45s %14.0f %14.0f %9s\n", n, o["ns/op"], c["ns/op"], "?")
 		default:
-			fmt.Printf("%-45s %14.0f %14.0f %8.2fx\n", n, o["ns/op"], c["ns/op"], o["ns/op"]/c["ns/op"])
+			fmt.Fprintf(w, "%-45s %14.0f %14.0f %8.2fx\n", n, o["ns/op"], c["ns/op"], o["ns/op"]/c["ns/op"])
 		}
+	}
+	if missing > 0 {
+		return fmt.Errorf("%d benchmark(s) lack a usable baseline in %s", missing, oldFile)
 	}
 	return nil
 }
@@ -133,7 +159,7 @@ func main() {
 	flag.Parse()
 
 	if *compare != "" {
-		if err := compareArtifacts(*compare, *outFile, *section); err != nil {
+		if err := compareArtifacts(os.Stdout, *compare, *outFile, *section); err != nil {
 			fmt.Fprintln(os.Stderr, "bench-json:", err)
 			os.Exit(1)
 		}

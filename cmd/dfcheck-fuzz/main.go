@@ -68,6 +68,9 @@ func main() {
 		enumCut    = flag.Int("enum-cutoff", 0, "summed input bits at or below which expressions are enumerated instead of solved (0 = default, negative disables)")
 		portfolio  = flag.Int("portfolio", 0, "clones racing each hard SAT query with clause sharing (0 = default, 1 or negative disables)")
 		noPortf    = flag.Bool("no-portfolio", false, "ablation: disable portfolio solving (same as -portfolio=-1)")
+		portfSeed  = flag.Int64("portfolio-seed", 0, "perturbation seed for portfolio clone heuristics (result-equivalent: not part of cache keys or checkpoint fingerprints)")
+		nwayMode   = flag.Bool("nway", false, "n-way differential mode: cross-check all analyzer variants per expression and escalate to the SAT oracle only on disagreement")
+		reduceMode = flag.Bool("reduce", false, "shrink every finding to a 1-minimal reproducer preserving its finding kind (delta debugging)")
 		httpAddr   = flag.String("http", "", "serve the debug server on this address (e.g. :8125): expvar metrics at /debug/vars, pprof profiles at /debug/pprof/)")
 		traceFile  = flag.String("trace", "", "write a Chrome trace-event JSON span trace to this file (open in Perfetto, aggregate with trace-report)")
 		traceMaxMB = flag.Int64("trace-max-mb", 256, "rotate the trace file when it exceeds this many MiB (0 = unbounded)")
@@ -119,16 +122,19 @@ func main() {
 			Bugs:   llvmport.BugConfig{NonZeroAdd: *bug1, SRemSignBits: *bug2, SRemKnownBits: *bug3},
 			Modern: *modern,
 		},
-		Budget:      *budget,
-		Workers:     *workers,
-		ExprTimeout: *exprCap,
-		Metrics:     reg,
-		Tracer:      tracer,
-		NoStrash:    *noStrash,
-		NoSeed:      *noSeed,
-		EnumCutoff:  *enumCut,
-		Portfolio:   *portfolio,
-		Consistency: *consist && !*noConsist,
+		Budget:        *budget,
+		Workers:       *workers,
+		ExprTimeout:   *exprCap,
+		Metrics:       reg,
+		Tracer:        tracer,
+		NoStrash:      *noStrash,
+		NoSeed:        *noSeed,
+		EnumCutoff:    *enumCut,
+		Portfolio:     *portfolio,
+		PortfolioSeed: *portfSeed,
+		Consistency:   *consist && !*noConsist,
+		NWay:          *nwayMode,
+		Reduce:        *reduceMode,
 	}
 	if *noPortf {
 		c.Portfolio = -1
@@ -220,6 +226,12 @@ func main() {
 	}
 	fmt.Fprintln(os.Stderr, "metrics:", reg.String())
 
+	if nw := camp.Totals.NWay; nw != nil {
+		// One stable line for scripts (CI asserts escalations stay below
+		// comparisons, i.e. the pre-filter actually filters).
+		fmt.Printf("\nnway: %d exprs (%d agreed, %d escalated, %d dead); %d comparisons, %d disagreements, %d contradictions\n",
+			nw.Exprs, nw.Agreed, nw.Escalated, nw.Dead, nw.Comparisons, nw.Disagreements, nw.Contradictions)
+	}
 	fmt.Printf("\ntotal: %d batches, %d expressions, %d soundness findings\n",
 		camp.Totals.Batches, camp.Totals.Exprs, len(camp.Totals.Findings))
 	if runErr != nil {

@@ -45,6 +45,9 @@ func main() {
 		enumCut   = flag.Int("enum-cutoff", 0, "summed input bits at or below which expressions are enumerated instead of solved (0 = default, negative disables)")
 		portfolio = flag.Int("portfolio", 0, "clones racing each hard SAT query with clause sharing (0 = default, 1 or negative disables)")
 		noPortf   = flag.Bool("no-portfolio", false, "ablation: disable portfolio solving (same as -portfolio=-1)")
+		portfSeed = flag.Int64("portfolio-seed", 0, "perturbation seed for portfolio clone heuristics (result-equivalent: not part of cache keys)")
+		nwayMode  = flag.Bool("nway", false, "n-way differential mode: cross-check all analyzer variants per expression and escalate to the SAT oracle only on disagreement")
+		reduceF   = flag.Bool("reduce", false, "shrink every finding to a 1-minimal reproducer preserving its finding kind (delta debugging)")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON span trace to this file (open in Perfetto, aggregate with trace-report)")
 		traceMax  = flag.Int64("trace-max-mb", 256, "rotate the trace file when it exceeds this many MiB (0 = unbounded)")
 	)
@@ -120,15 +123,18 @@ func main() {
 			Bugs:   llvmport.BugConfig{NonZeroAdd: *bug1, SRemSignBits: *bug2, SRemKnownBits: *bug3},
 			Modern: *modern,
 		},
-		Budget:      *budget,
-		Workers:     *workers,
-		ExprTimeout: *exprCap,
-		NoStrash:    *noStrash,
-		NoSeed:      *noSeed,
-		EnumCutoff:  *enumCut,
-		Portfolio:   *portfolio,
-		Tracer:      tracer,
-		Consistency: *consist && !*noConsist,
+		Budget:        *budget,
+		Workers:       *workers,
+		ExprTimeout:   *exprCap,
+		NoStrash:      *noStrash,
+		NoSeed:        *noSeed,
+		EnumCutoff:    *enumCut,
+		Portfolio:     *portfolio,
+		PortfolioSeed: *portfSeed,
+		Tracer:        tracer,
+		Consistency:   *consist && !*noConsist,
+		NWay:          *nwayMode,
+		Reduce:        *reduceF,
 	}
 	if *noPortf {
 		c.Portfolio = -1

@@ -84,6 +84,9 @@ type Totals struct {
 	// ConsistencyChecks accumulates the cross-domain lint checks run by
 	// batches with the consistency lint enabled.
 	ConsistencyChecks int
+	// NWay accumulates the n-way pre-filter totals of batches run with
+	// -nway (nil when the mode was never on).
+	NWay *compare.NWayStats
 }
 
 func newTotals() Totals {
@@ -113,6 +116,18 @@ func (t *Totals) add(rep *compare.Report, exprs int) {
 	}
 	t.Findings = append(t.Findings, rep.Findings...)
 	t.ConsistencyChecks += rep.ConsistencyChecks
+	if rep.NWay != nil {
+		if t.NWay == nil {
+			t.NWay = &compare.NWayStats{}
+		}
+		t.NWay.Exprs += rep.NWay.Exprs
+		t.NWay.Agreed += rep.NWay.Agreed
+		t.NWay.Escalated += rep.NWay.Escalated
+		t.NWay.Dead += rep.NWay.Dead
+		t.NWay.Comparisons += rep.NWay.Comparisons
+		t.NWay.Disagreements += rep.NWay.Disagreements
+		t.NWay.Contradictions += rep.NWay.Contradictions
+	}
 }
 
 // Campaign is one (possibly resumed) run of the testing loop.
@@ -209,6 +224,10 @@ func (c *Campaign) emitBatch(b int, rep *compare.Report, exprs int, elapsed time
 	if rep.ConsistencyChecks > 0 {
 		ev["consistency_checks"] = rep.ConsistencyChecks
 	}
+	if rep.NWay != nil {
+		ev["nway_agreed"] = rep.NWay.Agreed
+		ev["nway_escalated"] = rep.NWay.Escalated
+	}
 	c.Events.Emit("batch", ev)
 	if c.Progress != nil {
 		fmt.Fprintf(c.Progress, "batch %4d seed %8d: %4d exprs, %2d findings, %3d exhausted, %6.1f exprs/min\n",
@@ -225,13 +244,16 @@ func (c *Campaign) emitBatch(b int, rep *compare.Report, exprs int, elapsed time
 func (c *Campaign) emitFindings(b int, rep *compare.Report) {
 	for _, f := range rep.Findings {
 		label, kind := "SOUNDNESS", compare.FindingSoundness
-		if f.Kind == compare.FindingInconsistent {
+		switch f.Kind {
+		case compare.FindingInconsistent:
 			label, kind = "INCONSISTENT", compare.FindingInconsistent
+		case compare.FindingVariant:
+			label, kind = "NWAY", compare.FindingVariant
 		}
 		if c.Progress != nil {
 			fmt.Fprintf(c.Progress, "=== %s FINDING (batch %d, %s) ===\n%s\n", label, b, f.ExprName, f)
 		}
-		c.Events.Emit("finding", map[string]any{
+		ev := map[string]any{
 			"batch":       b,
 			"seed":        c.BatchSeed(b),
 			"expr":        f.ExprName,
@@ -241,7 +263,12 @@ func (c *Campaign) emitFindings(b int, rep *compare.Report) {
 			"oracle_fact": f.Result.OracleFact,
 			"llvm_fact":   f.Result.LLVMFact,
 			"source":      f.Source,
-		})
+		}
+		if f.Reduced != "" {
+			ev["reduced"] = f.Reduced
+			ev["reduce_steps"] = f.ReduceSteps
+		}
+		c.Events.Emit("finding", ev)
 	}
 }
 
@@ -308,5 +335,9 @@ func (c *Campaign) Report() *compare.Report {
 	}
 	rep.Findings = append(rep.Findings, c.Totals.Findings...)
 	rep.ConsistencyChecks = c.Totals.ConsistencyChecks
+	if c.Totals.NWay != nil {
+		cp := *c.Totals.NWay
+		rep.NWay = &cp
+	}
 	return rep
 }

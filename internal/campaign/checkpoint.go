@@ -38,14 +38,29 @@ type wireRow struct {
 type wireFinding struct {
 	Expr string `json:"expr"`
 	// Kind is "soundness" (oracle disagreement; also the meaning of an
-	// absent field in pre-consistency checkpoints) or "consistency"
-	// (cross-domain contradiction).
+	// absent field in pre-consistency checkpoints), "consistency"
+	// (cross-domain contradiction), or "nway" (variant contradiction).
 	Kind       string `json:"kind,omitempty"`
 	Source     string `json:"source"`
 	Analysis   string `json:"analysis"`
 	Var        string `json:"var,omitempty"`
 	OracleFact string `json:"oracle_fact"`
 	LLVMFact   string `json:"llvm_fact"`
+	// Reduced carries the 1-minimal reproducer when the campaign ran with
+	// the reducer enabled.
+	Reduced     string `json:"reduced,omitempty"`
+	ReduceSteps int    `json:"reduce_steps,omitempty"`
+}
+
+// wireNWay persists the cumulative n-way pre-filter totals.
+type wireNWay struct {
+	Exprs          int `json:"exprs"`
+	Agreed         int `json:"agreed"`
+	Escalated      int `json:"escalated"`
+	Dead           int `json:"dead"`
+	Comparisons    int `json:"comparisons"`
+	Disagreements  int `json:"disagreements"`
+	Contradictions int `json:"contradictions"`
 }
 
 type wireCheckpoint struct {
@@ -57,6 +72,7 @@ type wireCheckpoint struct {
 	Batches           int           `json:"batches_done"`
 	Exprs             int           `json:"exprs"`
 	ConsistencyChecks int           `json:"consistency_checks,omitempty"`
+	NWay              *wireNWay     `json:"nway,omitempty"`
 	Rows              []wireRow     `json:"rows"`
 	Findings          []wireFinding `json:"findings"`
 }
@@ -64,31 +80,39 @@ type wireCheckpoint struct {
 // Fingerprint renders every configuration knob that determines the
 // campaign's results. A checkpoint only resumes under the fingerprint it
 // was written with: resuming a -bug3 campaign without -bug3 would
-// silently change what the remaining batches test.
+// silently change what the remaining batches test — and the same holds
+// for the ablation flags (-no-seed, -no-strash, -enum-cutoff,
+// -portfolio, -portfolio-after) and the n-way/reducer modes, all of
+// which change which results and findings the remaining batches can
+// produce.
+//
+// Deliberately excluded, with the tests that justify each exclusion:
+// Workers (scheduling only; TestParallelRunMatchesSequential in
+// internal/compare) and PortfolioSeed (perturbs which portfolio clone
+// wins, never what it concludes; TestPortfolioSeedEquivalence in
+// internal/compare and TestCampaignPortfolioSeedEquivalence here).
 func (c *Campaign) Fingerprint() string {
 	var an llvmport.Analyzer
 	if c.Comparator != nil && c.Comparator.Analyzer != nil {
 		an = *c.Comparator.Analyzer
 	}
-	var budget int64
-	var exprTimeout time.Duration
-	if c.Comparator != nil {
-		budget = c.Comparator.Budget
-		exprTimeout = c.Comparator.ExprTimeout
+	cmp := c.Comparator
+	if cmp == nil {
+		cmp = &compare.Comparator{}
 	}
+	var budget int64 = cmp.Budget
+	var exprTimeout time.Duration = cmp.ExprTimeout
 	widths := ""
 	for _, w := range c.Widths {
 		widths += fmt.Sprintf("%d:%d,", w.Width, w.Weight)
 	}
-	consistency := false
-	if c.Comparator != nil {
-		consistency = c.Comparator.Consistency
-	}
 	return fmt.Sprintf("seed=%d;batches=%d;n=%d;max-insts=%d;widths=%s;max-width=%d;mutants=%d;canaries=%t;"+
-		"budget=%d;expr-timeout=%s;bug-nonzero=%t;bug-sremsign=%t;bug-sremknown=%t;modern=%t;consistency=%t",
+		"budget=%d;expr-timeout=%s;bug-nonzero=%t;bug-sremsign=%t;bug-sremknown=%t;modern=%t;consistency=%t;"+
+		"no-seed=%t;no-strash=%t;enum-cutoff=%d;portfolio=%d;portfolio-after=%d;nway=%t;reduce=%t",
 		c.Seed, c.Batches, c.NumExprs, c.MaxInsts, widths, c.MaxCastWidth, c.Mutants, c.Canaries,
 		budget, exprTimeout, an.Bugs.NonZeroAdd, an.Bugs.SRemSignBits, an.Bugs.SRemKnownBits, an.Modern,
-		consistency)
+		cmp.Consistency,
+		cmp.NoSeed, cmp.NoStrash, cmp.EnumCutoff, cmp.Portfolio, cmp.PortfolioAfter, cmp.NWay, cmp.Reduce)
 }
 
 // SaveCheckpoint writes the campaign state to path atomically: the file
@@ -105,6 +129,17 @@ func (c *Campaign) SaveCheckpoint(path string) error {
 		Findings:  []wireFinding{},
 
 		ConsistencyChecks: c.Totals.ConsistencyChecks,
+	}
+	if n := c.Totals.NWay; n != nil {
+		w.NWay = &wireNWay{
+			Exprs:          n.Exprs,
+			Agreed:         n.Agreed,
+			Escalated:      n.Escalated,
+			Dead:           n.Dead,
+			Comparisons:    n.Comparisons,
+			Disagreements:  n.Disagreements,
+			Contradictions: n.Contradictions,
+		}
 	}
 	for _, a := range harvest.AllAnalyses {
 		row := c.Totals.Rows[a]
@@ -127,13 +162,15 @@ func (c *Campaign) SaveCheckpoint(path string) error {
 			kind = compare.FindingSoundness
 		}
 		w.Findings = append(w.Findings, wireFinding{
-			Expr:       f.ExprName,
-			Kind:       string(kind),
-			Source:     f.Source,
-			Analysis:   string(f.Result.Analysis),
-			Var:        f.Result.Var,
-			OracleFact: f.Result.OracleFact,
-			LLVMFact:   f.Result.LLVMFact,
+			Expr:        f.ExprName,
+			Kind:        string(kind),
+			Source:      f.Source,
+			Analysis:    string(f.Result.Analysis),
+			Var:         f.Result.Var,
+			OracleFact:  f.Result.OracleFact,
+			LLVMFact:    f.Result.LLVMFact,
+			Reduced:     f.Reduced,
+			ReduceSteps: f.ReduceSteps,
 		})
 	}
 	data, err := json.MarshalIndent(w, "", "  ")
@@ -223,13 +260,18 @@ func (c *Campaign) Resume(path string) error {
 			kind = compare.FindingSoundness // pre-consistency checkpoints
 		}
 		outcome := compare.LLVMMorePrecise
-		if kind == compare.FindingInconsistent {
+		switch kind {
+		case compare.FindingInconsistent:
 			outcome = compare.Inconsistent
+		case compare.FindingVariant:
+			outcome = compare.VariantsContradict
 		}
 		t.Findings = append(t.Findings, compare.Finding{
-			ExprName: f.Expr,
-			Source:   f.Source,
-			Kind:     kind,
+			ExprName:    f.Expr,
+			Source:      f.Source,
+			Kind:        kind,
+			Reduced:     f.Reduced,
+			ReduceSteps: f.ReduceSteps,
 			Result: compare.Result{
 				Analysis:   harvest.Analysis(f.Analysis),
 				Outcome:    outcome,
@@ -238,6 +280,17 @@ func (c *Campaign) Resume(path string) error {
 				LLVMFact:   f.LLVMFact,
 			},
 		})
+	}
+	if w.NWay != nil {
+		t.NWay = &compare.NWayStats{
+			Exprs:          w.NWay.Exprs,
+			Agreed:         w.NWay.Agreed,
+			Escalated:      w.NWay.Escalated,
+			Dead:           w.NWay.Dead,
+			Comparisons:    w.NWay.Comparisons,
+			Disagreements:  w.NWay.Disagreements,
+			Contradictions: w.NWay.Contradictions,
+		}
 	}
 	c.Totals = t
 	c.NextBatch = w.NextBatch

@@ -20,7 +20,9 @@ import (
 	"dfcheck/internal/ir"
 	"dfcheck/internal/llvmport"
 	"dfcheck/internal/metrics"
+	"dfcheck/internal/nway"
 	"dfcheck/internal/oracle"
+	"dfcheck/internal/reduce"
 	"dfcheck/internal/rescache"
 	"dfcheck/internal/solver"
 	"dfcheck/internal/trace"
@@ -42,6 +44,12 @@ const (
 	// least one transfer function is unsound, detected with zero solver
 	// queries.
 	Inconsistent
+	// VariantsContradict marks two analyzer variants whose facts for the
+	// same live value cannot both be sound (n-way differential mode): the
+	// concretizations are disjoint, or one claim is strictly stronger
+	// than exhaustively computed exact facts. Like Inconsistent, it is
+	// established without any solver query.
+	VariantsContradict
 )
 
 func (o Outcome) String() string {
@@ -56,6 +64,8 @@ func (o Outcome) String() string {
 		return "resource exhaustion"
 	case Inconsistent:
 		return "inconsistent domains"
+	case VariantsContradict:
+		return "variants contradict"
 	}
 	return "unknown"
 }
@@ -123,6 +133,12 @@ type Comparator struct {
 	// sat.DefaultPortfolioAfter).
 	Portfolio      int
 	PortfolioAfter int64
+	// PortfolioSeed perturbs the portfolio clones' decision heuristics.
+	// Reports are identical for every seed (clone results agree on
+	// SAT/UNSAT; only which clone wins the race varies), so the seed is
+	// excluded from cache keys and campaign fingerprints — a property
+	// locked in by the portfolio-determinism tests.
+	PortfolioSeed int64
 	// Tracer, when set, records a hierarchical span per run, expression,
 	// analysis, oracle iteration, and solver query (the -trace flag).
 	// Nil compiles to the untraced near-zero-cost path.
@@ -132,6 +148,20 @@ type Comparator struct {
 	// contradictions between the compiler's own domains surface as
 	// Inconsistent findings without costing a single oracle query.
 	Consistency bool
+	// NWay switches on the n-way differential pre-filter (internal/nway):
+	// every registered analyzer variant computes its facts, the facts are
+	// cross-checked pairwise per domain, and the oracle runs only on
+	// expressions where some pair disagrees. Contradictory pairs surface
+	// as VariantsContradict findings; agreeing expressions skip the
+	// oracle entirely, so Table 1 rows cover escalated expressions only
+	// (Report.NWay accounts for the rest).
+	NWay bool
+	// Reduce shrinks every finding to a 1-minimal expression preserving
+	// its finding kind (internal/reduce) and attaches the reduced source
+	// to the finding. Reduction re-runs the finding's check (oracle
+	// comparison, n-way cross-check, or consistency lint) per candidate,
+	// so it costs time proportional to finding count, not corpus size.
+	Reduce bool
 }
 
 // analysisOrder maps oracleSet.Elapsed indices to analysis names, in the
@@ -201,6 +231,7 @@ func (c *Comparator) newEngine(ctx context.Context, f *ir.Function, deadline tim
 		EnumCutoff:     c.EnumCutoff,
 		Portfolio:      c.Portfolio,
 		PortfolioAfter: c.PortfolioAfter,
+		PortfolioSeed:  c.PortfolioSeed,
 	})
 }
 
@@ -448,18 +479,88 @@ func (c *Comparator) CompareExpr(f *ir.Function) []Result {
 // interval and the remaining queries fail fast, so the expression still
 // comes back with well-formed (exhaustion-degraded) results promptly.
 func (c *Comparator) CompareExprContext(ctx context.Context, f *ir.Function) []Result {
-	results, _ := c.compareOne(ctx, f)
+	results, _, _ := c.compareOne(ctx, f)
 	return results
 }
 
-// compareOne runs the oracle comparison and, when enabled, the
-// cross-domain consistency lint; it additionally returns the number of
-// consistency checks performed.
-func (c *Comparator) compareOne(ctx context.Context, f *ir.Function) ([]Result, int) {
-	fa := c.Analyzer.Analyze(f)
-	results := c.classify(f, fa, c.computeOracle(ctx, f))
+// nwayExprStats is one expression's n-way pre-filter outcome.
+type nwayExprStats struct {
+	comparisons, disagreements, contradictions int
+	escalated, agreed, dead                    bool
+}
+
+// nwayCheck cross-checks all analyzer variants on f, returning the
+// pre-filter stats and the contradiction results (gated, like the
+// consistency lint, on the expression having a well-defined input: on
+// dead code arbitrary fact sets are vacuously sound).
+func (c *Comparator) nwayCheck(ctx context.Context, f *ir.Function) (*nwayExprStats, []Result) {
+	sp := trace.FromContext(ctx).Child(trace.KindAnalysis, "nway")
+	cmp := nway.Compare(f, nway.Variants(c.Analyzer))
+	st := &nwayExprStats{
+		comparisons:    cmp.Checks,
+		disagreements:  cmp.Disagreements,
+		contradictions: len(cmp.Contradictions),
+		escalated:      cmp.Escalate(),
+		dead:           cmp.Dead,
+	}
+	st.agreed = !cmp.Dead && !cmp.Escalate()
+	if sp != nil {
+		sp.SetInt("comparisons", int64(st.comparisons))
+		sp.SetInt("disagreements", int64(st.disagreements))
+		sp.SetInt("contradictions", int64(st.contradictions))
+		sp.End()
+	}
+	if c.Metrics != nil {
+		c.Metrics.Counter("nway_exprs").Inc()
+		c.Metrics.Counter("nway_comparisons").Add(int64(st.comparisons))
+		if st.escalated {
+			c.Metrics.Counter("nway_escalations").Inc()
+		}
+		if st.agreed {
+			c.Metrics.Counter("nway_agreed").Inc()
+		}
+	}
+	if len(cmp.Contradictions) == 0 || !hasWellDefinedInput(f) {
+		return st, nil
+	}
+	out := make([]Result, 0, len(cmp.Contradictions))
+	for _, cd := range cmp.Contradictions {
+		out = append(out, Result{
+			Analysis:   cd.Analysis,
+			Outcome:    VariantsContradict,
+			Var:        cd.A + " vs " + cd.B,
+			OracleFact: cd.AFact,
+			LLVMFact:   cd.BFact,
+		})
+	}
+	return st, out
+}
+
+// compareOne runs the per-expression pipeline: the n-way pre-filter when
+// enabled (skipping the oracle on agreement), the oracle comparison, and
+// the cross-domain consistency lint. It additionally returns the number
+// of consistency checks performed and the n-way stats (nil unless NWay).
+func (c *Comparator) compareOne(ctx context.Context, f *ir.Function) ([]Result, int, *nwayExprStats) {
+	var results []Result
+	var nw *nwayExprStats
+	runOracle := true
+	if c.NWay {
+		var nwResults []Result
+		nw, nwResults = c.nwayCheck(ctx, f)
+		results = nwResults
+		// Escalate to the oracle only when some variant pair disagreed;
+		// agreement (or a dead expression) leaves nothing to decide.
+		runOracle = nw.escalated
+	}
+	var fa *llvmport.Facts
+	if runOracle || c.Consistency {
+		fa = c.Analyzer.Analyze(f)
+	}
+	if runOracle {
+		results = append(c.classify(f, fa, c.computeOracle(ctx, f)), results...)
+	}
 	if !c.Consistency {
-		return results, 0
+		return results, 0, nw
 	}
 	sp := trace.FromContext(ctx).Child(trace.KindAnalysis, "consistency")
 	lint, checks := c.lintExpr(f, fa)
@@ -467,7 +568,7 @@ func (c *Comparator) compareOne(ctx context.Context, f *ir.Function) ([]Result, 
 		sp.SetInt("checks", int64(checks))
 		sp.End()
 	}
-	return append(results, lint...), checks
+	return append(results, lint...), checks, nw
 }
 
 // lintExpr cross-checks the compiler's own domain facts for one analyzed
@@ -652,15 +753,16 @@ func compareDemanded(o oracle.DemandedBitsResult, fa *llvmport.Facts, f *ir.Func
 	return out
 }
 
-// FindingKind separates the two ways a soundness bug surfaces: the
-// oracle disagreeing with the compiler, or the compiler's own domains
-// disagreeing with each other.
+// FindingKind separates the ways a soundness bug surfaces: the oracle
+// disagreeing with the compiler, the compiler's own domains disagreeing
+// with each other, or two analyzer variants contradicting each other.
 type FindingKind string
 
 // Finding kinds.
 const (
 	FindingSoundness    FindingKind = "soundness"   // LLVM claims more than the oracle allows
 	FindingInconsistent FindingKind = "consistency" // two LLVM domains contradict each other
+	FindingVariant      FindingKind = "nway"        // two analyzer variants contradict each other
 )
 
 // Finding is a soundness-bug report, printed the way §4.7 shows them.
@@ -669,18 +771,34 @@ type Finding struct {
 	Source   string
 	Kind     FindingKind
 	Result   Result
+	// Reduced is the 1-minimal expression still triggering this finding
+	// kind, set when the comparator ran with Reduce; ReduceSteps counts
+	// the accepted shrinking transformations that produced it.
+	Reduced     string
+	ReduceSteps int
 }
 
 // String renders the finding in the paper's report format. Consistency
 // findings name the contradicting instruction (Result.Var) and the
-// contradiction itself (Result.LLVMFact).
+// contradiction itself (Result.LLVMFact); n-way findings name the
+// contradicting variant pair (Result.Var) and both claims.
 func (f Finding) String() string {
-	if f.Kind == FindingInconsistent {
-		return fmt.Sprintf("%s\nconsistency: %s: %s\ndomains are contradictory\n",
+	var s string
+	switch f.Kind {
+	case FindingInconsistent:
+		s = fmt.Sprintf("%s\nconsistency: %s: %s\ndomains are contradictory\n",
 			f.Source, f.Result.Var, f.Result.LLVMFact)
+	case FindingVariant:
+		s = fmt.Sprintf("%s\nnway %s (%s): %s vs %s\nvariants are contradictory\n",
+			f.Source, f.Result.Analysis, f.Result.Var, f.Result.OracleFact, f.Result.LLVMFact)
+	default:
+		s = fmt.Sprintf("%s\n%s from our tool: %s\n%s from llvm: %s\nllvm is stronger\n",
+			f.Source, f.Result.Analysis, f.Result.OracleFact, f.Result.Analysis, f.Result.LLVMFact)
 	}
-	return fmt.Sprintf("%s\n%s from our tool: %s\n%s from llvm: %s\nllvm is stronger\n",
-		f.Source, f.Result.Analysis, f.Result.OracleFact, f.Result.Analysis, f.Result.LLVMFact)
+	if f.Reduced != "" {
+		s += fmt.Sprintf("reduced (%d steps):\n%s\n", f.ReduceSteps, f.Reduced)
+	}
+	return s
 }
 
 // Row aggregates Table 1 counts for one analysis.
@@ -719,6 +837,37 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// NWayStats summarizes the n-way pre-filter over a run: how many
+// expressions agreed (and therefore skipped the oracle entirely), how
+// many escalated, and the pairwise comparison volume behind that.
+type NWayStats struct {
+	// Exprs counts expressions cross-checked; Agreed + Escalated + Dead
+	// partition it.
+	Exprs, Agreed, Escalated, Dead int
+	// Comparisons counts the per-domain pairwise fact comparisons;
+	// Disagreements the non-equivalent ones; Contradictions the subset no
+	// pair of sound analyzers could produce.
+	Comparisons, Disagreements, Contradictions int
+}
+
+func (s *NWayStats) add(e *nwayExprStats) {
+	if s == nil || e == nil {
+		return
+	}
+	s.Exprs++
+	s.Comparisons += e.comparisons
+	s.Disagreements += e.disagreements
+	s.Contradictions += e.contradictions
+	switch {
+	case e.dead:
+		s.Dead++
+	case e.escalated:
+		s.Escalated++
+	default:
+		s.Agreed++
+	}
+}
+
 // Report is a full Table 1 run.
 type Report struct {
 	Rows     map[harvest.Analysis]*Row
@@ -726,6 +875,9 @@ type Report struct {
 	// ConsistencyChecks counts the cross-domain checks performed by the
 	// consistency lint (zero unless Comparator.Consistency).
 	ConsistencyChecks int
+	// NWay summarizes the n-way pre-filter (nil unless Comparator.NWay).
+	// In n-way mode the Table 1 rows cover escalated expressions only.
+	NWay *NWayStats
 	// Cache is set by cached runs (Comparator.Cache != nil).
 	Cache *CacheStats
 	// Interrupted is true when the run's context was cancelled before
@@ -749,10 +901,14 @@ func newReport() *Report {
 func (rep *Report) absorb(e harvest.Expr, results []Result) {
 	seen := map[harvest.Analysis]bool{}
 	for _, r := range results {
-		if r.Outcome == Inconsistent {
-			// Lint findings sit outside the Table 1 rows.
+		if r.Outcome == Inconsistent || r.Outcome == VariantsContradict {
+			// Lint and n-way findings sit outside the Table 1 rows.
+			kind := FindingInconsistent
+			if r.Outcome == VariantsContradict {
+				kind = FindingVariant
+			}
 			rep.Findings = append(rep.Findings, Finding{
-				ExprName: e.Name, Source: e.F.String(), Kind: FindingInconsistent, Result: r})
+				ExprName: e.Name, Source: e.F.String(), Kind: kind, Result: r})
 			continue
 		}
 		row := rep.Rows[r.Analysis]
@@ -837,24 +993,125 @@ func (c *Comparator) RunContext(ctx context.Context, corpus []harvest.Expr) *Rep
 	}
 	perExpr := make([][]Result, len(corpus))
 	perChecks := make([]int, len(corpus))
+	perNWay := make([]*nwayExprStats, len(corpus))
 	analyzed := make([]bool, len(corpus))
 	c.forEach(ctx, len(corpus), func(i int) {
-		perExpr[i], perChecks[i] = c.compareOne(ctx, corpus[i].F)
+		perExpr[i], perChecks[i], perNWay[i] = c.compareOne(ctx, corpus[i].F)
 		analyzed[i] = true
 	})
 
 	rep := newReport()
+	if c.NWay {
+		rep.NWay = &NWayStats{}
+	}
 	for i, e := range corpus {
 		if !analyzed[i] {
 			rep.Skipped++
 			continue
 		}
 		rep.ConsistencyChecks += perChecks[i]
+		rep.NWay.add(perNWay[i])
 		rep.absorb(e, perExpr[i])
 	}
 	rep.Interrupted = rep.Skipped > 0
+	if c.Reduce {
+		c.reduceFindings(ctx, rep, corpus)
+	}
 	c.recordReport(rep)
 	return rep
+}
+
+// reduceFindings shrinks every finding in rep to a 1-minimal expression
+// preserving its finding kind, attaching the reduced source text. A
+// cancelled context stops between findings, leaving the rest unreduced.
+func (c *Comparator) reduceFindings(ctx context.Context, rep *Report, corpus []harvest.Expr) {
+	if len(rep.Findings) == 0 {
+		return
+	}
+	byName := make(map[string]*ir.Function, len(corpus))
+	for _, e := range corpus {
+		byName[e.Name] = e.F
+	}
+	for i := range rep.Findings {
+		if ctx.Err() != nil {
+			return
+		}
+		fd := &rep.Findings[i]
+		f := byName[fd.ExprName]
+		if f == nil {
+			continue
+		}
+		sp := trace.FromContext(ctx).Child(trace.KindAnalysis, "reduce")
+		res := reduce.Reduce(f, c.FindingProperty(ctx, *fd))
+		fd.Reduced = res.F.String()
+		fd.ReduceSteps = res.Steps
+		if sp != nil {
+			sp.SetStr("expr", fd.ExprName)
+			sp.SetInt("steps", int64(res.Steps))
+			sp.SetInt("tried", int64(res.Tried))
+			sp.End()
+		}
+		if c.Metrics != nil {
+			c.Metrics.Counter("reduce_findings").Inc()
+			c.Metrics.Counter("reduce_steps").Add(int64(res.Steps))
+			c.Metrics.Counter("reduce_candidates").Add(int64(res.Tried))
+		}
+	}
+}
+
+// FindingProperty returns the reducer property for one finding: does a
+// candidate expression still trigger the same finding kind in the same
+// analysis? Soundness findings re-run the full oracle comparison (on a
+// fresh untraced, uncached sub-comparator), n-way findings re-run the
+// variant cross-check, consistency findings re-run the lint; all three
+// require the candidate to keep a well-defined input, so reduction can
+// never land on a vacuously-contradictory dead expression.
+func (c *Comparator) FindingProperty(ctx context.Context, fd Finding) reduce.Property {
+	switch fd.Kind {
+	case FindingInconsistent:
+		return func(g *ir.Function) bool {
+			incons, _ := absint.CheckFacts(g, c.Analyzer.Analyze(g))
+			return len(incons) > 0 && hasWellDefinedInput(g)
+		}
+	case FindingVariant:
+		vs := nway.Variants(c.Analyzer)
+		return func(g *ir.Function) bool {
+			cmp := nway.Compare(g, vs)
+			for _, cd := range cmp.Contradictions {
+				if cd.Analysis == fd.Result.Analysis {
+					return hasWellDefinedInput(g)
+				}
+			}
+			return false
+		}
+	default:
+		sub := c.reducerComparator()
+		return func(g *ir.Function) bool {
+			for _, r := range sub.CompareExprContext(ctx, g) {
+				if r.Analysis == fd.Result.Analysis && r.Outcome == LLVMMorePrecise {
+					return true
+				}
+			}
+			return false
+		}
+	}
+}
+
+// reducerComparator clones the oracle-relevant configuration for
+// re-checking reduction candidates, without the cache (candidate churn
+// would pollute it), metrics, tracer, or the n-way/consistency extras.
+func (c *Comparator) reducerComparator() *Comparator {
+	return &Comparator{
+		Analyzer:       c.Analyzer,
+		Budget:         c.Budget,
+		ExprTimeout:    c.ExprTimeout,
+		NoSeed:         c.NoSeed,
+		NoStrash:       c.NoStrash,
+		EnumCutoff:     c.EnumCutoff,
+		Portfolio:      c.Portfolio,
+		PortfolioAfter: c.PortfolioAfter,
+		PortfolioSeed:  c.PortfolioSeed,
+	}
 }
 
 // recordReport rolls aggregate outcomes into the metrics registry
@@ -863,17 +1120,23 @@ func (c *Comparator) recordReport(rep *Report) {
 	if c.Metrics == nil {
 		return
 	}
-	var sound, incons int64
+	var sound, incons, variant int64
 	for _, f := range rep.Findings {
-		if f.Kind == FindingInconsistent {
+		switch f.Kind {
+		case FindingInconsistent:
 			incons++
-		} else {
+		case FindingVariant:
+			variant++
+		default:
 			sound++
 		}
 	}
 	c.Metrics.Counter("findings").Add(sound)
 	if incons > 0 {
 		c.Metrics.Counter("inconsistent_findings").Add(incons)
+	}
+	if variant > 0 {
+		c.Metrics.Counter("nway_findings").Add(variant)
 	}
 	if rep.Skipped > 0 {
 		c.Metrics.Counter("exprs_skipped").Add(int64(rep.Skipped))
@@ -892,6 +1155,7 @@ type groupResult struct {
 	scalar   []Result
 	demanded map[string]Result // canonical var name -> result (Elapsed zeroed)
 	demTime  time.Duration     // attributed to each member's first variable
+	nway     *nwayExprStats    // pre-filter outcome, folded back per member
 }
 
 // runCached is the duplication-aware path: group by canonical key,
@@ -923,27 +1187,45 @@ func (c *Comparator) runCached(ctx context.Context, corpus []harvest.Expr) *Repo
 	groups := make([]*groupResult, len(reps))
 	c.forEach(ctx, len(reps), func(g int) {
 		cn := cns[reps[g]]
-		fa := c.Analyzer.Analyze(cn.F)
-		o := c.oracleCached(ctx, cn)
-		gr := &groupResult{demanded: make(map[string]Result, len(cn.F.Vars)), demTime: o.Elapsed[7]}
-		for _, r := range c.classify(cn.F, fa, o) {
-			if r.Analysis == harvest.DemandedBits {
-				r.Elapsed = 0
-				gr.demanded[r.Var] = r
-			} else {
-				gr.scalar = append(gr.scalar, r)
+		gr := &groupResult{demanded: make(map[string]Result, len(cn.F.Vars))}
+		var nwResults []Result
+		runOracle := true
+		if c.NWay {
+			// The pre-filter runs once per canonical group (facts are
+			// invariant under canonicalization, like the scalar results);
+			// its stats fold back per member for parity with the uncached
+			// path.
+			gr.nway, nwResults = c.nwayCheck(ctx, cn.F)
+			runOracle = gr.nway.escalated
+		}
+		if runOracle {
+			fa := c.Analyzer.Analyze(cn.F)
+			o := c.oracleCached(ctx, cn)
+			gr.demTime = o.Elapsed[7]
+			for _, r := range c.classify(cn.F, fa, o) {
+				if r.Analysis == harvest.DemandedBits {
+					r.Elapsed = 0
+					gr.demanded[r.Var] = r
+				} else {
+					gr.scalar = append(gr.scalar, r)
+				}
 			}
 		}
+		gr.scalar = append(gr.scalar, nwResults...)
 		groups[g] = gr
 	})
 
 	rep := newReport()
+	if c.NWay {
+		rep.NWay = &NWayStats{}
+	}
 	for i, e := range corpus {
 		gr := groups[gidx[i]]
 		if gr == nil {
 			rep.Skipped++
 			continue
 		}
+		rep.NWay.add(gr.nway)
 		results := make([]Result, 0, len(gr.scalar)+len(e.F.Vars))
 		results = append(results, gr.scalar...)
 		for vi, v := range e.F.Vars {
@@ -969,6 +1251,9 @@ func (c *Comparator) runCached(ctx context.Context, corpus []harvest.Expr) *Repo
 		rep.absorb(e, results)
 	}
 	rep.Interrupted = rep.Skipped > 0
+	if c.Reduce {
+		c.reduceFindings(ctx, rep, corpus)
+	}
 
 	after := c.Cache.Stats()
 	rep.Cache = &CacheStats{

@@ -1,0 +1,42 @@
+package compare
+
+import (
+	"testing"
+
+	"dfcheck/internal/harvest"
+	"dfcheck/internal/llvmport"
+	"dfcheck/internal/metrics"
+)
+
+// TestPortfolioSeedEquivalence locks in the reason -portfolio-seed is
+// excluded from cache keys and checkpoint fingerprints: the seed perturbs
+// which clone wins a race, never what any clone concludes. EnumCutoff -1
+// forces every expression through the SAT engine and PortfolioAfter 1
+// escalates essentially every query to the portfolio, so the seeds are
+// genuinely in the loop; the reports must still be identical.
+func TestPortfolioSeedEquivalence(t *testing.T) {
+	corpus := ablationCorpus()
+	run := func(seed int64, reg *metrics.Registry) *Report {
+		return (&Comparator{
+			Analyzer:       &llvmport.Analyzer{},
+			Workers:        1,
+			EnumCutoff:     -1,
+			Portfolio:      3,
+			PortfolioAfter: 1,
+			PortfolioSeed:  seed,
+			Metrics:        reg,
+		}).Run(corpus)
+	}
+	reg := metrics.NewRegistry()
+	a := run(0, reg)
+	b := run(99, nil)
+	compareReports(t, "portfolio-seed", a, b)
+	for _, an := range harvest.AllAnalyses {
+		if n := a.Rows[an].Exhausted; n != 0 {
+			t.Fatalf("%s: %d expressions exhausted; the equivalence corpus must stay off budget edges", an, n)
+		}
+	}
+	if reg.Counter("solver_portfolio_runs").Value() == 0 {
+		t.Fatal("portfolio never engaged; the seed equivalence was not exercised")
+	}
+}

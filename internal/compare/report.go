@@ -20,13 +20,26 @@ type jsonRow struct {
 }
 
 type jsonFinding struct {
-	Expr       string `json:"expr"`
-	Kind       string `json:"kind,omitempty"`
-	Analysis   string `json:"analysis"`
-	Var        string `json:"var,omitempty"`
-	OracleFact string `json:"oracle_fact"`
-	LLVMFact   string `json:"llvm_fact"`
-	Source     string `json:"source"`
+	Expr        string `json:"expr"`
+	Kind        string `json:"kind,omitempty"`
+	Analysis    string `json:"analysis"`
+	Var         string `json:"var,omitempty"`
+	OracleFact  string `json:"oracle_fact"`
+	LLVMFact    string `json:"llvm_fact"`
+	Source      string `json:"source"`
+	Reduced     string `json:"reduced,omitempty"`
+	ReduceSteps int    `json:"reduce_steps,omitempty"`
+}
+
+// jsonNWay is the machine-readable form of the n-way pre-filter summary.
+type jsonNWay struct {
+	Exprs          int `json:"exprs"`
+	Agreed         int `json:"agreed"`
+	Escalated      int `json:"escalated"`
+	Dead           int `json:"dead"`
+	Comparisons    int `json:"comparisons"`
+	Disagreements  int `json:"disagreements"`
+	Contradictions int `json:"contradictions"`
 }
 
 type jsonCache struct {
@@ -42,6 +55,7 @@ type jsonReport struct {
 	Rows              []jsonRow     `json:"rows"`
 	Findings          []jsonFinding `json:"soundness_findings"`
 	ConsistencyChecks int           `json:"consistency_checks,omitempty"`
+	NWay              *jsonNWay     `json:"nway,omitempty"`
 	Cache             *jsonCache    `json:"cache,omitempty"`
 }
 
@@ -72,16 +86,29 @@ func (rep *Report) JSON() ([]byte, error) {
 			kind = FindingSoundness
 		}
 		out.Findings = append(out.Findings, jsonFinding{
-			Expr:       f.ExprName,
-			Kind:       string(kind),
-			Analysis:   string(f.Result.Analysis),
-			Var:        f.Result.Var,
-			OracleFact: f.Result.OracleFact,
-			LLVMFact:   f.Result.LLVMFact,
-			Source:     f.Source,
+			Expr:        f.ExprName,
+			Kind:        string(kind),
+			Analysis:    string(f.Result.Analysis),
+			Var:         f.Result.Var,
+			OracleFact:  f.Result.OracleFact,
+			LLVMFact:    f.Result.LLVMFact,
+			Source:      f.Source,
+			Reduced:     f.Reduced,
+			ReduceSteps: f.ReduceSteps,
 		})
 	}
 	out.ConsistencyChecks = rep.ConsistencyChecks
+	if rep.NWay != nil {
+		out.NWay = &jsonNWay{
+			Exprs:          rep.NWay.Exprs,
+			Agreed:         rep.NWay.Agreed,
+			Escalated:      rep.NWay.Escalated,
+			Dead:           rep.NWay.Dead,
+			Comparisons:    rep.NWay.Comparisons,
+			Disagreements:  rep.NWay.Disagreements,
+			Contradictions: rep.NWay.Contradictions,
+		}
+	}
 	if rep.Cache != nil {
 		out.Cache = &jsonCache{
 			Hits:        rep.Cache.Hits,
@@ -137,11 +164,18 @@ func (rep *Report) Table() string {
 	if rep.ConsistencyChecks > 0 {
 		fmt.Fprintf(&sb, "\nconsistency checks: %d\n", rep.ConsistencyChecks)
 	}
-	var sound, incons []Finding
+	if s := rep.NWay; s != nil {
+		fmt.Fprintf(&sb, "\nnway: %d exprs (%d agreed, %d escalated, %d dead); %d comparisons, %d disagreements, %d contradictions\n",
+			s.Exprs, s.Agreed, s.Escalated, s.Dead, s.Comparisons, s.Disagreements, s.Contradictions)
+	}
+	var sound, incons, variant []Finding
 	for _, f := range rep.Findings {
-		if f.Kind == FindingInconsistent {
+		switch f.Kind {
+		case FindingInconsistent:
 			incons = append(incons, f)
-		} else {
+		case FindingVariant:
+			variant = append(variant, f)
+		default:
 			sound = append(sound, f)
 		}
 	}
@@ -155,6 +189,13 @@ func (rep *Report) Table() string {
 	if len(incons) > 0 {
 		fmt.Fprintf(&sb, "\nINCONSISTENT FINDINGS (%d):\n\n", len(incons))
 		for _, f := range incons {
+			sb.WriteString(f.String())
+			sb.WriteByte('\n')
+		}
+	}
+	if len(variant) > 0 {
+		fmt.Fprintf(&sb, "\nNWAY FINDINGS (%d):\n\n", len(variant))
+		for _, f := range variant {
 			sb.WriteString(f.String())
 			sb.WriteByte('\n')
 		}

@@ -366,3 +366,24 @@ func TestParseNeverPanicsOnGarbage(t *testing.T) {
 		}()
 	}
 }
+
+// TestPrintAvoidsVarNameCollision: numeric variable names must not clash
+// with the printer's instruction numbering — the printed form of every
+// function re-parses (reduced findings keep var %0 after the instruction
+// once named %0 is gone).
+func TestPrintAvoidsVarNameCollision(t *testing.T) {
+	srcs := []string{
+		"%0:i3 = var\n%1:i3 = srem %0, 3:i3\ninfer %1",
+		"%1:i8 = var\n%0:i8 = add %1, 1:i8\n%2:i8 = mul %0, %0\ninfer %2",
+	}
+	for _, src := range srcs {
+		f := MustParse(src)
+		g, err := Parse(f.String())
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %v\n%s", err, f.String())
+		}
+		if g.String() != f.String() {
+			t.Fatalf("print not a fixpoint:\n%s\nvs\n%s", f.String(), g.String())
+		}
+	}
+}

@@ -35,14 +35,23 @@ func (f *Function) String() string {
 	var sb strings.Builder
 
 	insts := f.Insts()
-	// Name variables first, in declaration order, then number the rest.
+	// Name variables first, in declaration order, then number the rest,
+	// skipping numbers a variable already claims (a reduced expression
+	// can keep var %0 after the instruction once named %0 is gone).
+	taken := make(map[string]bool)
 	for _, v := range f.Vars {
 		names[v] = "%" + v.Name
+		taken[v.Name] = true
 		fmt.Fprintf(&sb, "%%%s:i%d = var", v.Name, v.Width)
 		if v.HasRange {
 			fmt.Fprintf(&sb, " (range=[%d,%d))", v.Lo.Int64(), v.Hi.Int64())
 		}
 		sb.WriteByte('\n')
+	}
+	for _, n := range insts {
+		if n.Op == OpVar {
+			taken[n.Name] = true
+		}
 	}
 	next := 0
 	for _, n := range insts {
@@ -58,6 +67,9 @@ func (f *Function) String() string {
 		case OpConst:
 			names[n] = n.Val.String()
 			continue
+		}
+		for taken[fmt.Sprint(next)] {
+			next++
 		}
 		name := fmt.Sprintf("%%%d", next)
 		next++

@@ -1,0 +1,308 @@
+// Package reduce shrinks expressions to minimal reproducers. Given a
+// finding-preserving property (does this expression still trigger the
+// same n-way contradiction / oracle finding / consistency violation?),
+// Reduce greedily applies shrinking transformations — operand hoisting,
+// substitution by constants or fresh variables, range-metadata removal,
+// global width narrowing — keeping a candidate only when the property
+// still holds, until no single transformation preserves it (1-minimal),
+// in the delta-debugging tradition and following the width-ascending
+// minimal-witness machinery of internal/absint.
+//
+// Every transformation strictly decreases the lexicographic measure
+// (instructions, variables, range-constrained variables, summed width),
+// so the loop terminates regardless of the property; MaxTried bounds the
+// number of property evaluations as a backstop for expensive properties.
+package reduce
+
+import (
+	"fmt"
+
+	"dfcheck/internal/apint"
+	"dfcheck/internal/ir"
+)
+
+// Property reports whether a candidate expression still exhibits the
+// finding being reduced. It must be deterministic: Reduce re-evaluates
+// it on every candidate and keeps only candidates where it holds.
+type Property func(f *ir.Function) bool
+
+// MaxTried caps the total number of property evaluations per Reduce
+// call. §4.7-style findings reduce in well under a hundred tries; the
+// cap only matters for pathological properties over large expressions.
+const MaxTried = 10000
+
+// Result is the outcome of a reduction.
+type Result struct {
+	// F is the reduced expression; if the property never held (including
+	// on the input itself), F is the unmodified input.
+	F *ir.Function
+	// Steps counts accepted shrinking transformations.
+	Steps int
+	// Tried counts property evaluations.
+	Tried int
+}
+
+// Reduce shrinks f to a 1-minimal expression preserving keep. The input
+// itself is not required to satisfy keep, but if it does not, no
+// candidate is accepted against it and the input comes back unchanged
+// (Steps 0): reduction never substitutes an expression with a property
+// the original lacked.
+func Reduce(f *ir.Function, keep Property) Result {
+	res := Result{F: f}
+	if f == nil || keep == nil || !keep(f) {
+		return res
+	}
+	for {
+		improved := false
+		for _, g := range candidates(res.F) {
+			if res.Tried >= MaxTried {
+				return res
+			}
+			res.Tried++
+			if keep(g) {
+				res.F = g
+				res.Steps++
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return res // 1-minimal: no single transformation preserves keep
+		}
+	}
+}
+
+// measure is the termination order: candidates must be lexicographically
+// smaller than the expression they shrink.
+type measure struct {
+	insts, vars, rangeVars, width int
+}
+
+func measureOf(f *ir.Function) measure {
+	var m measure
+	for _, n := range f.Insts() {
+		switch {
+		case n.IsVar():
+			m.vars++
+			if n.HasRange {
+				m.rangeVars++
+			}
+		case n.IsConst():
+		default:
+			m.insts++
+		}
+		m.width += int(n.Width)
+	}
+	return m
+}
+
+func (m measure) less(o measure) bool {
+	switch {
+	case m.insts != o.insts:
+		return m.insts < o.insts
+	case m.vars != o.vars:
+		return m.vars < o.vars
+	case m.rangeVars != o.rangeVars:
+		return m.rangeVars < o.rangeVars
+	default:
+		return m.width < o.width
+	}
+}
+
+// candidates returns every single-step shrink of f, deterministically
+// ordered root-first so the most aggressive reductions are tried first.
+// Candidates that fail to rebuild (width rules, bswap alignment) or fail
+// to shrink the measure are dropped.
+func candidates(f *ir.Function) []*ir.Function {
+	base := measureOf(f)
+	var out []*ir.Function
+	add := func(g *ir.Function) {
+		if g != nil && measureOf(g).less(base) {
+			out = append(out, g)
+		}
+	}
+
+	insts := f.Insts()
+	fresh := freshVarName(f)
+	for i := len(insts) - 1; i >= 0; i-- {
+		n := insts[i]
+		if n.IsConst() {
+			continue
+		}
+		if n.IsVar() {
+			for _, v := range leafValues(n.Width) {
+				c := v
+				add(substitute(f, n, func(b *ir.Builder, _ []*ir.Inst) *ir.Inst {
+					return b.Const(c)
+				}))
+			}
+			if n.HasRange {
+				add(substitute(f, n, func(b *ir.Builder, _ []*ir.Inst) *ir.Inst {
+					return b.Var(n.Name, n.Width)
+				}))
+			}
+			continue
+		}
+		for j, a := range n.Args {
+			if a.Width == n.Width {
+				arg := j
+				add(substitute(f, n, func(_ *ir.Builder, args []*ir.Inst) *ir.Inst {
+					return args[arg]
+				}))
+			}
+		}
+		for _, v := range leafValues(n.Width) {
+			c := v
+			add(substitute(f, n, func(b *ir.Builder, _ []*ir.Inst) *ir.Inst {
+				return b.Const(c)
+			}))
+		}
+		add(substitute(f, n, func(b *ir.Builder, _ []*ir.Inst) *ir.Inst {
+			return b.Var(fresh, n.Width)
+		}))
+	}
+	add(narrowed(f))
+	return out
+}
+
+// leafValues lists the constants tried as replacements: the lattice
+// corner cases 0, 1, and all-ones.
+func leafValues(w uint) []apint.Int {
+	if w == 1 {
+		return []apint.Int{apint.Zero(w), apint.AllOnes(w)} // one == all-ones at i1
+	}
+	return []apint.Int{apint.Zero(w), apint.One(w), apint.AllOnes(w)}
+}
+
+// substitute rebuilds f with target replaced (everywhere, the DAG is
+// hash-consed) by mk's result; mk receives the already-cloned operands
+// of target. Returns nil when the rebuild is structurally invalid.
+func substitute(f *ir.Function, target *ir.Inst, mk func(b *ir.Builder, args []*ir.Inst) *ir.Inst) *ir.Function {
+	return rebuild(f, func(b *ir.Builder, n *ir.Inst, args []*ir.Inst) *ir.Inst {
+		if n == target {
+			return mk(b, args)
+		}
+		return nil
+	})
+}
+
+// rebuild clones f through a fresh Builder, letting edit override the
+// clone of any instruction (nil keeps the default clone). Builder panics
+// (width rules, flag rules) reject the candidate; Verify is the final
+// safety net.
+func rebuild(f *ir.Function, edit func(b *ir.Builder, n *ir.Inst, args []*ir.Inst) *ir.Inst) (g *ir.Function) {
+	defer func() {
+		if recover() != nil {
+			g = nil
+		}
+	}()
+	b := ir.NewBuilder()
+	memo := make(map[*ir.Inst]*ir.Inst)
+	var clone func(n *ir.Inst) *ir.Inst
+	clone = func(n *ir.Inst) *ir.Inst {
+		if m, ok := memo[n]; ok {
+			return m
+		}
+		args := make([]*ir.Inst, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = clone(a)
+		}
+		m := edit(b, n, args)
+		if m == nil {
+			m = cloneInst(b, n, args)
+		}
+		memo[n] = m
+		return m
+	}
+	g = b.Function(clone(f.Root))
+	if ir.Verify(g) != nil {
+		return nil
+	}
+	return g
+}
+
+func cloneInst(b *ir.Builder, n *ir.Inst, args []*ir.Inst) *ir.Inst {
+	switch {
+	case n.IsConst():
+		return b.Const(n.Val)
+	case n.IsVar():
+		if n.HasRange {
+			return b.VarRange(n.Name, n.Width, n.Lo, n.Hi)
+		}
+		return b.Var(n.Name, n.Width)
+	case n.Op.IsCast():
+		return b.BuildCast(n.Op, n.Width, args[0])
+	default:
+		return b.Build(n.Op, n.Flags, args...)
+	}
+}
+
+// narrowed rebuilds f with every width above 1 decreased by one:
+// constants re-masked, range metadata re-masked (or dropped when it
+// degenerates), casts that become identities elided. Returns nil when
+// the narrower function is invalid (e.g. bswap alignment).
+func narrowed(f *ir.Function) (g *ir.Function) {
+	defer func() {
+		if recover() != nil {
+			g = nil
+		}
+	}()
+	b := ir.NewBuilder()
+	memo := make(map[*ir.Inst]*ir.Inst)
+	var clone func(n *ir.Inst) *ir.Inst
+	clone = func(n *ir.Inst) *ir.Inst {
+		if m, ok := memo[n]; ok {
+			return m
+		}
+		nw := n.Width
+		if nw > 1 {
+			nw--
+		}
+		var m *ir.Inst
+		switch {
+		case n.IsConst():
+			m = b.Const(apint.New(nw, n.Val.Uint64()))
+		case n.IsVar():
+			lo, hi := apint.New(nw, n.Lo.Uint64()), apint.New(nw, n.Hi.Uint64())
+			if n.HasRange && lo.Uint64() != hi.Uint64() {
+				m = b.VarRange(n.Name, nw, lo, hi)
+			} else {
+				m = b.Var(n.Name, nw)
+			}
+		case n.Op.IsCast():
+			arg := clone(n.Args[0])
+			if arg.Width == nw {
+				m = arg // the cast became an identity
+			} else {
+				m = b.BuildCast(n.Op, nw, arg)
+			}
+		default:
+			args := make([]*ir.Inst, len(n.Args))
+			for i, a := range n.Args {
+				args[i] = clone(a)
+			}
+			m = b.Build(n.Op, n.Flags, args...)
+		}
+		memo[n] = m
+		return m
+	}
+	g = b.Function(clone(f.Root))
+	if ir.Verify(g) != nil {
+		return nil
+	}
+	return g
+}
+
+// freshVarName returns a variable name unused in f.
+func freshVarName(f *ir.Function) string {
+	used := make(map[string]bool, len(f.Vars))
+	for _, v := range f.Vars {
+		used[v.Name] = true
+	}
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("r%d", i)
+		if !used[name] {
+			return name
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package reduce
+
+import (
+	"testing"
+
+	"dfcheck/internal/ir"
+)
+
+// hasOp is the classic reducer test property: the expression still
+// contains the given opcode.
+func hasOp(op ir.Op) Property {
+	return func(f *ir.Function) bool {
+		for _, n := range f.Insts() {
+			if n.Op == op {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+const bigSrc = "%x:i8 = var\n%y:i8 = var (range=[2,9))\n" +
+	"%0:i8 = add %x, %y\n%1:i8 = mul %0, 3:i8\n%2:i8 = xor %1, %x\n" +
+	"%3:i8 = sub %2, %y\ninfer %3"
+
+func TestReduceToSingleInstruction(t *testing.T) {
+	f := ir.MustParse(bigSrc)
+	res := Reduce(f, hasOp(ir.OpMul))
+	if !hasOp(ir.OpMul)(res.F) {
+		t.Fatalf("property lost:\n%s", res.F)
+	}
+	if got := res.F.NumInsts(); got != 1 {
+		t.Fatalf("reduced to %d instructions, want 1:\n%s", got, res.F)
+	}
+	if got := res.F.Width(); got != 1 {
+		t.Fatalf("reduced to width %d, want 1:\n%s", got, res.F)
+	}
+	if res.Steps == 0 {
+		t.Fatalf("no steps recorded for a real reduction")
+	}
+}
+
+func TestReduceIsOneMinimal(t *testing.T) {
+	f := ir.MustParse(bigSrc)
+	keep := hasOp(ir.OpMul)
+	res := Reduce(f, keep)
+	if again := Reduce(res.F, keep); again.Steps != 0 {
+		t.Fatalf("reduced expression shrank further by %d steps:\n%s\n->\n%s",
+			again.Steps, res.F, again.F)
+	}
+}
+
+func TestReduceDeterministic(t *testing.T) {
+	keep := hasOp(ir.OpXor)
+	a := Reduce(ir.MustParse(bigSrc), keep)
+	b := Reduce(ir.MustParse(bigSrc), keep)
+	if a.F.String() != b.F.String() || a.Steps != b.Steps || a.Tried != b.Tried {
+		t.Fatalf("nondeterministic reduction:\n%s\nvs\n%s", a.F, b.F)
+	}
+}
+
+func TestReduceRejectsAllCandidates(t *testing.T) {
+	f := ir.MustParse(bigSrc)
+	res := Reduce(f, func(g *ir.Function) bool { return g == f })
+	if res.F != f || res.Steps != 0 {
+		t.Fatalf("input-only property must return the input unchanged")
+	}
+}
+
+func TestReduceFalseProperty(t *testing.T) {
+	f := ir.MustParse(bigSrc)
+	res := Reduce(f, func(*ir.Function) bool { return false })
+	if res.F != f || res.Steps != 0 || res.Tried != 0 {
+		t.Fatalf("a property that never holds must not reduce: %+v", res)
+	}
+}
+
+func TestReduceTrivialProperty(t *testing.T) {
+	res := Reduce(ir.MustParse(bigSrc), func(*ir.Function) bool { return true })
+	if got := res.F.NumInsts(); got != 0 {
+		t.Fatalf("always-true property left %d instructions:\n%s", got, res.F)
+	}
+	if got := res.F.Width(); got != 1 {
+		t.Fatalf("always-true property left width %d:\n%s", got, res.F)
+	}
+	for _, v := range res.F.Vars {
+		if v.HasRange {
+			t.Fatalf("range metadata survived an always-true property:\n%s", res.F)
+		}
+	}
+}
+
+func TestReduceDropsRangeMetadata(t *testing.T) {
+	f := ir.MustParse("%y:i8 = var (range=[2,9))\n%0:i8 = mul %y, %y\ninfer %0")
+	res := Reduce(f, hasOp(ir.OpMul))
+	for _, v := range res.F.Vars {
+		if v.HasRange {
+			t.Fatalf("range metadata not needed by the property survived:\n%s", res.F)
+		}
+	}
+}
+
+func TestReduceKeepsCastShapes(t *testing.T) {
+	// The property needs the zext; reduction may narrow widths but the
+	// result must still verify and keep a genuine widening cast.
+	f := ir.MustParse("%x:i4 = var\n%0:i8 = zext %x\n%1:i8 = add %0, 1:i8\ninfer %1")
+	res := Reduce(f, hasOp(ir.OpZExt))
+	if err := ir.Verify(res.F); err != nil {
+		t.Fatalf("reduced function does not verify: %v\n%s", err, res.F)
+	}
+	if !hasOp(ir.OpZExt)(res.F) {
+		t.Fatalf("property lost:\n%s", res.F)
+	}
+}
+
+func TestReduceBSwapAlignment(t *testing.T) {
+	// bswap only exists at widths divisible by 8: global narrowing must
+	// skip it rather than produce an invalid function.
+	f := ir.MustParse("%x:i8 = var\n%0:i8 = bswap %x\n%1:i8 = add %0, %x\ninfer %1")
+	res := Reduce(f, hasOp(ir.OpBSwap))
+	if err := ir.Verify(res.F); err != nil {
+		t.Fatalf("reduced function does not verify: %v\n%s", err, res.F)
+	}
+	if res.F.Width() != 8 {
+		t.Fatalf("bswap function narrowed to %d:\n%s", res.F.Width(), res.F)
+	}
+}

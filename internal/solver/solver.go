@@ -187,6 +187,10 @@ type Config struct {
 	// PortfolioAfter overrides the conflict threshold before a query
 	// escalates to the portfolio (0 selects sat.DefaultPortfolioAfter).
 	PortfolioAfter int64
+	// PortfolioSeed perturbs the clones' decision heuristics
+	// (sat.Solver.PortfolioSeed). Results are seed-independent; only
+	// which clone wins the race varies.
+	PortfolioSeed int64
 }
 
 // NewEngine selects the fastest engine for f under cfg: the enumeration
@@ -216,6 +220,7 @@ func NewEngine(f *ir.Function, cfg Config) Engine {
 		e.Portfolio = DefaultPortfolio
 	}
 	e.PortfolioAfter = cfg.PortfolioAfter
+	e.PortfolioSeed = cfg.PortfolioSeed
 	return e
 }
 
@@ -261,6 +266,9 @@ type SATEngine struct {
 	// PortfolioAfter overrides the per-query conflict threshold before the
 	// portfolio engages (0 selects sat.DefaultPortfolioAfter).
 	PortfolioAfter int64
+
+	// PortfolioSeed perturbs clone decision heuristics (see Config).
+	PortfolioSeed int64
 
 	// Deadline, when non-zero, bounds the total dataflow computation per
 	// expression — the paper's five-minute cap (§4.1). Queries issued
@@ -349,6 +357,7 @@ func cloneWinsTotal(d sat.Stats) int64 {
 func (e *SATEngine) armPortfolio(s *sat.Solver) {
 	s.Portfolio = e.Portfolio
 	s.PortfolioAfter = e.PortfolioAfter
+	s.PortfolioSeed = e.PortfolioSeed
 }
 
 // NewSAT returns a SAT-backed engine. budget <= 0 selects
