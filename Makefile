@@ -9,13 +9,14 @@ GO ?= go
 # now also runs the consistency lint and the n-way cross-check), the
 # absint verifier worker pool, the engine's cross-goroutine cancellation,
 # the SAT portfolio's racing clones, the bit-sliced evaluator both pools
-# share, the campaign loop, the metrics instruments, the cache, and the
-# n-way/reducer packages the worker pool calls into. The full suite under
-# the race detector is the race-all target; it takes many minutes.
+# share, the campaign loop, the metrics instruments, the sharded cache,
+# the fact service (single-flight + dispatcher), and the n-way/reducer
+# packages the worker pool calls into. The full suite under the race
+# detector is the race-all target; it takes many minutes.
 RACE_PKGS = ./internal/compare ./internal/solver ./internal/sat \
             ./internal/campaign ./internal/metrics ./internal/rescache \
             ./internal/trace ./internal/absint ./internal/eval \
-            ./internal/nway ./internal/reduce
+            ./internal/nway ./internal/reduce ./internal/factsvc
 
 check: fmt lint build race
 
@@ -55,10 +56,11 @@ bench:
 	$(GO) test -run NONE -bench . -benchmem ./...
 
 # Record the root-package benchmarks (Table 1 timings, solver counters,
-# ablations) as a JSON artifact. EXPERIMENTS.md explains how to compare a
-# "current" section against the committed pre-optimization "baseline".
+# ablations, fact-service core) as a JSON artifact. EXPERIMENTS.md
+# explains how to compare a "current" section against the committed
+# pre-optimization "baseline".
 BENCH_OUT ?= BENCH_3.json
 BENCH_AS  ?= current
 bench-json:
-	$(GO) test -run NONE -bench 'BenchmarkTable1|BenchmarkAblation' -benchmem . \
+	$(GO) test -run NONE -bench 'BenchmarkTable1|BenchmarkAblation|BenchmarkRescache|BenchmarkFactService' -benchmem . \
 		| $(GO) run ./cmd/bench-json -out $(BENCH_OUT) -as $(BENCH_AS)

@@ -11,6 +11,10 @@
 package dfcheck_test
 
 import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 
 	"dfcheck/internal/apint"
@@ -18,6 +22,7 @@ import (
 	"dfcheck/internal/compare"
 	"dfcheck/internal/constrange"
 	"dfcheck/internal/eval"
+	"dfcheck/internal/factsvc"
 	"dfcheck/internal/harvest"
 	"dfcheck/internal/ir"
 	"dfcheck/internal/knownbits"
@@ -476,6 +481,133 @@ func BenchmarkCompilerClassic(b *testing.B) {
 			_ = fa.Range()
 		}
 	}
+}
+
+// --- Fact-service core: sharded cache vs global mutex, warm pipeline ---
+
+// mutexCache replicates the pre-sharding rescache design — one map, one
+// mutex, counters under the same lock — as the in-file baseline for the
+// concurrent-lookup comparison. (The real implementation is now sharded;
+// this is what it replaced.)
+type mutexCache struct {
+	mu           sync.Mutex
+	entries      map[rescache.Key]rescache.Entry
+	hits, misses uint64
+}
+
+func (c *mutexCache) Get(k rescache.Key) (rescache.Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return e, ok
+}
+
+func (c *mutexCache) Put(k rescache.Key, e rescache.Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[k] = e
+}
+
+// benchCacheKeys is a shared key set for the cache benchmarks: distinct
+// canonical-source strings of realistic length.
+func benchCacheKeys(n int) []rescache.Key {
+	keys := make([]rescache.Key, n)
+	for i := range keys {
+		keys[i] = rescache.Key{
+			Expr:     fmt.Sprintf("%%x:i8 = var\n%%0:i8 = and %d:i8, %%x\n%%1:i8 = add %%x, %%0\ninfer %%1", i),
+			Analysis: "known bits",
+		}
+	}
+	return keys
+}
+
+// benchCacheParallel drives the warm concurrent-lookup workload (95% Get,
+// 5% Put, 8x oversubscribed goroutines) against either cache. This is the
+// fact-service steady state: many readers racing over memoized results
+// with an occasional writer installing a new one.
+func benchCacheParallel(b *testing.B, get func(rescache.Key) (rescache.Entry, bool), put func(rescache.Key, rescache.Entry)) {
+	keys := benchCacheKeys(1024)
+	ent := rescache.Entry{Value: `{"bits":"0000xxxx"}`}
+	for _, k := range keys {
+		put(k, ent)
+	}
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			k := keys[i%len(keys)]
+			if i%20 == 19 {
+				put(k, ent)
+			} else if _, ok := get(k); !ok {
+				b.Fatal("warm key missing")
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkRescacheConcurrentMutex(b *testing.B) {
+	c := &mutexCache{entries: make(map[rescache.Key]rescache.Entry)}
+	benchCacheParallel(b, c.Get, c.Put)
+}
+
+func BenchmarkRescacheConcurrentSharded(b *testing.B) {
+	c := rescache.New()
+	benchCacheParallel(b, c.Get, c.Put)
+}
+
+// BenchmarkFactServiceWarm measures the full query pipeline at steady
+// state: submit → hash-affinity dispatch → cache hit → ticket wait, with
+// 8x oversubscribed clients racing over 8 pre-warmed expressions (so both
+// the in-flight collapse path and the cache-hit path are exercised).
+func BenchmarkFactServiceWarm(b *testing.B) {
+	c := &compare.Comparator{Analyzer: &llvmport.Analyzer{}, Workers: 8, Cache: rescache.New()}
+	svc, err := c.NewFactService(factsvc.Config{Workers: 8, QueueDepth: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	exprs := make([]*ir.Function, 8)
+	for i := range exprs {
+		exprs[i] = ir.MustParse(fmt.Sprintf("%%x:i8 = var\n%%0:i8 = and %d:i8, %%x\ninfer %%0", i+1))
+		tk, err := svc.Submit(exprs[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tk.Wait(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			f := exprs[i%len(exprs)]
+			i++
+			for {
+				tk, err := svc.Submit(f)
+				if err == factsvc.ErrSaturated {
+					runtime.Gosched() // backpressure: retry like a polite client
+					continue
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tk.Wait(ctx); err != nil {
+					b.Fatal(err)
+				}
+				break
+			}
+		}
+	})
 }
 
 func BenchmarkCompilerModern(b *testing.B) {

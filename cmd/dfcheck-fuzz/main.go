@@ -32,6 +32,7 @@ import (
 
 	"dfcheck/internal/campaign"
 	"dfcheck/internal/compare"
+	"dfcheck/internal/factsvc"
 	"dfcheck/internal/harvest"
 	"dfcheck/internal/llvmport"
 	"dfcheck/internal/metrics"
@@ -72,6 +73,9 @@ func main() {
 		nwayMode   = flag.Bool("nway", false, "n-way differential mode: cross-check all analyzer variants per expression and escalate to the SAT oracle only on disagreement")
 		reduceMode = flag.Bool("reduce", false, "shrink every finding to a 1-minimal reproducer preserving its finding kind (delta debugging)")
 		httpAddr   = flag.String("http", "", "serve the debug server on this address (e.g. :8125): expvar metrics at /debug/vars, pprof profiles at /debug/pprof/)")
+		shards     = flag.Int("shards", rescache.DefaultShards, "lock stripes in the oracle result cache (rounded up to a power of two)")
+		factSvc    = flag.Bool("factsvc", false, "serve the fact-service query API (POST /v1/facts) on the -http server, sharing the campaign's cache and in-flight dedup")
+		serveOnly  = flag.Bool("serve", false, "serve fact queries only, skipping the campaign loop, until interrupted (implies -factsvc; requires -http)")
 		traceFile  = flag.String("trace", "", "write a Chrome trace-event JSON span trace to this file (open in Perfetto, aggregate with trace-report)")
 		traceMaxMB = flag.Int64("trace-max-mb", 256, "rotate the trace file when it exceeds this many MiB (0 = unbounded)")
 	)
@@ -139,10 +143,13 @@ func main() {
 	if *noPortf {
 		c.Portfolio = -1
 	}
+	if *serveOnly {
+		*factSvc = true
+	}
 	if *cacheFile != "" {
 		// One cache shared across all batches: mutants and cross-batch
 		// duplicates hit results memoized by earlier batches.
-		cache := rescache.New()
+		cache := rescache.NewSharded(*shards)
 		switch err := cache.LoadFile(*cacheFile); {
 		case err == nil:
 		case os.IsNotExist(err):
@@ -151,6 +158,28 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dfcheck-fuzz: WARNING: cache %s unusable, starting cold: %v\n", *cacheFile, err)
 		}
 		c.Cache = cache
+	}
+	if *factSvc {
+		if *httpAddr == "" {
+			fmt.Fprintln(os.Stderr, "dfcheck-fuzz: -factsvc requires -http (the query API mounts on the debug server)")
+			os.Exit(2)
+		}
+		if c.Cache == nil {
+			// Serving without -cache still wants memoization; it just
+			// isn't persisted.
+			c.Cache = rescache.NewSharded(*shards)
+		}
+		svc, err := c.NewFactService(factsvc.Config{Workers: *workers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dfcheck-fuzz:", err)
+			os.Exit(2)
+		}
+		defer svc.Close()
+		http.Handle("/v1/facts", svc.Handler())
+	}
+	cacheShards := 0
+	if c.Cache != nil {
+		cacheShards = c.Cache.Shards()
 	}
 
 	var events *metrics.EventLog
@@ -179,6 +208,8 @@ func main() {
 		Metrics:         reg,
 		Progress:        os.Stdout,
 		Tracer:          tracer,
+		FactSvc:         *factSvc,
+		CacheShards:     cacheShards,
 	}, c)
 	if *resume != "" {
 		if err := camp.Resume(*resume); err != nil {
@@ -192,7 +223,15 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	runErr := camp.Run(ctx)
+	var runErr error
+	if *serveOnly {
+		// Serve-only mode: no campaign, just answer fact queries until
+		// interrupted. Interruption is the normal shutdown, not an error.
+		fmt.Printf("fact service: POST http://%s/v1/facts (interrupt to stop)\n", *httpAddr)
+		<-ctx.Done()
+	} else {
+		runErr = camp.Run(ctx)
+	}
 	stop() // a second Ctrl-C past this point kills the process normally
 
 	if tracer != nil {
@@ -205,8 +244,10 @@ func main() {
 	}
 
 	if c.Cache != nil {
-		if err := c.Cache.SaveFile(*cacheFile); err != nil {
-			fmt.Fprintf(os.Stderr, "dfcheck-fuzz: WARNING: cache not saved: %v\n", err)
+		if *cacheFile != "" { // a -factsvc-only cache is in-memory by design
+			if err := c.Cache.SaveFile(*cacheFile); err != nil {
+				fmt.Fprintf(os.Stderr, "dfcheck-fuzz: WARNING: cache not saved: %v\n", err)
+			}
 		}
 		st := c.Cache.Stats()
 		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses (%.1f%% hit rate), %d entries\n",

@@ -7,15 +7,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"dfcheck/internal/compare"
+	"dfcheck/internal/factsvc"
 	"dfcheck/internal/harvest"
 	"dfcheck/internal/llvmport"
+	"dfcheck/internal/metrics"
 	"dfcheck/internal/rescache"
 	"dfcheck/internal/trace"
 )
@@ -50,6 +57,9 @@ func main() {
 		reduceF   = flag.Bool("reduce", false, "shrink every finding to a 1-minimal reproducer preserving its finding kind (delta debugging)")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON span trace to this file (open in Perfetto, aggregate with trace-report)")
 		traceMax  = flag.Int64("trace-max-mb", 256, "rotate the trace file when it exceeds this many MiB (0 = unbounded)")
+		shards    = flag.Int("shards", rescache.DefaultShards, "lock stripes in the oracle result cache (rounded up to a power of two)")
+		httpAddr  = flag.String("http", "", "serve the debug server on this address (expvar at /debug/vars, pprof at /debug/pprof/)")
+		factSvc   = flag.Bool("factsvc", false, "after printing the table, serve the fact-service query API (POST /v1/facts) on the -http server until interrupted")
 	)
 	flag.Parse()
 
@@ -139,18 +149,32 @@ func main() {
 	if *noPortf {
 		c.Portfolio = -1
 	}
-	if *cacheFile != "" {
-		cache := rescache.New()
-		switch err := cache.LoadFile(*cacheFile); {
-		case err == nil:
-		case os.IsNotExist(err):
-			// First run: cold start is the expected path, stay quiet.
-		default:
-			// A corrupt or mismatched cache file means a cold start, not a
-			// failed run — but say so, since the warm-up work is lost.
-			fmt.Fprintf(os.Stderr, "precision-table: WARNING: cache %s unusable, starting cold: %v\n", *cacheFile, err)
+	if *cacheFile != "" || *factSvc {
+		// -factsvc without -cache still wants memoization for repeated
+		// queries; it just isn't persisted.
+		cache := rescache.NewSharded(*shards)
+		if *cacheFile != "" {
+			switch err := cache.LoadFile(*cacheFile); {
+			case err == nil:
+			case os.IsNotExist(err):
+				// First run: cold start is the expected path, stay quiet.
+			default:
+				// A corrupt or mismatched cache file means a cold start, not a
+				// failed run — but say so, since the warm-up work is lost.
+				fmt.Fprintf(os.Stderr, "precision-table: WARNING: cache %s unusable, starting cold: %v\n", *cacheFile, err)
+			}
 		}
 		c.Cache = cache
+	}
+	if *httpAddr != "" {
+		reg := metrics.NewRegistry()
+		reg.PublishExpvar("dfcheck")
+		c.Metrics = reg
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "precision-table: metrics server:", err)
+			}
+		}()
 	}
 	rep := c.Run(corpus)
 	if tracer != nil {
@@ -159,8 +183,10 @@ func main() {
 		}
 	}
 	if c.Cache != nil {
-		if err := c.Cache.SaveFile(*cacheFile); err != nil {
-			fmt.Fprintf(os.Stderr, "precision-table: WARNING: cache not saved: %v\n", err)
+		if *cacheFile != "" { // a -factsvc-only cache is in-memory by design
+			if err := c.Cache.SaveFile(*cacheFile); err != nil {
+				fmt.Fprintf(os.Stderr, "precision-table: WARNING: cache not saved: %v\n", err)
+			}
 		}
 		// Stderr, so stdout stays byte-identical between cold and warm runs.
 		fmt.Fprintln(os.Stderr, rep.CacheSummary())
@@ -177,6 +203,25 @@ func main() {
 		fmt.Println("and the solver-based maximally precise algorithms.")
 		fmt.Println()
 		fmt.Print(rep.Table())
+	}
+
+	if *factSvc {
+		// Serve fact queries against the now-warm cache until interrupted.
+		if *httpAddr == "" {
+			fmt.Fprintln(os.Stderr, "precision-table: -factsvc requires -http (the query API mounts on the debug server)")
+			os.Exit(1)
+		}
+		svc, err := c.NewFactService(factsvc.Config{Workers: *workers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "precision-table:", err)
+			os.Exit(1)
+		}
+		http.Handle("/v1/facts", svc.Handler())
+		fmt.Fprintf(os.Stderr, "fact service: POST http://%s/v1/facts (interrupt to stop)\n", *httpAddr)
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		<-ctx.Done()
+		stop()
+		svc.Close()
 	}
 
 	if len(rep.Findings) > 0 {

@@ -45,6 +45,18 @@ type Config struct {
 	// Canaries appends the §4.7 trigger expressions to every batch.
 	Canaries bool
 
+	// FactSvc records that the campaign process also serves external
+	// fact queries (-factsvc) through the comparator's cache and
+	// single-flight layers, and CacheShards records the result cache's
+	// stripe count (-shards). Neither changes what a batch computes in
+	// isolation, but serving traffic interleaves nondeterministically
+	// with batches (external queries warm the cache mid-campaign), so —
+	// unlike Workers, which has a result-equivalence test — they fold
+	// into the fingerprint: a checkpoint resumes only under the serving
+	// setup it was written with.
+	FactSvc     bool
+	CacheShards int
+
 	// CheckpointPath, when set, is where the campaign state file is
 	// written: every CheckpointEvery batches, on interruption, and at
 	// the end of the run.

@@ -91,6 +91,12 @@ type wireCheckpoint struct {
 // internal/compare) and PortfolioSeed (perturbs which portfolio clone
 // wins, never what it concludes; TestPortfolioSeedEquivalence in
 // internal/compare and TestCampaignPortfolioSeedEquivalence here).
+//
+// The serving knobs (FactSvc, CacheShards) are conservatively INCLUDED:
+// they have no equivalence test, and a serving campaign admits external
+// query traffic that warms the cache nondeterministically between
+// batches — resuming a served checkpoint unserved (or vice versa) is a
+// different experiment.
 func (c *Campaign) Fingerprint() string {
 	var an llvmport.Analyzer
 	if c.Comparator != nil && c.Comparator.Analyzer != nil {
@@ -108,11 +114,13 @@ func (c *Campaign) Fingerprint() string {
 	}
 	return fmt.Sprintf("seed=%d;batches=%d;n=%d;max-insts=%d;widths=%s;max-width=%d;mutants=%d;canaries=%t;"+
 		"budget=%d;expr-timeout=%s;bug-nonzero=%t;bug-sremsign=%t;bug-sremknown=%t;modern=%t;consistency=%t;"+
-		"no-seed=%t;no-strash=%t;enum-cutoff=%d;portfolio=%d;portfolio-after=%d;nway=%t;reduce=%t",
+		"no-seed=%t;no-strash=%t;enum-cutoff=%d;portfolio=%d;portfolio-after=%d;nway=%t;reduce=%t;"+
+		"factsvc=%t;shards=%d",
 		c.Seed, c.Batches, c.NumExprs, c.MaxInsts, widths, c.MaxCastWidth, c.Mutants, c.Canaries,
 		budget, exprTimeout, an.Bugs.NonZeroAdd, an.Bugs.SRemSignBits, an.Bugs.SRemKnownBits, an.Modern,
 		cmp.Consistency,
-		cmp.NoSeed, cmp.NoStrash, cmp.EnumCutoff, cmp.Portfolio, cmp.PortfolioAfter, cmp.NWay, cmp.Reduce)
+		cmp.NoSeed, cmp.NoStrash, cmp.EnumCutoff, cmp.Portfolio, cmp.PortfolioAfter, cmp.NWay, cmp.Reduce,
+		c.FactSvc, c.CacheShards)
 }
 
 // SaveCheckpoint writes the campaign state to path atomically: the file

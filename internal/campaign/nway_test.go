@@ -50,6 +50,12 @@ func TestFingerprintCoversResultKnobs(t *testing.T) {
 		{"portfolio-after", func(cfg *Config, c *compare.Comparator) { c.PortfolioAfter = 1 }},
 		{"nway", func(cfg *Config, c *compare.Comparator) { c.NWay = true }},
 		{"reduce", func(cfg *Config, c *compare.Comparator) { c.Reduce = true }},
+		// The serving knobs: external fact-service traffic warms the
+		// cache nondeterministically between batches, so a checkpoint
+		// written while serving must not resume unserved (and a changed
+		// shard count records a changed serving setup).
+		{"factsvc", func(cfg *Config, c *compare.Comparator) { cfg.FactSvc = true }},
+		{"shards", func(cfg *Config, c *compare.Comparator) { cfg.CacheShards = 8 }},
 	}
 	baseFP := base.Fingerprint()
 	for _, k := range knobs {

@@ -10,12 +10,14 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
 	"dfcheck/internal/absint"
 	"dfcheck/internal/canon"
 	"dfcheck/internal/eval"
+	"dfcheck/internal/factsvc"
 	"dfcheck/internal/harvest"
 	"dfcheck/internal/ir"
 	"dfcheck/internal/llvmport"
@@ -162,6 +164,19 @@ type Comparator struct {
 	// comparison, n-way cross-check, or consistency lint) per candidate,
 	// so it costs time proportional to finding count, not corpus size.
 	Reduce bool
+
+	// flight collapses identical in-flight oracle work across the
+	// worker pool (and across concurrent Runs sharing this Comparator,
+	// as the fact service and a campaign do): the cache answers queries
+	// that finished, the flight answers queries that are still running.
+	// Waiters count into the flight_collapsed metric and adopt the
+	// leader's result like a cache hit, so the report is unchanged —
+	// only the redundant solver work disappears.
+	flight factsvc.Group
+	// flightHook, when set, runs at the start of every flight leader's
+	// computation. Tests use it to hold the leader until all expected
+	// waiters have attached, making collapse counts deterministic.
+	flightHook func()
 }
 
 // analysisOrder maps oracleSet.Elapsed indices to analysis names, in the
@@ -296,12 +311,61 @@ type oracleSet struct {
 	Solver   solver.Stats
 }
 
-// computeOracle runs all eight oracle algorithms on f under the
+// computeOracle computes the oracle set for f. With Workers > 1,
+// textually identical expressions that race within the pool collapse to
+// one computation through the single-flight group; waiters adopt the
+// leader's result set. The flight keys on the exact source text, not the
+// canonical form: demanded-bits results are named in the expression's
+// own variables, so only byte-identical duplicates can share a set
+// (alpha-variants are the cached path's job).
+func (c *Comparator) computeOracle(ctx context.Context, f *ir.Function) *oracleSet {
+	if c.Workers <= 1 {
+		return c.computeOracleOnce(ctx, f)
+	}
+	v, _, shared := c.flight.Do("expr\x00"+f.String(), func() (any, error) {
+		if c.flightHook != nil {
+			c.flightHook()
+		}
+		return c.computeOracleOnce(ctx, f), nil
+	})
+	o := v.(*oracleSet)
+	if shared {
+		c.recordFlightWaiter(o)
+	}
+	return o
+}
+
+// recordFlightWaiter accounts one expression answered by another
+// worker's in-flight computation: it counts as a compared expression
+// with the leader's replayed latency, but none of the solver work is
+// re-counted (it happened exactly once, on the leader).
+func (c *Comparator) recordFlightWaiter(o *oracleSet) {
+	if c.Metrics == nil {
+		return
+	}
+	c.Metrics.Counter("flight_collapsed").Inc()
+	c.Metrics.Counter("exprs_compared").Inc()
+	var total time.Duration
+	for _, d := range o.Elapsed {
+		total += d
+	}
+	c.Metrics.Histogram("expr_latency").Observe(total)
+}
+
+// countFlightCollapsed counts one per-analysis collapse on the cached
+// path.
+func (c *Comparator) countFlightCollapsed() {
+	if c.Metrics != nil {
+		c.Metrics.Counter("flight_collapsed").Inc()
+	}
+}
+
+// computeOracleOnce runs all eight oracle algorithms on f under the
 // per-expression deadline, timing each. One engine serves every analysis,
 // so the bit-blasted circuit, learned clauses, and the expression's total
 // conflict budget are shared across them (earlier versions paid eight
 // cold bit-blasts and leaked eight independent budgets per expression).
-func (c *Comparator) computeOracle(ctx context.Context, f *ir.Function) *oracleSet {
+func (c *Comparator) computeOracleOnce(ctx context.Context, f *ir.Function) *oracleSet {
 	var deadline time.Time
 	if c.ExprTimeout > 0 {
 		deadline = time.Now().Add(c.ExprTimeout)
@@ -350,6 +414,20 @@ func (c *Comparator) cacheConfig() string {
 		c.NoSeed, c.NoStrash, c.EnumCutoff, c.Portfolio)
 }
 
+// flightVal is what one cached-path flight computes: the analysis
+// result and the time it took (replayed by waiters, like a cache hit).
+type flightVal struct {
+	v       any
+	elapsed time.Duration
+}
+
+// flightKey renders a rescache key for the single-flight map. NUL
+// separators keep distinct keys from colliding (no key field contains
+// NUL).
+func flightKey(k rescache.Key) string {
+	return k.Expr + "\x00" + k.Analysis + "\x00" + strconv.FormatInt(k.Budget, 10) + "\x00" + k.Config
+}
+
 // oracleCached assembles the oracle set for a canonical expression,
 // consulting the cache per analysis and computing (then storing) the
 // misses. Demanded-bits entries are stored in the canonical variable
@@ -391,17 +469,47 @@ func (c *Comparator) oracleCached(ctx context.Context, cn *canon.Canon) *oracleS
 			o.Elapsed[i] = e.Elapsed
 			return
 		}
-		start := time.Now()
-		e := engine()
-		asp := sp.Child(trace.KindAnalysis, string(a))
-		e.SetTraceSpan(asp)
-		v := compute(e)
-		asp.End()
-		o.Elapsed[i] = time.Since(start)
-		if ctx.Err() != nil {
-			return // possibly degraded by cancellation: do not memoize
+		solve := func() (any, error) {
+			if c.flightHook != nil {
+				c.flightHook()
+			}
+			start := time.Now()
+			e := engine()
+			asp := sp.Child(trace.KindAnalysis, string(a))
+			e.SetTraceSpan(asp)
+			v := compute(e)
+			asp.End()
+			elapsed := time.Since(start)
+			if ctx.Err() != nil {
+				// Possibly degraded by cancellation: do not memoize.
+				return flightVal{v: v, elapsed: elapsed}, nil
+			}
+			c.Cache.Put(k, rescache.Entry{Value: v, Elapsed: elapsed})
+			return flightVal{v: v, elapsed: elapsed}, nil
 		}
-		c.Cache.Put(k, rescache.Entry{Value: v, Elapsed: o.Elapsed[i]})
+		if c.Workers <= 1 {
+			fv, _ := solve()
+			o.Elapsed[i] = fv.(flightVal).elapsed
+			return
+		}
+		// Collapse the race window the cache cannot see: an identical
+		// (expr, analysis, budget, config) query already being solved by
+		// another worker — in this Run, a concurrent Run, or the fact
+		// service — is joined instead of recomputed.
+		res, _, shared := c.flight.Do(flightKey(k), solve)
+		fv := res.(flightVal)
+		if shared {
+			if fromCache(fv.v) {
+				o.Elapsed[i] = fv.elapsed
+				c.countFlightCollapsed()
+				return
+			}
+			// Unreachable for equal keys (the leader's value always has
+			// the key's result type); recompute locally as a safety net.
+			res, _ = solve()
+			fv = res.(flightVal)
+		}
+		o.Elapsed[i] = fv.elapsed
 	}
 	step(0, harvest.KnownBits,
 		func(v any) (ok bool) { o.Known, ok = v.(oracle.KnownBitsResult); return },

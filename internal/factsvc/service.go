@@ -1,0 +1,283 @@
+package factsvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dfcheck/internal/canon"
+	"dfcheck/internal/ir"
+	"dfcheck/internal/metrics"
+	"dfcheck/internal/rescache"
+	"dfcheck/internal/trace"
+)
+
+// Fact is one rendered dataflow fact: an analysis name (a
+// harvest.Analysis value; demanded bits carries a "(var)" suffix per
+// input variable) and the fact text in the paper's print format.
+type Fact struct {
+	Analysis string `json:"analysis"`
+	Fact     string `json:"fact"`
+}
+
+// SolveFunc computes the dataflow facts for one expression. The
+// comparator provides the production implementation
+// (compare.Comparator.OracleFacts), which consults the result cache and
+// its own single-flight layer; tests substitute stubs.
+type SolveFunc func(ctx context.Context, f *ir.Function) ([]Fact, error)
+
+// ErrSaturated is returned by Submit when the target worker queue is
+// full. The HTTP layer maps it to 429 + Retry-After; programmatic
+// callers back off and retry.
+var ErrSaturated = errors.New("factsvc: solve queue saturated")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("factsvc: service closed")
+
+// Config configures a Service.
+type Config struct {
+	// Workers is the solver pool size; 0 selects 4.
+	Workers int
+	// QueueDepth is the per-worker pending-task bound; 0 selects 64.
+	// When a worker's queue is full, Submit fails fast with ErrSaturated
+	// instead of queueing unbounded work.
+	QueueDepth int
+	// Solve computes the facts for one expression. Required.
+	Solve SolveFunc
+	// Cache, when set, feeds the factsvc_shard_occupancy gauge (the
+	// fullest stripe of the sharded result cache). The service never
+	// reads or writes entries itself — Solve owns cache policy.
+	Cache *rescache.Cache
+	// Metrics, when set, gains the factsvc_* instruments.
+	Metrics *metrics.Registry
+	// Tracer, when set, records one expr-level span per solved task.
+	Tracer *trace.Tracer
+	// RetryAfter is the backoff the HTTP layer advertises on
+	// saturation; 0 selects 1s.
+	RetryAfter time.Duration
+}
+
+// task is one scheduled solve. Duplicate submissions attach to the
+// existing task instead of scheduling their own; everyone waits on done
+// and shares the result fields.
+type task struct {
+	key     string // canonical key (canon.Canon.Key)
+	hash    uint64 // canonical hash, routes the task to its worker
+	f       *ir.Function
+	done    chan struct{}
+	facts   []Fact
+	elapsed time.Duration
+	err     error
+}
+
+// Service is the batched query pipeline: Submit canonicalizes, collapses
+// duplicates of any live (queued or solving) task, and routes new tasks
+// by canonical hash to a fixed worker — so two submissions of the same
+// expression can never solve concurrently, and a hot expression costs
+// one solve no matter how many callers race on it.
+type Service struct {
+	cfg    Config
+	queues []chan *task
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	live   map[string]*task
+	closed bool
+
+	// Instruments, resolved once at construction (nil registry → nil
+	// instruments, checked at use).
+	mExprs, mCollapsed, mRejected, mSolved, mErrors *metrics.Counter
+	gQueue, gShardOcc                               *metrics.Gauge
+	hLatency                                        *metrics.Histogram
+}
+
+// New starts the worker pool. Close releases it.
+func New(cfg Config) (*Service, error) {
+	if cfg.Solve == nil {
+		return nil, errors.New("factsvc: Config.Solve is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	s := &Service{
+		cfg:    cfg,
+		queues: make([]chan *task, cfg.Workers),
+		live:   make(map[string]*task),
+	}
+	if m := cfg.Metrics; m != nil {
+		s.mExprs = m.Counter("factsvc_exprs")
+		s.mCollapsed = m.Counter("factsvc_inflight_collapsed")
+		s.mRejected = m.Counter("factsvc_rejected")
+		s.mSolved = m.Counter("factsvc_solved")
+		s.mErrors = m.Counter("factsvc_errors")
+		s.gQueue = m.Gauge("factsvc_queue_depth")
+		s.gShardOcc = m.Gauge("factsvc_shard_occupancy")
+		s.hLatency = m.Histogram("factsvc_latency")
+	}
+	for i := range s.queues {
+		s.queues[i] = make(chan *task, cfg.QueueDepth)
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+	return s, nil
+}
+
+// RetryAfter returns the advisory backoff for saturated submissions.
+func (s *Service) RetryAfter() time.Duration { return s.cfg.RetryAfter }
+
+// Ticket is a claim on a scheduled (or shared) solve.
+type Ticket struct {
+	t *task
+	// Collapsed reports that this submission attached to an already
+	// live task instead of scheduling its own solve.
+	Collapsed bool
+	// Hash is the expression's canonical hash.
+	Hash uint64
+}
+
+// Submit schedules f (or attaches to a live duplicate) and returns a
+// Ticket to Wait on. It never blocks on a full queue: saturation is
+// ErrSaturated, and the caller decides whether to retry.
+func (s *Service) Submit(f *ir.Function) (*Ticket, error) {
+	cn := canon.Canonicalize(f)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if s.mExprs != nil {
+		s.mExprs.Inc()
+	}
+	if t, ok := s.live[cn.Key]; ok {
+		s.mu.Unlock()
+		if s.mCollapsed != nil {
+			s.mCollapsed.Inc()
+		}
+		return &Ticket{t: t, Collapsed: true, Hash: cn.Hash}, nil
+	}
+	t := &task{key: cn.Key, hash: cn.Hash, f: cn.F, done: make(chan struct{})}
+	// Hash-affinity routing: the same canonical expression always lands
+	// on the same worker, so even if the live map missed (task finished
+	// a moment ago), duplicates serialize instead of solving twice in
+	// parallel.
+	q := s.queues[cn.Hash%uint64(len(s.queues))]
+	select {
+	case q <- t:
+		s.live[cn.Key] = t
+		s.mu.Unlock()
+		if s.gQueue != nil {
+			s.gQueue.Add(1)
+		}
+		return &Ticket{t: t, Hash: cn.Hash}, nil
+	default:
+		s.mu.Unlock()
+		if s.mRejected != nil {
+			s.mRejected.Inc()
+		}
+		return nil, ErrSaturated
+	}
+}
+
+// Result is one answered query.
+type Result struct {
+	Facts   []Fact
+	Elapsed time.Duration // the solve's own duration (shared by waiters)
+}
+
+// Wait blocks until the ticket's solve completes or ctx is done.
+func (tk *Ticket) Wait(ctx context.Context) (Result, error) {
+	select {
+	case <-tk.t.done:
+		if tk.t.err != nil {
+			return Result{}, tk.t.err
+		}
+		return Result{Facts: tk.t.facts, Elapsed: tk.t.elapsed}, nil
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+func (s *Service) worker(i int) {
+	defer s.wg.Done()
+	for t := range s.queues[i] {
+		s.runTask(i, t)
+	}
+}
+
+// runTask solves one task, publishes the result to every waiter, and
+// retires the live-map entry. A panicking Solve is converted to an
+// error so one poisonous expression cannot take a worker down.
+func (s *Service) runTask(worker int, t *task) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.err = fmt.Errorf("factsvc: solve panicked: %v", r)
+		}
+		s.mu.Lock()
+		delete(s.live, t.key)
+		s.mu.Unlock()
+		close(t.done)
+		if s.gQueue != nil {
+			s.gQueue.Add(-1)
+		}
+		if s.mSolved != nil {
+			s.mSolved.Inc()
+			if t.err != nil {
+				s.mErrors.Inc()
+			}
+		}
+		if s.hLatency != nil {
+			s.hLatency.Observe(t.elapsed)
+		}
+		if s.gShardOcc != nil && s.cfg.Cache != nil {
+			max := 0
+			for _, l := range s.cfg.Cache.ShardLens() {
+				if l > max {
+					max = l
+				}
+			}
+			s.gShardOcc.Set(int64(max))
+		}
+	}()
+	ctx := context.Background()
+	sp := s.cfg.Tracer.Start(nil, trace.KindExpr, "factsvc")
+	if sp != nil {
+		sp.SetInt("worker", int64(worker))
+		sp.SetStr("hash", fmt.Sprintf("%016x", t.hash))
+		ctx = trace.NewContext(ctx, sp)
+		defer sp.End()
+	}
+	start := time.Now()
+	t.facts, t.err = s.cfg.Solve(ctx, t.f)
+	t.elapsed = time.Since(start)
+}
+
+// QueueLen returns the total number of queued-or-running tasks.
+func (s *Service) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.live)
+}
+
+// Close stops accepting submissions, drains the queues, and waits for
+// the workers to exit. Safe to call once.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	for _, q := range s.queues {
+		close(q)
+	}
+	s.wg.Wait()
+}

@@ -1,0 +1,254 @@
+package factsvc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dfcheck/internal/ir"
+	"dfcheck/internal/metrics"
+)
+
+const exprSrc = "%x:i8 = var\n%0:i8 = and 1:i8, %x\n%1:i8 = add %x, %0\ninfer %1"
+
+func mustParse(t *testing.T, src string) *ir.Function {
+	t.Helper()
+	f, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// 100 concurrent submissions of the same expression must cost exactly
+// one Solve call: the first schedules a task, the other 99 attach to it.
+// The solve blocks until every submission is in, so the collapse count
+// is deterministic.
+func TestServiceCollapses100ConcurrentIdenticalQueries(t *testing.T) {
+	const n = 100
+	reg := metrics.NewRegistry()
+	var solves atomic.Int64
+	submitted := make(chan struct{})
+	svc, err := New(Config{
+		Workers:    4,
+		QueueDepth: 8,
+		Metrics:    reg,
+		Solve: func(ctx context.Context, f *ir.Function) ([]Fact, error) {
+			solves.Add(1)
+			<-submitted // hold until all n submissions are in
+			return []Fact{{Analysis: "known bits", Fact: "xxxxxxx0"}}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	f := mustParse(t, exprSrc)
+	tickets := make([]*Ticket, n)
+	for i := 0; i < n; i++ {
+		tk, err := svc.Submit(f)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		tickets[i] = tk
+	}
+	close(submitted)
+
+	collapsed := 0
+	var wg sync.WaitGroup
+	results := make([]Result, n)
+	for i, tk := range tickets {
+		if tk.Collapsed {
+			collapsed++
+		}
+		wg.Add(1)
+		go func(i int, tk *Ticket) {
+			defer wg.Done()
+			res, err := tk.Wait(context.Background())
+			if err != nil {
+				t.Errorf("wait %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i, tk)
+	}
+	wg.Wait()
+
+	if got := solves.Load(); got != 1 {
+		t.Fatalf("Solve called %d times, want exactly 1", got)
+	}
+	if collapsed != n-1 {
+		t.Fatalf("%d tickets collapsed, want %d", collapsed, n-1)
+	}
+	for i, res := range results {
+		if len(res.Facts) != 1 || res.Facts[0].Fact != "xxxxxxx0" {
+			t.Fatalf("result %d: %+v", i, res)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["factsvc_inflight_collapsed"]; got != n-1 {
+		t.Fatalf("factsvc_inflight_collapsed = %d, want %d", got, n-1)
+	}
+	if got := snap.Counters["factsvc_solved"]; got != 1 {
+		t.Fatalf("factsvc_solved = %d, want 1", got)
+	}
+}
+
+// With one worker and a bounded queue, excess distinct submissions fail
+// fast with ErrSaturated instead of blocking the caller.
+func TestServiceSaturationFailsFast(t *testing.T) {
+	reg := metrics.NewRegistry()
+	release := make(chan struct{})
+	svc, err := New(Config{
+		Workers:    1,
+		QueueDepth: 1,
+		Metrics:    reg,
+		RetryAfter: 2 * time.Second,
+		Solve: func(ctx context.Context, f *ir.Function) ([]Fact, error) {
+			<-release
+			return nil, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	defer close(release)
+
+	// Distinct expressions so nothing collapses: constants vary.
+	srcs := []string{
+		"%x:i8 = var\n%0:i8 = add 1:i8, %x\ninfer %0",
+		"%x:i8 = var\n%0:i8 = add 2:i8, %x\ninfer %0",
+		"%x:i8 = var\n%0:i8 = add 3:i8, %x\ninfer %0",
+		"%x:i8 = var\n%0:i8 = add 4:i8, %x\ninfer %0",
+		"%x:i8 = var\n%0:i8 = add 5:i8, %x\ninfer %0",
+	}
+	saturated := 0
+	for _, src := range srcs {
+		_, err := svc.Submit(mustParse(t, src))
+		if errors.Is(err, ErrSaturated) {
+			saturated++
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One task is running (or about to), one fits in the queue; the
+	// rest must be rejected.
+	if saturated == 0 {
+		t.Fatal("no submission saturated with Workers=1, QueueDepth=1 and 5 distinct exprs")
+	}
+	if got := reg.Snapshot().Counters["factsvc_rejected"]; got != int64(saturated) {
+		t.Fatalf("factsvc_rejected = %d, want %d", got, saturated)
+	}
+	if svc.RetryAfter() != 2*time.Second {
+		t.Fatalf("RetryAfter = %v", svc.RetryAfter())
+	}
+}
+
+// Solve errors propagate to every waiter; panics become errors instead
+// of killing the worker.
+func TestServiceErrorAndPanicPropagation(t *testing.T) {
+	boom := errors.New("solver exploded")
+	mode := "error"
+	svc, err := New(Config{
+		Workers: 1,
+		Solve: func(ctx context.Context, f *ir.Function) ([]Fact, error) {
+			if mode == "panic" {
+				panic("kaboom")
+			}
+			return nil, boom
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	tk, err := svc.Submit(mustParse(t, exprSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want %v", err, boom)
+	}
+
+	mode = "panic"
+	tk, err = svc.Submit(mustParse(t, exprSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(context.Background()); err == nil {
+		t.Fatal("panicking solve returned nil error")
+	}
+	// The worker survived: a further submission still completes.
+	mode = "error"
+	tk, err = svc.Submit(mustParse(t, exprSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("post-panic Wait = %v, want %v", err, boom)
+	}
+}
+
+// Wait honors its context while the solve is stuck.
+func TestTicketWaitContext(t *testing.T) {
+	release := make(chan struct{})
+	svc, err := New(Config{
+		Workers: 1,
+		Solve: func(ctx context.Context, f *ir.Function) ([]Fact, error) {
+			<-release
+			return nil, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	defer close(release)
+
+	tk, err := svc.Submit(mustParse(t, exprSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := tk.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait = %v, want deadline exceeded", err)
+	}
+}
+
+// Close drains in-flight work and rejects later submissions.
+func TestServiceClose(t *testing.T) {
+	var solves atomic.Int64
+	svc, err := New(Config{
+		Workers: 2,
+		Solve: func(ctx context.Context, f *ir.Function) ([]Fact, error) {
+			solves.Add(1)
+			return []Fact{{Analysis: "non-zero", Fact: "false"}}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := svc.Submit(mustParse(t, exprSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+	// The queued task was drained, not dropped.
+	if _, err := tk.Wait(context.Background()); err != nil {
+		t.Fatalf("pre-close ticket failed: %v", err)
+	}
+	if solves.Load() != 1 {
+		t.Fatalf("solves = %d, want 1", solves.Load())
+	}
+	if _, err := svc.Submit(mustParse(t, exprSrc)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close Submit = %v, want ErrClosed", err)
+	}
+	svc.Close() // idempotent
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -261,13 +262,23 @@ func (c *Cache) Load(r io.Reader) error {
 	return nil
 }
 
-// SaveFile writes the cache to path (atomically, via a temp file).
+// SaveFile writes the cache to path atomically: the snapshot is encoded
+// into a fresh unique temp file in path's directory and renamed into
+// place, the same discipline as internal/campaign's checkpoints. A
+// unique temp name (rather than the fixed path+".tmp" this used to use)
+// means two concurrent SaveFile calls — e.g. a periodic saver racing a
+// shutdown flush while other goroutines keep writing shards — cannot
+// interleave bytes into one file; each rename installs one complete,
+// individually valid snapshot, and the loser's snapshot simply wins.
+// A reader that crashes us mid-save sees either the old file or the new
+// one, never a torn mix (plus at worst a stray ".rescache-*" temp).
 func (c *Cache) SaveFile(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".rescache-*")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
 	if err := c.Save(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
@@ -277,7 +288,11 @@ func (c *Cache) SaveFile(path string) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // LoadFile merges entries from the cache file at path. A missing file is

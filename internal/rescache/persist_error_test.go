@@ -73,7 +73,7 @@ func TestSaveFileUnwritableDir(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, e := range ents {
-			if strings.HasSuffix(e.Name(), ".tmp") {
+			if strings.HasPrefix(e.Name(), ".rescache-") {
 				t.Fatalf("temp file %s left behind", e.Name())
 			}
 		}

@@ -225,8 +225,14 @@ func TestFileRoundTripAndMissing(t *testing.T) {
 	if err := c.SaveFile(path); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
-		t.Fatal("temp file left behind")
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".rescache-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
 	}
 
 	c2 := New()
