@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test race race-all bench bench-json
+.PHONY: check fmt vet lint build test race race-all bench bench-json dash-smoke
 
 # The packages with real concurrency: the comparator worker pool (which
 # now also runs the consistency lint and the n-way cross-check), the
@@ -16,7 +16,8 @@ GO ?= go
 RACE_PKGS = ./internal/compare ./internal/solver ./internal/sat \
             ./internal/campaign ./internal/metrics ./internal/rescache \
             ./internal/trace ./internal/absint ./internal/eval \
-            ./internal/nway ./internal/reduce ./internal/factsvc
+            ./internal/nway ./internal/reduce ./internal/factsvc \
+            ./internal/ops
 
 check: fmt lint build race
 
@@ -64,3 +65,24 @@ BENCH_AS  ?= current
 bench-json:
 	$(GO) test -run NONE -bench 'BenchmarkTable1|BenchmarkAblation|BenchmarkRescache|BenchmarkFactService' -benchmem . \
 		| $(GO) run ./cmd/bench-json -out $(BENCH_OUT) -as $(BENCH_AS)
+
+# Build serve mode, hit every ops endpoint, and check the readiness flip
+# during the SIGINT drain window — the same sequence CI runs.
+DASH_PORT ?= 18129
+dash-smoke:
+	$(GO) build -o /tmp/dfcheck-fuzz-smoke ./cmd/dfcheck-fuzz
+	@/tmp/dfcheck-fuzz-smoke -serve -http 127.0.0.1:$(DASH_PORT) -drain 2s & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:$(DASH_PORT)/readyz >/dev/null && break; sleep 0.2; \
+	done; \
+	curl -sf http://127.0.0.1:$(DASH_PORT)/healthz >/dev/null || { echo "healthz FAILED"; exit 1; }; \
+	curl -sf http://127.0.0.1:$(DASH_PORT)/metricsz | grep -q '^# TYPE ' || { echo "metricsz FAILED"; exit 1; }; \
+	curl -sf http://127.0.0.1:$(DASH_PORT)/dashboardz | grep -q '<!doctype html>' || { echo "dashboardz FAILED"; exit 1; }; \
+	curl -sf -X POST http://127.0.0.1:$(DASH_PORT)/v1/facts \
+		-d '{"exprs":["%x:i8 = var\n%0:i8 = add 1:i8, %x\ninfer %0"]}' | grep -q '"facts"' || { echo "facts FAILED"; exit 1; }; \
+	kill -INT $$pid; sleep 0.5; \
+	code=$$(curl -s -o /dev/null -w '%{http_code}' http://127.0.0.1:$(DASH_PORT)/readyz); \
+	[ "$$code" = 503 ] || { echo "readyz during drain = $$code, want 503"; exit 1; }; \
+	wait $$pid; \
+	echo "dash-smoke PASSED"

@@ -36,6 +36,7 @@ import (
 	"dfcheck/internal/harvest"
 	"dfcheck/internal/llvmport"
 	"dfcheck/internal/metrics"
+	"dfcheck/internal/ops"
 	"dfcheck/internal/rescache"
 	"dfcheck/internal/trace"
 )
@@ -78,6 +79,9 @@ func main() {
 		serveOnly  = flag.Bool("serve", false, "serve fact queries only, skipping the campaign loop, until interrupted (implies -factsvc; requires -http)")
 		traceFile  = flag.String("trace", "", "write a Chrome trace-event JSON span trace to this file (open in Perfetto, aggregate with trace-report)")
 		traceMaxMB = flag.Int64("trace-max-mb", 256, "rotate the trace file when it exceeds this many MiB (0 = unbounded)")
+		drain      = flag.Duration("drain", 0, "after an interrupt in -serve mode, keep answering for this long with /readyz reporting 503 (load-balancer drain window)")
+		slowLogN   = flag.Int("slow-log", metrics.DefaultSlowLogSize, "slowest solves retained for /slowz and /dashboardz (0 disables)")
+		traceSamp  = flag.Int("trace-sample", 1, "record only 1 in N fact-service solve spans (slow solves always recorded)")
 	)
 	flag.Parse()
 
@@ -100,10 +104,20 @@ func main() {
 	}
 
 	reg := metrics.NewRegistry()
-	reg.PublishExpvar("dfcheck")
+	if err := reg.PublishExpvar("dfcheck"); err != nil {
+		fmt.Fprintln(os.Stderr, "dfcheck-fuzz: WARNING: /debug/vars:", err)
+	}
+	var slowLog *metrics.SlowLog
+	if *slowLogN > 0 {
+		slowLog = metrics.NewSlowLog(*slowLogN)
+	}
+	health := ops.NewHealth()
 	if *httpAddr != "" {
 		// expvar registers /debug/vars and net/http/pprof registers
-		// /debug/pprof/* on the default mux.
+		// /debug/pprof/* on the default mux; the ops endpoints
+		// (/metricsz, /healthz, /readyz, /dashboardz, /eventsz, /slowz)
+		// mount beside them.
+		(&ops.Server{Registry: reg, Health: health, Slow: slowLog}).Register(http.DefaultServeMux)
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "dfcheck-fuzz: metrics server:", err)
@@ -169,7 +183,11 @@ func main() {
 			// isn't persisted.
 			c.Cache = rescache.NewSharded(*shards)
 		}
-		svc, err := c.NewFactService(factsvc.Config{Workers: *workers})
+		svc, err := c.NewFactService(factsvc.Config{
+			Workers:     *workers,
+			SlowLog:     slowLog,
+			TraceSample: *traceSamp,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dfcheck-fuzz:", err)
 			os.Exit(2)
@@ -180,6 +198,7 @@ func main() {
 	cacheShards := 0
 	if c.Cache != nil {
 		cacheShards = c.Cache.Shards()
+		ops.CollectCache(reg, c.Cache)
 	}
 
 	var events *metrics.EventLog
@@ -223,14 +242,25 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	// Cache loaded and (in serve mode) the worker pool is up: the
+	// process can answer queries, so /readyz flips to 200.
+	health.Ready()
 	var runErr error
 	if *serveOnly {
 		// Serve-only mode: no campaign, just answer fact queries until
 		// interrupted. Interruption is the normal shutdown, not an error.
 		fmt.Printf("fact service: POST http://%s/v1/facts (interrupt to stop)\n", *httpAddr)
 		<-ctx.Done()
+		// Drain window: /readyz reports 503 so load balancers stop
+		// routing here, while in-flight and late queries still answer.
+		health.NotReady("draining: interrupt received")
+		if *drain > 0 {
+			fmt.Fprintf(os.Stderr, "draining for %v before shutdown\n", *drain)
+			time.Sleep(*drain)
+		}
 	} else {
 		runErr = camp.Run(ctx)
+		health.NotReady("campaign finished")
 	}
 	stop() // a second Ctrl-C past this point kills the process normally
 

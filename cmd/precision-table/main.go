@@ -23,6 +23,7 @@ import (
 	"dfcheck/internal/harvest"
 	"dfcheck/internal/llvmport"
 	"dfcheck/internal/metrics"
+	"dfcheck/internal/ops"
 	"dfcheck/internal/rescache"
 	"dfcheck/internal/trace"
 )
@@ -166,10 +167,18 @@ func main() {
 		}
 		c.Cache = cache
 	}
+	health := ops.NewHealth()
+	slowLog := metrics.NewSlowLog(metrics.DefaultSlowLogSize)
 	if *httpAddr != "" {
 		reg := metrics.NewRegistry()
-		reg.PublishExpvar("dfcheck")
+		if err := reg.PublishExpvar("dfcheck"); err != nil {
+			fmt.Fprintln(os.Stderr, "precision-table: WARNING: /debug/vars:", err)
+		}
 		c.Metrics = reg
+		if c.Cache != nil {
+			ops.CollectCache(reg, c.Cache)
+		}
+		(&ops.Server{Registry: reg, Health: health, Slow: slowLog}).Register(http.DefaultServeMux)
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "precision-table: metrics server:", err)
@@ -211,7 +220,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "precision-table: -factsvc requires -http (the query API mounts on the debug server)")
 			os.Exit(1)
 		}
-		svc, err := c.NewFactService(factsvc.Config{Workers: *workers})
+		svc, err := c.NewFactService(factsvc.Config{Workers: *workers, SlowLog: slowLog})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "precision-table:", err)
 			os.Exit(1)
@@ -219,7 +228,9 @@ func main() {
 		http.Handle("/v1/facts", svc.Handler())
 		fmt.Fprintf(os.Stderr, "fact service: POST http://%s/v1/facts (interrupt to stop)\n", *httpAddr)
 		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		health.Ready() // table built, cache warm, worker pool up
 		<-ctx.Done()
+		health.NotReady("draining: interrupt received")
 		stop()
 		svc.Close()
 	}

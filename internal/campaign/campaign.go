@@ -241,6 +241,23 @@ func (c *Campaign) emitBatch(b int, rep *compare.Report, exprs int, elapsed time
 		ev["nway_escalated"] = rep.NWay.Escalated
 	}
 	c.Events.Emit("batch", ev)
+	if m := c.Metrics; m != nil {
+		// Campaign progress for /metricsz and /dashboardz. Rates are
+		// published in milli-units (exprs/sec × 1000) because gauges are
+		// integers; ETA is -1 for endless campaigns.
+		m.Gauge("campaign_batches_done").Set(int64(c.Totals.Batches))
+		m.Gauge("campaign_batches_total").Set(int64(c.Batches))
+		m.Counter("campaign_exprs_total").Add(int64(exprs))
+		perSec := float64(c.Totals.Exprs) / time.Since(c.start).Seconds()
+		m.Gauge("campaign_exprs_per_sec_milli").Set(int64(perSec * 1000))
+		eta := int64(-1)
+		if c.Batches > 0 && c.Totals.Batches > 0 {
+			remaining := c.Batches - c.Totals.Batches
+			perBatch := time.Since(c.start) / time.Duration(c.Totals.Batches)
+			eta = int64((time.Duration(remaining) * perBatch).Seconds())
+		}
+		m.Gauge("campaign_eta_seconds").Set(eta)
+	}
 	if c.Progress != nil {
 		fmt.Fprintf(c.Progress, "batch %4d seed %8d: %4d exprs, %2d findings, %3d exhausted, %6.1f exprs/min\n",
 			b, c.BatchSeed(b), exprs, len(rep.Findings), exhausted,
@@ -279,6 +296,9 @@ func (c *Campaign) emitFindings(b int, rep *compare.Report) {
 		if f.Reduced != "" {
 			ev["reduced"] = f.Reduced
 			ev["reduce_steps"] = f.ReduceSteps
+		}
+		if c.Metrics != nil {
+			c.Metrics.CounterL("campaign_findings", metrics.Labels{"kind": string(kind)}).Inc()
 		}
 		c.Events.Emit("finding", ev)
 	}

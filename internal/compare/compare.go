@@ -286,6 +286,14 @@ func (c *Comparator) recordOracle(o *oracleSet) {
 	c.Metrics.Counter("solver_units_imported").Add(o.Solver.UnitsImported)
 	c.Metrics.Counter("solver_units_exported").Add(o.Solver.UnitsExported)
 	c.Metrics.Histogram("expr_latency").Observe(total)
+	// The outcome split separates expressions the solver budget covered
+	// from ones it exhausted — the saturated tail would otherwise hide
+	// inside the bare expr_latency histogram.
+	outcome := "solved"
+	if o.Solver.Exhausted > 0 {
+		outcome = "exhausted"
+	}
+	c.Metrics.HistogramL("expr_latency", metrics.Labels{"outcome": outcome}).Observe(total)
 }
 
 // markBusy tracks worker utilization around one expression.

@@ -131,11 +131,10 @@ func (s *Service) serveFacts(w http.ResponseWriter, r *http.Request) {
 
 	status := http.StatusOK
 	if resp.Rejected > 0 {
-		secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		// Retry-After scales with how full the queues are right now (see
+		// RetryAfterSecs): a transient spike advertises the base backoff,
+		// sustained saturation up to 4× it.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
 		status = http.StatusTooManyRequests
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -169,8 +169,11 @@ func TestHandlerSaturationReturns429RetryAfter(t *testing.T) {
 	if w.Code != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429\n%s", w.Code, w.Body.String())
 	}
-	if got := w.Header().Get("Retry-After"); got != "3" {
-		t.Fatalf("Retry-After = %q, want \"3\"", got)
+	// The queue is completely full (1 queued / capacity 1), so the
+	// advertised backoff is the saturation ceiling: base × 4 (see
+	// RetryAfterSecs).
+	if got := w.Header().Get("Retry-After"); got != "12" {
+		t.Fatalf("Retry-After = %q, want \"12\" (4×base at full saturation)", got)
 	}
 	resp := decodeResp(t, w)
 	if resp.Rejected != 2 {

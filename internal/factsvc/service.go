@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dfcheck/internal/canon"
@@ -46,16 +48,29 @@ type Config struct {
 	QueueDepth int
 	// Solve computes the facts for one expression. Required.
 	Solve SolveFunc
-	// Cache, when set, feeds the factsvc_shard_occupancy gauge (the
-	// fullest stripe of the sharded result cache). The service never
-	// reads or writes entries itself — Solve owns cache policy.
+	// Cache, when set, feeds the factsvc_shard_occupancy and per-shard
+	// rescache gauges through the registry's collector hook. The service
+	// never reads or writes entries itself — Solve owns cache policy.
 	Cache *rescache.Cache
-	// Metrics, when set, gains the factsvc_* instruments.
+	// Metrics, when set, gains the factsvc_* instruments: counters and
+	// outcome-labeled latency histograms on the solve path, and
+	// pull-style per-worker queue-depth/in-flight gauges refreshed on
+	// every snapshot or scrape.
 	Metrics *metrics.Registry
-	// Tracer, when set, records one expr-level span per solved task.
+	// Tracer, when set, records one expr-level span per solved task
+	// (subject to TraceSample).
 	Tracer *trace.Tracer
-	// RetryAfter is the backoff the HTTP layer advertises on
-	// saturation; 0 selects 1s.
+	// TraceSample records only one in every N solve spans (0 and 1 mean
+	// every solve). Slow solves are exempt: a solve admitted to SlowLog
+	// is force-recorded into the trace even when the sampler skipped it.
+	TraceSample int
+	// SlowLog, when set, retains the slowest solves (canonical hash,
+	// opcode, width, duration, solver-stat detail) for /dashboardz and
+	// post-mortems.
+	SlowLog *metrics.SlowLog
+	// RetryAfter is the *base* backoff the HTTP layer advertises on
+	// saturation; 0 selects 1s. The advertised value scales with queue
+	// fill (see RetryAfterSecs).
 	RetryAfter time.Duration
 }
 
@@ -80,6 +95,8 @@ type task struct {
 type Service struct {
 	cfg    Config
 	queues []chan *task
+	busy   []atomic.Int64 // 1 while worker i is inside Solve
+	seq    atomic.Uint64  // solve counter, drives trace sampling
 	wg     sync.WaitGroup
 
 	mu     sync.Mutex
@@ -89,8 +106,10 @@ type Service struct {
 	// Instruments, resolved once at construction (nil registry → nil
 	// instruments, checked at use).
 	mExprs, mCollapsed, mRejected, mSolved, mErrors *metrics.Counter
-	gQueue, gShardOcc                               *metrics.Gauge
+	gQueue                                          *metrics.Gauge
 	hLatency                                        *metrics.Histogram
+	hSolved, hErrored, hCollapsed, hSaturated       *metrics.Histogram
+	cSolverQ                                        *metrics.Counter // shared solver_queries, for slow-log deltas
 }
 
 // New starts the worker pool. Close releases it.
@@ -110,6 +129,7 @@ func New(cfg Config) (*Service, error) {
 	s := &Service{
 		cfg:    cfg,
 		queues: make([]chan *task, cfg.Workers),
+		busy:   make([]atomic.Int64, cfg.Workers),
 		live:   make(map[string]*task),
 	}
 	if m := cfg.Metrics; m != nil {
@@ -119,23 +139,117 @@ func New(cfg Config) (*Service, error) {
 		s.mSolved = m.Counter("factsvc_solved")
 		s.mErrors = m.Counter("factsvc_errors")
 		s.gQueue = m.Gauge("factsvc_queue_depth")
-		s.gShardOcc = m.Gauge("factsvc_shard_occupancy")
 		s.hLatency = m.Histogram("factsvc_latency")
+		s.hSolved = m.HistogramL("factsvc_solve_latency", metrics.Labels{"outcome": "solved"})
+		s.hErrored = m.HistogramL("factsvc_solve_latency", metrics.Labels{"outcome": "error"})
+		s.hCollapsed = m.HistogramL("factsvc_solve_latency", metrics.Labels{"outcome": "collapsed"})
+		s.hSaturated = m.HistogramL("factsvc_solve_latency", metrics.Labels{"outcome": "saturated"})
+		s.cSolverQ = m.Counter("solver_queries")
 	}
 	for i := range s.queues {
 		s.queues[i] = make(chan *task, cfg.QueueDepth)
 		s.wg.Add(1)
 		go s.worker(i)
 	}
+	if m := cfg.Metrics; m != nil {
+		// Pull-style gauges, refreshed by the registry on every snapshot
+		// or scrape instead of on the solve hot path: per-worker queue
+		// depth and in-flight flags, plus the fullest cache stripe (the
+		// occupancy scan used to run after every task — 64 shard locks
+		// per solve; as a collector it costs one scan per scrape).
+		queueDepth := make([]*metrics.Gauge, cfg.Workers)
+		inflight := make([]*metrics.Gauge, cfg.Workers)
+		for i := range queueDepth {
+			w := strconv.Itoa(i)
+			queueDepth[i] = m.GaugeL("factsvc_worker_queue_depth", metrics.Labels{"worker": w})
+			inflight[i] = m.GaugeL("factsvc_worker_inflight", metrics.Labels{"worker": w})
+		}
+		gShardOcc := m.Gauge("factsvc_shard_occupancy")
+		m.RegisterCollector(func() {
+			for i := range s.queues {
+				queueDepth[i].Set(int64(len(s.queues[i])))
+				inflight[i].Set(s.busy[i].Load())
+			}
+			if s.cfg.Cache != nil {
+				max := 0
+				for _, l := range s.cfg.Cache.ShardLens() {
+					if l > max {
+						max = l
+					}
+				}
+				gShardOcc.Set(int64(max))
+			}
+		})
+	}
 	return s, nil
 }
 
-// RetryAfter returns the advisory backoff for saturated submissions.
+// RetryAfter returns the base advisory backoff for saturated
+// submissions.
 func (s *Service) RetryAfter() time.Duration { return s.cfg.RetryAfter }
+
+// QueuedTasks returns the number of tasks sitting in worker queues
+// (excluding the ones currently being solved).
+func (s *Service) QueuedTasks() int {
+	n := 0
+	for _, q := range s.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// QueueCapacity returns the total queue slots across workers.
+func (s *Service) QueueCapacity() int { return len(s.queues) * s.cfg.QueueDepth }
+
+// RetryAfterSecs derives the Retry-After value (whole seconds) a
+// saturated service should advertise. The formula is deliberately
+// simple and bounded:
+//
+//	fill = queued / capacity, clamped to [0, 1]
+//	secs = ceil(base_seconds × (1 + 3×fill)), clamped to [1, 300]
+//
+// An almost-empty service (one hot worker queue filled while the rest
+// idle) advertises its base backoff; a fully saturated one advertises
+// 4× base, so retry pressure decays instead of synchronizing every
+// rejected client onto the same instant.
+func RetryAfterSecs(base time.Duration, queued, capacity int) int {
+	baseSecs := base.Seconds()
+	if baseSecs < 1 {
+		baseSecs = 1
+	}
+	fill := 0.0
+	if capacity > 0 {
+		fill = float64(queued) / float64(capacity)
+		if fill > 1 {
+			fill = 1
+		}
+		if fill < 0 {
+			fill = 0
+		}
+	}
+	secs := int(baseSecs * (1 + 3*fill))
+	if float64(secs) < baseSecs*(1+3*fill) {
+		secs++ // ceil
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 300 {
+		secs = 300
+	}
+	return secs
+}
+
+// retryAfterSecs applies RetryAfterSecs to the service's current queue
+// state.
+func (s *Service) retryAfterSecs() int {
+	return RetryAfterSecs(s.cfg.RetryAfter, s.QueuedTasks(), s.QueueCapacity())
+}
 
 // Ticket is a claim on a scheduled (or shared) solve.
 type Ticket struct {
-	t *task
+	t   *task
+	svc *Service
 	// Collapsed reports that this submission attached to an already
 	// live task instead of scheduling its own solve.
 	Collapsed bool
@@ -147,6 +261,10 @@ type Ticket struct {
 // Ticket to Wait on. It never blocks on a full queue: saturation is
 // ErrSaturated, and the caller decides whether to retry.
 func (s *Service) Submit(f *ir.Function) (*Ticket, error) {
+	var start time.Time
+	if s.hSaturated != nil {
+		start = time.Now()
+	}
 	cn := canon.Canonicalize(f)
 	s.mu.Lock()
 	if s.closed {
@@ -161,7 +279,7 @@ func (s *Service) Submit(f *ir.Function) (*Ticket, error) {
 		if s.mCollapsed != nil {
 			s.mCollapsed.Inc()
 		}
-		return &Ticket{t: t, Collapsed: true, Hash: cn.Hash}, nil
+		return &Ticket{t: t, svc: s, Collapsed: true, Hash: cn.Hash}, nil
 	}
 	t := &task{key: cn.Key, hash: cn.Hash, f: cn.F, done: make(chan struct{})}
 	// Hash-affinity routing: the same canonical expression always lands
@@ -176,11 +294,16 @@ func (s *Service) Submit(f *ir.Function) (*Ticket, error) {
 		if s.gQueue != nil {
 			s.gQueue.Add(1)
 		}
-		return &Ticket{t: t, Hash: cn.Hash}, nil
+		return &Ticket{t: t, svc: s, Hash: cn.Hash}, nil
 	default:
 		s.mu.Unlock()
 		if s.mRejected != nil {
 			s.mRejected.Inc()
+		}
+		if s.hSaturated != nil {
+			// The "latency" of a rejection: how long the fast-fail path
+			// held the caller. Its _count is the saturation rate.
+			s.hSaturated.Observe(time.Since(start))
 		}
 		return nil, ErrSaturated
 	}
@@ -194,8 +317,18 @@ type Result struct {
 
 // Wait blocks until the ticket's solve completes or ctx is done.
 func (tk *Ticket) Wait(ctx context.Context) (Result, error) {
+	var start time.Time
+	observeCollapsed := tk.Collapsed && tk.svc != nil && tk.svc.hCollapsed != nil
+	if observeCollapsed {
+		start = time.Now()
+	}
 	select {
 	case <-tk.t.done:
+		if observeCollapsed {
+			// A collapsed waiter's cost is its wall wait, not the
+			// original solve's duration (which hLatency already has).
+			tk.svc.hCollapsed.Observe(time.Since(start))
+		}
 		if tk.t.err != nil {
 			return Result{}, tk.t.err
 		}
@@ -212,18 +345,36 @@ func (s *Service) worker(i int) {
 	}
 }
 
+// sampleSolve reports whether this solve's span should be recorded,
+// honoring Config.TraceSample.
+func (s *Service) sampleSolve() bool {
+	n := s.cfg.TraceSample
+	if n <= 1 {
+		return true
+	}
+	return s.seq.Add(1)%uint64(n) == 1
+}
+
 // runTask solves one task, publishes the result to every waiter, and
 // retires the live-map entry. A panicking Solve is converted to an
 // error so one poisonous expression cannot take a worker down.
 func (s *Service) runTask(worker int, t *task) {
+	s.busy[worker].Store(1)
+	var sp *trace.Span
+	var start time.Time
+	var qBefore int64
 	defer func() {
 		if r := recover(); r != nil {
 			t.err = fmt.Errorf("factsvc: solve panicked: %v", r)
+		}
+		if t.elapsed == 0 && !start.IsZero() {
+			t.elapsed = time.Since(start) // panic path: Solve never returned
 		}
 		s.mu.Lock()
 		delete(s.live, t.key)
 		s.mu.Unlock()
 		close(t.done)
+		s.busy[worker].Store(0)
 		if s.gQueue != nil {
 			s.gQueue.Add(-1)
 		}
@@ -235,28 +386,73 @@ func (s *Service) runTask(worker int, t *task) {
 		}
 		if s.hLatency != nil {
 			s.hLatency.Observe(t.elapsed)
-		}
-		if s.gShardOcc != nil && s.cfg.Cache != nil {
-			max := 0
-			for _, l := range s.cfg.Cache.ShardLens() {
-				if l > max {
-					max = l
-				}
+			if t.err != nil {
+				s.hErrored.Observe(t.elapsed)
+			} else {
+				s.hSolved.Observe(t.elapsed)
 			}
-			s.gShardOcc.Set(int64(max))
 		}
+		s.noteSlow(worker, t, sp, start, qBefore)
+		sp.End()
 	}()
 	ctx := context.Background()
-	sp := s.cfg.Tracer.Start(nil, trace.KindExpr, "factsvc")
+	if s.sampleSolve() {
+		sp = s.cfg.Tracer.Start(nil, trace.KindExpr, "factsvc")
+	}
 	if sp != nil {
 		sp.SetInt("worker", int64(worker))
 		sp.SetStr("hash", fmt.Sprintf("%016x", t.hash))
 		ctx = trace.NewContext(ctx, sp)
-		defer sp.End()
 	}
-	start := time.Now()
+	if s.cSolverQ != nil {
+		qBefore = s.cSolverQ.Value()
+	}
+	start = time.Now()
 	t.facts, t.err = s.cfg.Solve(ctx, t.f)
 	t.elapsed = time.Since(start)
+}
+
+// noteSlow offers the finished task to the slow-solve log and, on
+// admission, makes sure the solve is visible in the trace: a sampled
+// span gets a slow=1 attribute; a sampler-skipped solve is force-
+// recorded after the fact via Tracer.Record.
+func (s *Service) noteSlow(worker int, t *task, sp *trace.Span, start time.Time, qBefore int64) {
+	if s.cfg.SlowLog == nil {
+		return
+	}
+	// The solver-query delta is read off the shared process-wide
+	// counter; with several workers solving concurrently it attributes
+	// some neighbors' queries to this solve, so it is labeled ≈.
+	var qDelta int64
+	if s.cSolverQ != nil {
+		qDelta = s.cSolverQ.Value() - qBefore
+	}
+	e := metrics.SlowEntry{
+		When:    start,
+		Hash:    fmt.Sprintf("%016x", t.hash),
+		Op:      t.f.Root.Op.String(),
+		Width:   t.f.Width(),
+		Elapsed: t.elapsed,
+		Worker:  worker,
+		Detail:  fmt.Sprintf("facts=%d solver_queries≈%d", len(t.facts), qDelta),
+	}
+	if t.err != nil {
+		e.Err = t.err.Error()
+	}
+	if !s.cfg.SlowLog.Note(e) {
+		return
+	}
+	if sp != nil {
+		sp.SetInt("slow", 1)
+	} else if tr := s.cfg.Tracer; tr != nil {
+		tr.Record(trace.KindExpr, "factsvc-slow", start, t.elapsed, map[string]any{
+			"worker": worker,
+			"hash":   e.Hash,
+			"op":     e.Op,
+			"width":  e.Width,
+			"slow":   1,
+		})
+	}
 }
 
 // QueueLen returns the total number of queued-or-running tasks.

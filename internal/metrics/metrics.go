@@ -12,10 +12,12 @@ package metrics
 
 import (
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -91,7 +93,10 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.mu.Unlock()
 }
 
-// HistogramSnapshot is a point-in-time summary of a histogram.
+// HistogramSnapshot is a point-in-time summary of a histogram. The
+// quantiles are streaming estimates read off the exponential buckets
+// (upper bucket edge, so an overestimate by at most 2x) — cheap enough
+// to compute on every scrape of a live service.
 type HistogramSnapshot struct {
 	Count int64         `json:"count"`
 	Sum   time.Duration `json:"sum_ns"`
@@ -99,6 +104,7 @@ type HistogramSnapshot struct {
 	Max   time.Duration `json:"max_ns"`
 	P50   time.Duration `json:"p50_ns"`
 	P90   time.Duration `json:"p90_ns"`
+	P95   time.Duration `json:"p95_ns"`
 	P99   time.Duration `json:"p99_ns"`
 }
 
@@ -141,8 +147,86 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		Max:   h.max,
 		P50:   quantile(&h.buckets, h.count, 0.50),
 		P90:   quantile(&h.buckets, h.count, 0.90),
+		P95:   quantile(&h.buckets, h.count, 0.95),
 		P99:   quantile(&h.buckets, h.count, 0.99),
 	}
+}
+
+// buckets returns a copy of the raw bucket counts plus count and sum —
+// what the Prometheus encoder turns into cumulative _bucket series.
+func (h *Histogram) bucketCounts() (b [histBuckets]int64, count int64, sum time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.buckets, h.count, h.sum
+}
+
+// Labels distinguish series of one metric family: a counter named
+// "findings" with labels {kind: soundness} and {kind: inconsistent} is
+// two independent counters exported under one family name. Label names
+// must match Prometheus rules ([a-zA-Z_][a-zA-Z0-9_]*); values are
+// arbitrary and escaped on exposition.
+type Labels map[string]string
+
+// labelPair is one resolved label, kept sorted by key so series identity
+// and exposition order are deterministic.
+type labelPair struct{ K, V string }
+
+// seriesMeta records how a series key decomposes, for the Prometheus
+// encoder (which must re-expand histograms with an extra "le" label).
+type seriesMeta struct {
+	family string
+	labels []labelPair
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text format:
+// backslash, double-quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// seriesKey canonicalizes (name, labels) into the display form
+// name{k="v",k2="v2"} with keys sorted — the map key for the instrument,
+// the snapshot key, and (for counters and gauges) the exposition line
+// prefix, all at once.
+func seriesKey(name string, labels Labels) (string, []labelPair) {
+	if len(labels) == 0 {
+		return name, nil
+	}
+	pairs := make([]labelPair, 0, len(labels))
+	for k, v := range labels {
+		pairs = append(pairs, labelPair{k, v})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].K < pairs[j].K })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.K)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.V))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String(), pairs
 }
 
 // Registry holds named instruments. Lookups create on first use, so
@@ -153,6 +237,8 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	meta       map[string]seriesMeta
+	collectors []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -161,56 +247,103 @@ func NewRegistry() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		meta:       make(map[string]seriesMeta),
+	}
+}
+
+// RegisterCollector adds a hook that runs before every Snapshot (and
+// therefore before every expvar render, Prometheus scrape, and SSE
+// push). Collectors refresh pull-style gauges — queue depths, shard
+// occupancy — so instrumented code does not have to update them on its
+// hot path. A collector must not call Snapshot itself.
+func (r *Registry) RegisterCollector(f func()) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, f)
+	r.mu.Unlock()
+}
+
+// collect runs the registered collectors outside the registry lock (they
+// look instruments up, which needs the lock).
+func (r *Registry) collect() {
+	r.mu.Lock()
+	cs := make([]func(), len(r.collectors))
+	copy(cs, r.collectors)
+	r.mu.Unlock()
+	for _, f := range cs {
+		f()
 	}
 }
 
 // Counter returns (creating if needed) the named counter. Safe to call
 // from the hot path: the instrument should be looked up once and reused,
 // but repeated lookups only cost a mutex.
-func (r *Registry) Counter(name string) *Counter {
+func (r *Registry) Counter(name string) *Counter { return r.CounterL(name, nil) }
+
+// CounterL returns (creating if needed) the counter series with the
+// given labels. Hot paths should resolve the series once and reuse it —
+// each lookup re-canonicalizes the label set.
+func (r *Registry) CounterL(name string, labels Labels) *Counter {
+	key, pairs := seriesKey(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c, ok := r.counters[name]
+	c, ok := r.counters[key]
 	if !ok {
 		c = &Counter{}
-		r.counters[name] = c
+		r.counters[key] = c
+		r.meta[key] = seriesMeta{family: name, labels: pairs}
 	}
 	return c
 }
 
 // Gauge returns (creating if needed) the named gauge.
-func (r *Registry) Gauge(name string) *Gauge {
+func (r *Registry) Gauge(name string) *Gauge { return r.GaugeL(name, nil) }
+
+// GaugeL returns (creating if needed) the gauge series with the given
+// labels.
+func (r *Registry) GaugeL(name string, labels Labels) *Gauge {
+	key, pairs := seriesKey(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
+	g, ok := r.gauges[key]
 	if !ok {
 		g = &Gauge{}
-		r.gauges[name] = g
+		r.gauges[key] = g
+		r.meta[key] = seriesMeta{family: name, labels: pairs}
 	}
 	return g
 }
 
 // Histogram returns (creating if needed) the named histogram.
-func (r *Registry) Histogram(name string) *Histogram {
+func (r *Registry) Histogram(name string) *Histogram { return r.HistogramL(name, nil) }
+
+// HistogramL returns (creating if needed) the histogram series with the
+// given labels.
+func (r *Registry) HistogramL(name string, labels Labels) *Histogram {
+	key, pairs := seriesKey(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	h, ok := r.histograms[name]
+	h, ok := r.histograms[key]
 	if !ok {
 		h = &Histogram{}
-		r.histograms[name] = h
+		r.histograms[key] = h
+		r.meta[key] = seriesMeta{family: name, labels: pairs}
 	}
 	return h
 }
 
 // Snapshot is a point-in-time view of every instrument, ready for JSON.
+// Labeled series appear under their full series key, e.g.
+// `findings{kind="soundness"}`; unlabeled ones under the bare name.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// Snapshot captures every instrument.
+// Snapshot captures every instrument, after running the registered
+// collectors so pull-style gauges are fresh.
 func (r *Registry) Snapshot() Snapshot {
+	r.collect()
 	r.mu.Lock()
 	counters := make(map[string]*Counter, len(r.counters))
 	for k, v := range r.counters {
@@ -272,23 +405,42 @@ func (r *Registry) String() string {
 // and tests may publish more than one registry.
 var expvarMu sync.Mutex
 
+// ErrRebound reports that PublishExpvar displaced a different registry
+// previously published under the same name. The rebind still happens —
+// the newest registry wins, matching the old silent behavior — but the
+// caller can now notice that two registries in one process (e.g. serve
+// mode plus a campaign) are shadowing each other and log it.
+var ErrRebound = errors.New("metrics: expvar name was bound to another registry (rebound; newest wins)")
+
+// ErrDuplicateName reports that the expvar name is held by a variable
+// this package did not publish, so the registry cannot be exposed under
+// it at all.
+var ErrDuplicateName = errors.New("metrics: expvar name already taken by a foreign variable")
+
 // PublishExpvar exposes the registry under the given expvar name (e.g. on
-// /debug/vars when an HTTP listener is up). Publishing the same name
-// twice rebinds it to this registry instead of panicking.
-func (r *Registry) PublishExpvar(name string) {
+// /debug/vars when an HTTP listener is up). Republishing never panics:
+// publishing the same registry again is a no-op, publishing a different
+// registry rebinds the name and returns ErrRebound, and a name held by a
+// non-registry expvar returns ErrDuplicateName with the binding left
+// untouched.
+func (r *Registry) PublishExpvar(name string) error {
 	expvarMu.Lock()
 	defer expvarMu.Unlock()
 	if v := expvar.Get(name); v != nil {
-		// Already published (e.g. a previous campaign in this process):
-		// rebind if it is one of ours, otherwise leave it alone.
-		if rb, ok := v.(*rebindable); ok {
-			rb.set(r)
+		rb, ok := v.(*rebindable)
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrDuplicateName, name)
 		}
-		return
+		if rb.get() == r {
+			return nil
+		}
+		rb.set(r)
+		return fmt.Errorf("%w: %q", ErrRebound, name)
 	}
 	rb := &rebindable{}
 	rb.set(r)
 	expvar.Publish(name, rb)
+	return nil
 }
 
 // rebindable is an expvar.Var whose backing registry can be swapped, so
@@ -302,6 +454,12 @@ func (rb *rebindable) set(r *Registry) {
 	rb.mu.Lock()
 	rb.r = r
 	rb.mu.Unlock()
+}
+
+func (rb *rebindable) get() *Registry {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	return rb.r
 }
 
 func (rb *rebindable) String() string {

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"encoding/json"
+	"errors"
 	"expvar"
 	"strings"
 	"sync"
@@ -96,16 +97,142 @@ func TestStringSummary(t *testing.T) {
 func TestPublishExpvarRebinds(t *testing.T) {
 	r1 := NewRegistry()
 	r1.Counter("n").Add(1)
-	r1.PublishExpvar("test_metrics")
+	if err := r1.PublishExpvar("test_metrics"); err != nil {
+		t.Fatalf("first publish: %v", err)
+	}
+	if err := r1.PublishExpvar("test_metrics"); err != nil {
+		t.Fatalf("republishing the same registry must be a silent no-op, got %v", err)
+	}
 	r2 := NewRegistry()
 	r2.Counter("n").Add(7)
-	r2.PublishExpvar("test_metrics") // must not panic; rebinds
+	err := r2.PublishExpvar("test_metrics") // must not panic; rebinds loudly
+	if !errors.Is(err, ErrRebound) {
+		t.Fatalf("rebinding a second registry returned %v, want ErrRebound", err)
+	}
 	v := expvar.Get("test_metrics")
 	if v == nil {
 		t.Fatal("not published")
 	}
 	if !strings.Contains(v.String(), `"n":7`) {
 		t.Fatalf("expvar shows %s, want rebound registry with n=7", v.String())
+	}
+}
+
+// TestPublishExpvarForeignName is the regression test for the silent
+// no-op: a name held by an expvar this package did not publish must
+// surface ErrDuplicateName instead of quietly serving the foreign
+// variable while the caller believes their registry is exposed.
+func TestPublishExpvarForeignName(t *testing.T) {
+	expvar.NewString("test_metrics_foreign").Set("not ours")
+	r := NewRegistry()
+	r.Counter("n").Add(3)
+	err := r.PublishExpvar("test_metrics_foreign")
+	if !errors.Is(err, ErrDuplicateName) {
+		t.Fatalf("publishing over a foreign expvar returned %v, want ErrDuplicateName", err)
+	}
+	if got := expvar.Get("test_metrics_foreign").String(); !strings.Contains(got, "not ours") {
+		t.Fatalf("foreign binding was clobbered: %s", got)
+	}
+}
+
+func TestLabeledSeriesAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	r.CounterL("findings", Labels{"kind": "soundness"}).Add(2)
+	r.CounterL("findings", Labels{"kind": "inconsistent"}).Add(5)
+	r.Counter("findings").Add(1) // the bare series is a third, distinct one
+	// Label order in the map must not matter.
+	r.GaugeL("depth", Labels{"worker": "0", "queue": "a"}).Set(4)
+	if got := r.GaugeL("depth", Labels{"queue": "a", "worker": "0"}).Value(); got != 4 {
+		t.Fatalf("label-order-insensitive lookup = %d, want 4", got)
+	}
+	snap := r.Snapshot()
+	if got := snap.Counters[`findings{kind="soundness"}`]; got != 2 {
+		t.Fatalf("labeled counter = %d, want 2 (snapshot %v)", got, snap.Counters)
+	}
+	if got := snap.Counters[`findings{kind="inconsistent"}`]; got != 5 {
+		t.Fatalf("labeled counter = %d, want 5", got)
+	}
+	if got := snap.Counters["findings"]; got != 1 {
+		t.Fatalf("bare counter = %d, want 1", got)
+	}
+	if got := snap.Gauges[`depth{queue="a",worker="0"}`]; got != 4 {
+		t.Fatalf("labeled gauge missing from snapshot: %v", snap.Gauges)
+	}
+}
+
+func TestCollectorRunsOnSnapshot(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	r.RegisterCollector(func() {
+		calls++
+		r.Gauge("pulled").Set(int64(calls))
+	})
+	if got := r.Snapshot().Gauges["pulled"]; got != 1 {
+		t.Fatalf("collector gauge = %d, want 1", got)
+	}
+	if got := r.Snapshot().Gauges["pulled"]; got != 2 {
+		t.Fatalf("collector gauge after second snapshot = %d, want 2", got)
+	}
+	if calls != 2 {
+		t.Fatalf("collector ran %d times, want 2", calls)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the exponential bucketing at the
+// exact edges: an observation of exactly 2^i microseconds must land in
+// the bucket covering [2^i, 2^(i+1)), zero and negative durations in
+// bucket 0, and durations past the last edge in the final bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		d      time.Duration
+		bucket int
+	}{
+		{-time.Second, 0}, // clamped to zero
+		{0, 0},
+		{500 * time.Nanosecond, 0}, // < 1µs truncates to 0µs
+		{time.Microsecond, 1},      // exactly on the first edge
+		{2 * time.Microsecond, 2},  // exactly on an edge: [2µs, 4µs)
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 3},
+		{1024 * time.Microsecond, 11},
+		{(1 << 36) * time.Microsecond, 37}, // within the last bucket
+		{(1 << 37) * time.Microsecond, 37}, // clamped into the last bucket
+		{1<<63 - 1, 37},                    // max duration clamps too
+	}
+	for _, tc := range cases {
+		h := &Histogram{}
+		h.Observe(tc.d)
+		buckets, count, _ := h.bucketCounts()
+		if count != 1 {
+			t.Fatalf("Observe(%v): count = %d", tc.d, count)
+		}
+		for i, n := range buckets {
+			want := int64(0)
+			if i == tc.bucket {
+				want = 1
+			}
+			if n != want {
+				t.Errorf("Observe(%v): bucket[%d] = %d, want %d", tc.d, i, n, want)
+			}
+		}
+	}
+}
+
+func TestHistogramP95(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for i := 0; i < 96; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	for i := 0; i < 4; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.P95 < 10*time.Microsecond || s.P95 > 32*time.Microsecond {
+		t.Fatalf("p95 = %v, want ~10µs..32µs (fast cohort)", s.P95)
+	}
+	if s.P99 < 10*time.Millisecond || s.P99 > 32*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~10ms..32ms (slow cohort)", s.P99)
 	}
 }
 

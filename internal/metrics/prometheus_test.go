@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenRegistry builds a deterministic registry exercising every
+// exposition shape: bare and labeled counters, gauges (including a
+// family whose name would interleave under naive key sorting), and
+// histograms with and without labels, plus label-value escaping.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("solver_queries").Add(1234)
+	r.CounterL("findings", Labels{"kind": "soundness"}).Add(3)
+	r.CounterL("findings", Labels{"kind": "inconsistent"}).Add(1)
+	r.Counter("findings").Add(4)
+	// "findings_reduced" must not split the "findings" family in the
+	// output ('_' sorts before '{').
+	r.Counter("findings_reduced").Add(2)
+	r.CounterL("escape", Labels{"v": "a\\b\"c\nd"}).Add(1)
+	r.Gauge("workers_busy").Set(7)
+	r.GaugeL("queue_depth", Labels{"worker": "0"}).Set(5)
+	r.GaugeL("queue_depth", Labels{"worker": "1"}).Set(9)
+	h := r.Histogram("solve_latency")
+	h.Observe(500 * time.Nanosecond) // bucket 0
+	h.Observe(time.Microsecond)      // bucket 1
+	h.Observe(3 * time.Microsecond)  // bucket 2
+	h.Observe(100 * time.Microsecond)
+	h.Observe(20 * time.Millisecond)
+	hl := r.HistogramL("solve_latency_by", Labels{"outcome": "solved"})
+	hl.Observe(2 * time.Millisecond)
+	hl.Observe(2 * time.Millisecond)
+	return r
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	path := filepath.Join("testdata", "prometheus.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	// Determinism: a second encode of identical state is byte-identical.
+	var sb2 strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != got {
+		t.Fatal("two encodes of identical state differ")
+	}
+}
+
+// promLine matches one Prometheus text-format sample line.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9.e+\-]+(e[+-][0-9]+)?$|^\S+\{[^{}]*le="\+Inf"[^{}]*\} [0-9]+$`)
+
+func TestPrometheusShapeAndHistogramContract(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	typeSeen := map[string]bool{}
+	var bucketCum int64
+	var bucketFamily string
+	var lastLe float64
+	infSeen := map[string]int64{}
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "# TYPE ") {
+			parts := strings.Fields(ln)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", ln)
+			}
+			if typeSeen[parts[2]] {
+				t.Fatalf("family %s declared twice", parts[2])
+			}
+			typeSeen[parts[2]] = true
+			continue
+		}
+		if !promLine.MatchString(ln) {
+			t.Fatalf("line %q does not match the text-format shape", ln)
+		}
+		// Histogram bucket contract: cumulative, monotone in both count
+		// and le, terminated by +Inf equal to _count.
+		if i := strings.Index(ln, "_bucket{"); i >= 0 {
+			family := ln[:i]
+			fields := strings.Fields(ln)
+			v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value in %q: %v", ln, err)
+			}
+			leM := regexp.MustCompile(`le="([^"]+)"`).FindStringSubmatch(ln)
+			if leM == nil {
+				t.Fatalf("bucket line without le: %q", ln)
+			}
+			if family != bucketFamily {
+				bucketFamily, bucketCum, lastLe = family, 0, 0
+			}
+			if v < bucketCum {
+				t.Fatalf("bucket counts not monotone at %q (prev %d)", ln, bucketCum)
+			}
+			bucketCum = v
+			if leM[1] == "+Inf" {
+				infSeen[family] = v
+				bucketFamily, bucketCum, lastLe = "", 0, 0
+			} else {
+				le, err := strconv.ParseFloat(leM[1], 64)
+				if err != nil {
+					t.Fatalf("le in %q: %v", ln, err)
+				}
+				if le <= lastLe {
+					t.Fatalf("le bounds not ascending at %q (prev %g)", ln, lastLe)
+				}
+				lastLe = le
+			}
+		}
+		if i := strings.Index(ln, "_count"); i >= 0 && !strings.Contains(ln, "_bucket") {
+			family := ln[:i]
+			fields := strings.Fields(ln)
+			v, _ := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+			if inf, ok := infSeen[family]; !ok || inf != v {
+				t.Fatalf("%s_count = %d but le=\"+Inf\" bucket = %d", family, v, inf)
+			}
+		}
+	}
+	for _, fam := range []string{"findings", "queue_depth", "solve_latency", "solve_latency_by"} {
+		if !typeSeen[fam] {
+			t.Fatalf("family %s missing a TYPE line", fam)
+		}
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterL("esc", Labels{"v": `back\slash "quote" and` + "\nnewline"}).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc{v="back\\slash \"quote\" and\nnewline"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("escaping wrong:\n%s\nwant line %q", sb.String(), want)
+	}
+}

@@ -74,18 +74,20 @@ func (s Stats) HitRate() float64 {
 const DefaultShards = 64
 
 // shard is one lock stripe. Lookups take the read lock, so concurrent
-// hits on the same stripe do not serialize.
+// hits on the same stripe do not serialize. Hit/miss counters live on
+// the shard (one lock-free add per lookup), so per-stripe traffic is
+// observable — the totals Stats reports are just their sum.
 type shard struct {
 	mu      sync.RWMutex
 	entries map[Key]Entry
+	hits    atomic.Uint64
+	misses  atomic.Uint64
 }
 
 // Cache is a concurrency-safe, lock-striped result cache.
 type Cache struct {
 	shards []*shard
 	mask   uint64 // len(shards)-1; len is a power of two
-	hits   atomic.Uint64
-	misses atomic.Uint64
 }
 
 // New returns an empty cache with DefaultShards stripes.
@@ -146,16 +148,16 @@ func (c *Cache) shardFor(k Key) *shard {
 	return c.shards[shardHash(k)&c.mask]
 }
 
-// Get returns the entry for k, counting a hit or miss.
+// Get returns the entry for k, counting a hit or miss on k's shard.
 func (c *Cache) Get(k Key) (Entry, bool) {
 	s := c.shardFor(k)
 	s.mu.RLock()
 	e, ok := s.entries[k]
 	s.mu.RUnlock()
 	if ok {
-		c.hits.Add(1)
+		s.hits.Add(1)
 	} else {
-		c.misses.Add(1)
+		s.misses.Add(1)
 	}
 	return e, ok
 }
@@ -194,15 +196,53 @@ func (c *Cache) ShardLens() []int {
 	return out
 }
 
-// Stats returns the cumulative hit/miss counters.
+// ShardStat is one stripe's occupancy and traffic, for the per-shard
+// rescache gauges on /metricsz.
+type ShardStat struct {
+	Len    int
+	Hits   uint64
+	Misses uint64
+}
+
+// HitRate returns the stripe's hit fraction in [0,1], or 0 with no
+// traffic.
+func (s ShardStat) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// ShardStats returns per-stripe occupancy and hit/miss counters.
+func (c *Cache) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(c.shards))
+	for i, s := range c.shards {
+		s.mu.RLock()
+		out[i].Len = len(s.entries)
+		s.mu.RUnlock()
+		out[i].Hits = s.hits.Load()
+		out[i].Misses = s.misses.Load()
+	}
+	return out
+}
+
+// Stats returns the cumulative hit/miss counters (the sum over shards).
 func (c *Cache) Stats() Stats {
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	var st Stats
+	for _, s := range c.shards {
+		st.Hits += s.hits.Load()
+		st.Misses += s.misses.Load()
+	}
+	return st
 }
 
 // ResetStats zeroes the hit/miss counters, keeping the entries.
 func (c *Cache) ResetStats() {
-	c.hits.Store(0)
-	c.misses.Store(0)
+	for _, s := range c.shards {
+		s.hits.Store(0)
+		s.misses.Store(0)
+	}
 }
 
 // snapshot copies the entry map for persistence. Shards are copied one
