@@ -10,6 +10,8 @@
 //	domain-check                 # clean LLVM-8 port, widths 1..4
 //	domain-check -w 6 -bug2      # re-broken ComputeNumSignBits, widths 1..6
 //	domain-check -ops add,srem   # restrict the sweep to two ops
+//	domain-check -domains tnum,stride  # sweep only the transfer domains
+//	domain-check -list           # print the registered domains and exit
 //
 // Exit status is 1 when any soundness or consistency finding survives.
 package main
@@ -25,6 +27,7 @@ import (
 	"dfcheck/internal/absint"
 	"dfcheck/internal/ir"
 	"dfcheck/internal/llvmport"
+	"dfcheck/internal/tnum"
 )
 
 func main() {
@@ -34,6 +37,8 @@ func main() {
 		maxRangeW  = flag.Uint("max-range-width", 4, "max width for the integer-range input sweep (element count grows as 4^w)")
 		workers    = flag.Int("j", 0, "worker pool size (0 = GOMAXPROCS)")
 		opsFlag    = flag.String("ops", "", "comma-separated op names to sweep (default: all)")
+		domsFlag   = flag.String("domains", "", "comma-separated domains to sweep (default: all registered; see -list)")
+		list       = flag.Bool("list", false, "print the registered domain names and exit")
 		lint       = flag.Bool("consistency", true, "cross-check domains against each other on every harness expression")
 		jsonOut    = flag.Bool("json", false, "emit the full report as JSON")
 		verbose    = flag.Bool("v", false, "print every per-width stat row, not just the per-op table")
@@ -41,11 +46,35 @@ func main() {
 		bug1       = flag.Bool("bug1", false, "re-introduce the r124183 isKnownNonZero add bug")
 		bug2       = flag.Bool("bug2", false, "re-introduce the PR23011 ComputeNumSignBits srem bug")
 		bug3       = flag.Bool("bug3", false, "re-introduce the PR12541 computeKnownBits srem bug")
+		bugTnumMul = flag.Bool("bug-tnum-mul", false, "seed the off-by-one tnum multiply mask bug")
 		modern     = flag.Bool("modern", false, "test the post-LLVM-8 analyzer instead of the LLVM-8 port")
 		noProgress = flag.Bool("no-progress", false, "suppress the progress line")
 		noSliced   = flag.Bool("no-sliced", false, "ablation: grade against scalar per-input evaluation instead of the 64-lane bit-sliced sweep")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, d := range absint.AllInputDomains() {
+			fmt.Println(strings.ReplaceAll(d.Name(), " ", "-"))
+		}
+		return
+	}
+
+	doms, err := absint.DomainsByNames(*domsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "domain-check: %v (see -list)\n", err)
+		os.Exit(2)
+	}
+	if doms == nil {
+		doms = absint.AllInputDomains()
+	}
+	if *bugTnumMul {
+		for i, d := range doms {
+			if d.Name() == "tnum" {
+				doms[i] = absint.TnumsWithBugs(tnum.Bugs{MulMask: true})
+			}
+		}
+	}
 
 	cfg := absint.Config{
 		Analyzer: &llvmport.Analyzer{
@@ -62,6 +91,7 @@ func main() {
 		Workers:       *workers,
 		Lint:          *lint,
 		NoSliced:      *noSliced,
+		Domains:       doms,
 	}
 	if *opsFlag != "" {
 		for _, name := range strings.Split(*opsFlag, ",") {

@@ -18,6 +18,7 @@ import (
 	"syscall"
 	"time"
 
+	"dfcheck/internal/absint"
 	"dfcheck/internal/compare"
 	"dfcheck/internal/factsvc"
 	"dfcheck/internal/harvest"
@@ -50,6 +51,7 @@ func main() {
 		noSeed    = flag.Bool("no-seed", false, "ablation: disable sound-fact seeding of the oracle")
 		consist   = flag.Bool("consistency", true, "cross-check the compiler's own domains on every expression (solver-free reduced-product lint)")
 		noConsist = flag.Bool("no-consistency", false, "disable the cross-domain consistency lint")
+		domsFlag  = flag.String("domains", "", "extend the consistency lint's reduced product with these transfer domains (comma-separated, e.g. tnum,stride; empty = classic four-domain lint)")
 		enumCut   = flag.Int("enum-cutoff", 0, "summed input bits at or below which expressions are enumerated instead of solved (0 = default, negative disables)")
 		portfolio = flag.Int("portfolio", 0, "clones racing each hard SAT query with clause sharing (0 = default, 1 or negative disables)")
 		noPortf   = flag.Bool("no-portfolio", false, "ablation: disable portfolio solving (same as -portfolio=-1)")
@@ -129,6 +131,12 @@ func main() {
 		}
 	}
 
+	doms, err := absint.DomainsByNames(*domsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "precision-table:", err)
+		os.Exit(2)
+	}
+
 	c := &compare.Comparator{
 		Analyzer: &llvmport.Analyzer{
 			Bugs:   llvmport.BugConfig{NonZeroAdd: *bug1, SRemSignBits: *bug2, SRemKnownBits: *bug3},
@@ -144,6 +152,7 @@ func main() {
 		PortfolioSeed: *portfSeed,
 		Tracer:        tracer,
 		Consistency:   *consist && !*noConsist,
+		Domains:       doms,
 		NWay:          *nwayMode,
 		Reduce:        *reduceF,
 	}

@@ -8,6 +8,8 @@ import (
 	"dfcheck/internal/ir"
 	"dfcheck/internal/knownbits"
 	"dfcheck/internal/llvmport"
+	"dfcheck/internal/stride"
+	"dfcheck/internal/tnum"
 )
 
 // Inconsistency is one contradiction between facts the analyzer computed
@@ -134,6 +136,122 @@ func CheckFacts(f *ir.Function, fa *llvmport.Facts) ([]Inconsistency, int) {
 		}
 	}
 	return out, checks
+}
+
+// ExtraFacts carries the per-instruction facts of the self-contained
+// abstract interpreters, for the extended consistency lint. Nil maps
+// mean the corresponding domain is not enabled.
+type ExtraFacts struct {
+	Tnum   map[*ir.Inst]tnum.T
+	Stride map[*ir.Inst]stride.S
+}
+
+// extraFacts interprets f under every transfer domain enabled in cfg, so
+// the lint can cross-check those facts against the analyzer's.
+func (cfg Config) extraFacts(f *ir.Function) ExtraFacts {
+	var ex ExtraFacts
+	for _, d := range cfg.inputDomains() {
+		switch td := d.(type) {
+		case tnumDomain:
+			ex.Tnum = td.analyze(f)
+		case strideDomain:
+			ex.Stride = td.analyze(f)
+		}
+	}
+	return ex
+}
+
+// AnalyzeExtra interprets f under the clean tnum and stride suites — the
+// convenience constructor comparator callers use.
+func AnalyzeExtra(f *ir.Function) ExtraFacts {
+	return ExtraFacts{
+		Tnum:   tnum.Analysis{}.Analyze(f),
+		Stride: stride.Analysis{}.Analyze(f),
+	}
+}
+
+// ExtraFactsFor interprets f under whichever transfer domains appear in
+// doms (others are ignored); a nil or transfer-free doms yields the
+// zero ExtraFacts, under which CheckFactsDomains degrades to CheckFacts.
+func ExtraFactsFor(f *ir.Function, doms []Domain) ExtraFacts {
+	return Config{Domains: doms}.extraFacts(f)
+}
+
+// CheckFactsDomains is CheckFacts extended with the tnum and stride
+// reduced products: per instruction it additionally cross-checks
+// tnum×known-bits (exact ternary meet), tnum×range (exact segment walk
+// over the tnum's known bits) and stride×range (exact arithmetic-
+// progression membership per unsigned segment). As with the base lint,
+// every reported contradiction is a genuine empty intersection.
+func CheckFactsDomains(f *ir.Function, fa *llvmport.Facts, ex ExtraFacts) ([]Inconsistency, int) {
+	out, checks := CheckFacts(f, fa)
+	if ex.Tnum == nil && ex.Stride == nil {
+		return out, checks
+	}
+	report := func(n *ir.Inst, format string, args ...any) {
+		out = append(out, Inconsistency{Inst: instLabel(n), Detail: fmt.Sprintf(format, args...)})
+	}
+	for _, n := range f.Insts() {
+		if n.Op == ir.OpConst {
+			continue
+		}
+		w := n.Width
+		k := fa.KnownBitsOf(n)
+		r := fa.RangeOf(n)
+		if k.HasConflict() || r.IsEmpty() {
+			continue // analysis claims dead code; everything is vacuous
+		}
+		mask := ^uint64(0) >> (64 - w)
+		if t, ok := ex.Tnum[n]; ok && !t.IsBottom() {
+			tk := t.KnownBits()
+			checks++
+			if k.Meet(tk).HasConflict() {
+				report(n, "tnum %s and known bits %s share no value", t, k)
+			}
+			checks++
+			if _, found := kRangeMember(tk, r, 0, mask); !found {
+				report(n, "tnum %s and range %s share no value", t, r)
+			}
+		}
+		if s, ok := ex.Stride[n]; ok && !s.Empty {
+			checks++
+			found := false
+			for _, sg := range unsignedSegs(r) {
+				if strideSegMember(s, sg[0], sg[1]) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				report(n, "stride %s and range %s share no value", s, r)
+			}
+		}
+	}
+	return out, checks
+}
+
+// strideSegMember reports whether the congruence has a member in the
+// inclusive unsigned interval [lo, hi]: the smallest member at or above
+// lo is computed directly, with the window bound checked before the
+// multiply so nothing overflows even at width 64.
+func strideSegMember(s stride.S, lo, hi uint64) bool {
+	switch {
+	case s.Empty:
+		return false
+	case s.M == 0:
+		return lo <= s.R && s.R <= hi
+	case lo <= s.R:
+		return s.R <= hi
+	}
+	d := lo - s.R
+	k := d / s.M
+	if d%s.M != 0 {
+		k++
+	}
+	if k > (s.Max()-s.R)/s.M {
+		return false // no member of the window is at or above lo
+	}
+	return s.R+k*s.M <= hi
 }
 
 func instLabel(n *ir.Inst) string {

@@ -9,6 +9,8 @@ import (
 	"dfcheck/internal/ir"
 	"dfcheck/internal/knownbits"
 	"dfcheck/internal/llvmport"
+	"dfcheck/internal/stride"
+	"dfcheck/internal/tnum"
 )
 
 // TestSmallestGEExhaustive checks smallestGE against brute force for
@@ -157,6 +159,61 @@ func TestCheckFactsPoisonOnlyIsCallerGated(t *testing.T) {
 	}
 }
 
+// TestStrideSegMemberExhaustive: stride×segment membership must agree
+// with brute force for every canonical element and every inclusive
+// interval at width 4.
+func TestStrideSegMemberExhaustive(t *testing.T) {
+	const w = 4
+	Strides.Enum(w, func(e Elem) bool {
+		s := e.(stride.S)
+		for lo := uint64(0); lo < 1<<w; lo++ {
+			for hi := lo; hi < 1<<w; hi++ {
+				want := false
+				for x := lo; x <= hi; x++ {
+					if s.Contains(apint.New(w, x)) {
+						want = true
+						break
+					}
+				}
+				if got := strideSegMember(s, lo, hi); got != want {
+					t.Fatalf("strideSegMember(%s, %d, %d) = %t, want %t", s, lo, hi, got, want)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// TestCheckFactsDomainsFindsContradictions: hand-planted tnum and stride
+// facts that exclude everything the analyzer's facts admit must each be
+// reported by the extended lint, and the clean interpreters' real facts
+// on the same expression must not be.
+func TestCheckFactsDomainsFindsContradictions(t *testing.T) {
+	src := "%x:i8 = var\n%0:i8 = and %x, 1:i8\ninfer %0"
+	f := ir.MustParse(src)
+	an := &llvmport.Analyzer{}
+	fa := an.Analyze(f)
+
+	if incons, checks := CheckFactsDomains(f, fa, AnalyzeExtra(f)); len(incons) != 0 {
+		t.Fatalf("clean extra facts flagged inconsistent: %v", incons)
+	} else if checks <= 3 {
+		t.Fatalf("extended lint ran only %d checks", checks)
+	}
+
+	// The analyzer proves the top seven bits zero; a tnum claiming the
+	// value is exactly 2 and a stride claiming v ≡ 2 (mod 4) both
+	// contradict that.
+	root := f.Root
+	badTnum := ExtraFacts{Tnum: map[*ir.Inst]tnum.T{root: tnum.Const(apint.New(8, 2))}}
+	if incons, _ := CheckFactsDomains(f, fa, badTnum); len(incons) == 0 {
+		t.Fatalf("planted tnum contradiction not reported (known bits %s)", fa.KnownBits())
+	}
+	badStride := ExtraFacts{Stride: map[*ir.Inst]stride.S{root: stride.Make(8, 2, 4)}}
+	if incons, _ := CheckFactsDomains(f, fa, badStride); len(incons) == 0 {
+		t.Fatalf("planted stride contradiction not reported (range %s)", fa.Range())
+	}
+}
+
 // TestModernAnalyzerConsistentOnCorpus is the corpus property test: the
 // Modern analyzer's facts must pass the cross-domain lint on every
 // expression of a 1000-expression harvested corpus, without any solver
@@ -175,7 +232,9 @@ func TestModernAnalyzerConsistentOnCorpus(t *testing.T) {
 	totalChecks := 0
 	for _, e := range corpus {
 		fa := an.Analyze(e.F)
-		incons, checks := CheckFacts(e.F, fa)
+		// The extended lint cross-checks the clean tnum and stride
+		// interpreters against the analyzer on every expression too.
+		incons, checks := CheckFactsDomains(e.F, fa, AnalyzeExtra(e.F))
 		totalChecks += checks
 		if len(incons) != 0 {
 			t.Fatalf("%s: modern analyzer inconsistent on\n%s\n%v", e.Name, e.F, incons)

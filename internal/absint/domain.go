@@ -21,10 +21,14 @@ package absint
 
 import (
 	"fmt"
+	"strings"
 
 	"dfcheck/internal/apint"
 	"dfcheck/internal/constrange"
+	"dfcheck/internal/ir"
 	"dfcheck/internal/knownbits"
+	"dfcheck/internal/stride"
+	"dfcheck/internal/tnum"
 )
 
 // Elem is one abstract element. Each Domain defines its own dynamic type
@@ -66,6 +70,17 @@ type Domain interface {
 	Format(a Elem) string
 }
 
+// TransferDomain is a Domain that carries its own transfer-function
+// suite instead of reading facts off the LLVM-port analyzer: Verify
+// grades Transfer directly against the concrete image, with no harness
+// and no analyzer in the loop. Transfer must map operand tuples with no
+// well-defined execution to a bottom element and must never panic on any
+// op/flag/width combination the IR admits.
+type TransferDomain interface {
+	Domain
+	Transfer(op ir.Op, flags ir.Flags, dstW uint, args []Elem) Elem
+}
+
 // The domain instances, one per analysis of the compiler under test.
 var (
 	KnownBits    Domain = knownBitsDomain{}
@@ -75,7 +90,121 @@ var (
 	Negative     Domain = predDomain{"negative", apint.Int.IsNegative}
 	NonNegative  Domain = predDomain{"non-negative", apint.Int.IsNonNegative}
 	PowerOfTwo   Domain = predDomain{"power of two", apint.Int.IsPowerOfTwo}
+
+	// Tnums and Strides carry their own verified transfer suites
+	// (internal/tnum, internal/stride) and are graded as TransferDomains.
+	Tnums   Domain = tnumDomain{}
+	Strides Domain = strideDomain{}
 )
+
+// TnumsWithBugs returns the tnum domain with the given deliberately
+// re-broken transfer functions, for seeded-bug detection sweeps.
+func TnumsWithBugs(bugs tnum.Bugs) Domain {
+	return tnumDomain{an: tnum.Analysis{Bugs: bugs}}
+}
+
+// DomainByName resolves a command-line domain name; the accepted names
+// are the Name() strings with spaces dashed, plus common short forms.
+func DomainByName(name string) (Domain, bool) {
+	switch name {
+	case "known-bits", "knownbits", "kb":
+		return KnownBits, true
+	case "integer-range", "range":
+		return IntegerRange, true
+	case "sign-bits", "signbits":
+		return SignBits, true
+	case "tnum", "tnums":
+		return Tnums, true
+	case "stride", "strides", "congruence":
+		return Strides, true
+	}
+	return nil, false
+}
+
+// DomainsByNames parses a comma-separated -domains flag value with
+// DomainByName; the empty string yields nil, leaving the caller's
+// default in force.
+func DomainsByNames(csv string) ([]Domain, error) {
+	if csv == "" {
+		return nil, nil
+	}
+	var doms []Domain
+	for _, name := range strings.Split(csv, ",") {
+		d, ok := DomainByName(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("unknown domain %q", name)
+		}
+		doms = append(doms, d)
+	}
+	return doms, nil
+}
+
+// AllInputDomains lists every domain accepted as a Verify input domain,
+// in sweep order: the three LLVM-port fact domains, then the two
+// self-contained transfer suites.
+func AllInputDomains() []Domain {
+	return []Domain{KnownBits, SignBits, IntegerRange, Tnums, Strides}
+}
+
+// tnumDomain adapts internal/tnum to the Domain interface; an holds the
+// transfer suite (possibly with seeded bugs — the lattice is always
+// clean, so only Transfer grading can go unsound).
+type tnumDomain struct{ an tnum.Analysis }
+
+func (tnumDomain) Name() string                         { return "tnum" }
+func (tnumDomain) Top(w uint) Elem                      { return tnum.Top(w) }
+func (tnumDomain) Bottom(w uint) Elem                   { return tnum.Bottom(w) }
+func (tnumDomain) IsBottom(a Elem) bool                 { return a.(tnum.T).IsBottom() }
+func (tnumDomain) Join(a, b Elem) Elem                  { return a.(tnum.T).Union(b.(tnum.T)) }
+func (tnumDomain) Meet(a, b Elem) Elem                  { return a.(tnum.T).Intersect(b.(tnum.T)) }
+func (tnumDomain) Leq(a, b Elem) bool                   { return a.(tnum.T).Leq(b.(tnum.T)) }
+func (tnumDomain) Eq(a, b Elem) bool                    { return a.(tnum.T).Eq(b.(tnum.T)) }
+func (tnumDomain) Contains(a Elem, v apint.Int) bool    { return a.(tnum.T).Contains(v) }
+func (tnumDomain) Abstract(w uint, vs []apint.Int) Elem { return tnum.Abstract(w, vs) }
+func (tnumDomain) Format(a Elem) string                 { return a.(tnum.T).String() }
+func (tnumDomain) Enum(w uint, fn func(Elem) bool) {
+	tnum.Enum(w, func(t tnum.T) bool { return fn(t) })
+}
+
+func (d tnumDomain) Transfer(op ir.Op, flags ir.Flags, dstW uint, args []Elem) Elem {
+	ts := make([]tnum.T, len(args))
+	for i, a := range args {
+		ts[i] = a.(tnum.T)
+	}
+	return d.an.Transfer(op, flags, dstW, ts)
+}
+
+// analyze runs the per-instruction interpreter, for the consistency lint
+// and the comparator.
+func (d tnumDomain) analyze(f *ir.Function) map[*ir.Inst]tnum.T { return d.an.Analyze(f) }
+
+// strideDomain adapts internal/stride to the Domain interface.
+type strideDomain struct{ an stride.Analysis }
+
+func (strideDomain) Name() string                         { return "stride" }
+func (strideDomain) Top(w uint) Elem                      { return stride.Top(w) }
+func (strideDomain) Bottom(w uint) Elem                   { return stride.Bottom(w) }
+func (strideDomain) IsBottom(a Elem) bool                 { return a.(stride.S).Empty }
+func (strideDomain) Join(a, b Elem) Elem                  { return a.(stride.S).Join(b.(stride.S)) }
+func (strideDomain) Meet(a, b Elem) Elem                  { return a.(stride.S).Meet(b.(stride.S)) }
+func (strideDomain) Leq(a, b Elem) bool                   { return a.(stride.S).Leq(b.(stride.S)) }
+func (strideDomain) Eq(a, b Elem) bool                    { return a.(stride.S).Eq(b.(stride.S)) }
+func (strideDomain) Contains(a Elem, v apint.Int) bool    { return a.(stride.S).Contains(v) }
+func (strideDomain) Abstract(w uint, vs []apint.Int) Elem { return stride.Abstract(w, vs) }
+func (strideDomain) Format(a Elem) string                 { return a.(stride.S).String() }
+func (strideDomain) Enum(w uint, fn func(Elem) bool) {
+	stride.Enum(w, func(s stride.S) bool { return fn(s) })
+}
+
+func (d strideDomain) Transfer(op ir.Op, flags ir.Flags, dstW uint, args []Elem) Elem {
+	ss := make([]stride.S, len(args))
+	for i, a := range args {
+		ss[i] = a.(stride.S)
+	}
+	return d.an.Transfer(op, flags, dstW, ss)
+}
+
+func (d strideDomain) analyze(f *ir.Function) map[*ir.Inst]stride.S { return d.an.Analyze(f) }
 
 // knownBitsDomain wraps the ternary known-bits lattice of knownbits.Bits.
 type knownBitsDomain struct{}

@@ -6,7 +6,7 @@ import (
 	"dfcheck/internal/apint"
 )
 
-var allDomains = []Domain{KnownBits, IntegerRange, SignBits, NonZero, Negative, NonNegative, PowerOfTwo}
+var allDomains = []Domain{KnownBits, IntegerRange, SignBits, NonZero, Negative, NonNegative, PowerOfTwo, Tnums, Strides}
 
 // gamma enumerates γ(a) at width w.
 func gamma(d Domain, w uint, a Elem) []apint.Int {
@@ -39,13 +39,17 @@ func enumAll(d Domain, w uint) []Elem {
 }
 
 // TestEnumCounts pins each domain's element count: 3^w conflict-free
-// known-bits elements, 2^w·(2^w−1)+1 non-empty ranges, w sign-bit
-// levels, and the two points of each predicate lattice.
+// known-bits (and tnum) elements, 2^w·(2^w−1)+1 non-empty ranges, w
+// sign-bit levels, 2^w singletons plus 4^(w−1) true progressions for
+// strides, and the two points of each predicate lattice.
 func TestEnumCounts(t *testing.T) {
 	for w := uint(1); w <= 3; w++ {
-		pow3 := 1
+		pow3, pow4 := 1, 1
 		for i := uint(0); i < w; i++ {
 			pow3 *= 3
+		}
+		for i := uint(1); i < w; i++ {
+			pow4 *= 4
 		}
 		n := int(uint64(1) << w)
 		wantCounts := map[string]int{
@@ -56,6 +60,8 @@ func TestEnumCounts(t *testing.T) {
 			"negative":      2,
 			"non-negative":  2,
 			"power of two":  2,
+			"tnum":          pow3,
+			"stride":        n + pow4,
 		}
 		for _, d := range allDomains {
 			if got := len(enumAll(d, w)); got != wantCounts[d.Name()] {
@@ -87,6 +93,45 @@ func TestTopBottom(t *testing.T) {
 				}
 				if d.IsBottom(e) {
 					t.Errorf("%s at w=%d: Enum yields bottom element %s", d.Name(), w, d.Format(e))
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+// TestBottomContract pins the Bottom/IsBottom contract for every
+// registered domain: Bottom is the least element (below everything Enum
+// yields), it is a Join identity and a Meet absorber, IsBottom agrees
+// exactly with empty concretization, and α of the empty set is Bottom.
+func TestBottomContract(t *testing.T) {
+	for w := uint(1); w <= 3; w++ {
+		for _, d := range allDomains {
+			bot := d.Bottom(w)
+			if got, want := d.IsBottom(bot), len(gamma(d, w, bot)) == 0; got != want {
+				t.Errorf("%s at w=%d: IsBottom(Bottom) = %t but |γ(Bottom)| = 0 is %t",
+					d.Name(), w, got, want)
+			}
+			if !d.Eq(d.Abstract(w, nil), bot) {
+				t.Errorf("%s at w=%d: α(∅) = %s, want Bottom %s",
+					d.Name(), w, d.Format(d.Abstract(w, nil)), d.Format(bot))
+			}
+			d.Enum(w, func(e Elem) bool {
+				if !d.Leq(bot, e) {
+					t.Errorf("%s at w=%d: Bottom is not below %s", d.Name(), w, d.Format(e))
+					return false
+				}
+				if !d.Eq(d.Join(bot, e), e) {
+					t.Errorf("%s at w=%d: Join(Bottom, %s) is not an identity", d.Name(), w, d.Format(e))
+					return false
+				}
+				if !d.Eq(d.Join(e, bot), e) {
+					t.Errorf("%s at w=%d: Join(%s, Bottom) is not an identity", d.Name(), w, d.Format(e))
+					return false
+				}
+				if !d.Eq(d.Meet(bot, e), bot) || !d.Eq(d.Meet(e, bot), bot) {
+					t.Errorf("%s at w=%d: Meet with Bottom does not absorb on %s", d.Name(), w, d.Format(e))
 					return false
 				}
 				return true
@@ -180,7 +225,7 @@ func TestMeetSound(t *testing.T) {
 						t.Fatalf("%s at w=%d: γ(Meet(%s, %s)) misses part of the intersection",
 							d.Name(), w, d.Format(a), d.Format(b))
 					}
-					if len(inter) == 0 && (d == KnownBits || d == IntegerRange || d == SignBits) {
+					if len(inter) == 0 && (d == KnownBits || d == IntegerRange || d == SignBits || d == Tnums || d == Strides) {
 						if !d.IsBottom(m) {
 							t.Fatalf("%s at w=%d: Meet(%s, %s) has empty intersection but is not bottom",
 								d.Name(), w, d.Format(a), d.Format(b))

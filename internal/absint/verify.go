@@ -38,6 +38,12 @@ type Config struct {
 	Workers int
 	// Ops restricts the sweep to the given operations (nil = all).
 	Ops []ir.Op
+	// Domains restricts the sweep to the given input domains (nil = the
+	// classic three LLVM-port fact domains: known bits, sign bits,
+	// integer range). TransferDomains in the list (tnum, stride) are
+	// graded through their own Transfer suites with no analyzer or
+	// harness in the loop.
+	Domains []Domain
 	// Lint additionally runs the cross-domain consistency check
 	// (CheckFacts) on every analyzed harness expression.
 	Lint bool
@@ -204,14 +210,25 @@ type inElem struct {
 	single bool
 }
 
-// inputDomains are the domains swept as inputs; each maps to the output
-// domains its facts feed. Known-bits facts feed the known-bits, sign-bits
-// and predicate transfer functions (ValueTracking derives all of them
-// from known bits); range facts feed only the range analysis; sign-bits
-// facts feed only ComputeNumSignBits.
+// inputDomains are the default domains swept as inputs; each maps to the
+// output domains its facts feed. Known-bits facts feed the known-bits,
+// sign-bits and predicate transfer functions (ValueTracking derives all
+// of them from known bits); range facts feed only the range analysis;
+// sign-bits facts feed only ComputeNumSignBits.
 var inputDomains = []Domain{KnownBits, SignBits, IntegerRange}
 
+func (cfg Config) inputDomains() []Domain {
+	if cfg.Domains != nil {
+		return cfg.Domains
+	}
+	return inputDomains
+}
+
 func outputDomains(in Domain) []Domain {
+	if _, ok := in.(TransferDomain); ok {
+		// A self-contained transfer suite is graded against itself.
+		return []Domain{in}
+	}
 	switch in {
 	case KnownBits:
 		return []Domain{KnownBits, SignBits, NonZero, Negative, NonNegative, PowerOfTwo}
@@ -220,6 +237,13 @@ func outputDomains(in Domain) []Domain {
 	default:
 		return []Domain{IntegerRange}
 	}
+}
+
+// widthCapped reports whether dom's element count grows too fast for
+// uncapped sweeping (4^w for ranges, 2^w + 4^(w-1) for strides); these
+// domains respect Config.MaxRangeWidth.
+func widthCapped(dom Domain) bool {
+	return dom == IntegerRange || dom == Strides
 }
 
 // Verify exhaustively checks every transfer function of cfg.Analyzer at
@@ -286,8 +310,8 @@ func buildTasks(cfg Config) []task {
 	}
 	var tasks []task
 	emit := func(t task) {
-		for _, dom := range inputDomains {
-			if dom == IntegerRange && maxWidth(t.w, t.dstW) > cfg.MaxRangeWidth {
+		for _, dom := range cfg.inputDomains() {
+			if widthCapped(dom) && maxWidth(t.w, t.dstW) > cfg.MaxRangeWidth {
 				continue
 			}
 			t.inDom = dom
@@ -392,6 +416,10 @@ func runTask(cfg Config, t task, elems map[elemKey][]inElem) *taskOut {
 	}
 	out := &taskOut{}
 
+	// Transfer domains are graded directly: no harness, no analyzer.
+	td, _ := t.inDom.(TransferDomain)
+	targs := make([]Elem, arity)
+
 	idx := make([]int, arity)
 	tuple := make([]inElem, arity)
 	scratch := make([]apint.Int, 0, 64)
@@ -399,8 +427,19 @@ func runTask(cfg Config, t task, elems map[elemKey][]inElem) *taskOut {
 		for i := range idx {
 			tuple[i] = lists[i][idx[i]]
 		}
-		f, inputs := buildHarness(t, ws, tuple)
-		fa := cfg.Analyzer.AnalyzeWithInputs(f, inputs)
+		var f *ir.Function
+		var fa *llvmport.Facts
+		var tgot Elem
+		if td != nil {
+			for i := range tuple {
+				targs[i] = tuple[i].e
+			}
+			tgot = td.Transfer(t.v.op, t.v.flags, t.dstW, targs)
+		} else {
+			var inputs map[string]llvmport.AbsInput
+			f, inputs = buildHarness(t, ws, tuple)
+			fa = cfg.Analyzer.AnalyzeWithInputs(f, inputs)
+		}
 		image := concreteImage(tbl, ws, tuple)
 		scratch = scratch[:0]
 		for x := uint64(0); x < uint64(1)<<t.dstW; x++ {
@@ -416,7 +455,10 @@ func runTask(cfg Config, t task, elems map[elemKey][]inElem) *taskOut {
 				st.Dead++
 				continue
 			}
-			got := outputFact(fa, t.dstW, d)
+			got := tgot
+			if td == nil {
+				got = outputFact(fa, t.dstW, d)
+			}
 			bad, unsound := escapee(d, got, scratch)
 			if unsound {
 				st.Unsound++
@@ -436,8 +478,9 @@ func runTask(cfg Config, t task, elems map[elemKey][]inElem) *taskOut {
 		// (empty image) the expression has no well-defined value, so
 		// mutually contradictory facts are all vacuously sound — LLVM
 		// really produces such fact sets for e.g. "add nuw 1, 1".
-		if cfg.Lint && len(scratch) > 0 {
-			incons, n := CheckFacts(f, fa)
+		// Transfer-domain tasks have no analyzer facts to lint against.
+		if cfg.Lint && td == nil && len(scratch) > 0 {
+			incons, n := CheckFactsDomains(f, fa, cfg.extraFacts(f))
 			out.lintChecks += uint64(n)
 			if len(incons) > 0 && !hasLintWitness(out, t) {
 				out.findings = append(out.findings, Witness{

@@ -6,6 +6,7 @@ import (
 
 	"dfcheck/internal/ir"
 	"dfcheck/internal/llvmport"
+	"dfcheck/internal/tnum"
 )
 
 // TestVerifyCleanAnalyzer: the exhaustive sweep over every op at widths
@@ -152,6 +153,67 @@ func TestVerifyNoBugEscapesRestriction(t *testing.T) {
 	}
 	if w := findWitness(rep, "unsound", "sign bits"); w == nil {
 		t.Fatalf("bug 2 masked by tuple restriction; findings: %v", rep.Findings)
+	}
+}
+
+// TestVerifyTransferDomainsClean: the self-contained tnum and stride
+// suites must grade sound on every op at widths 1–3, with every stat row
+// attributed to the transfer domains and no LLVM-port task in the sweep.
+func TestVerifyTransferDomainsClean(t *testing.T) {
+	rep := Verify(Config{MaxWidth: 3, Workers: 4, Domains: []Domain{Tnums, Strides}})
+	if !rep.Sound() {
+		msgs := make([]string, 0, len(rep.Findings))
+		for _, w := range rep.Findings {
+			msgs = append(msgs, w.String())
+		}
+		t.Fatalf("transfer suites graded unsound:\n%s", strings.Join(msgs, "\n"))
+	}
+	if rep.Tuples == 0 {
+		t.Fatalf("sweep did no work")
+	}
+	var sawTnum, sawStride bool
+	for _, st := range rep.Stats {
+		switch st.InDomain {
+		case "tnum":
+			sawTnum = true
+		case "stride":
+			sawStride = true
+		default:
+			t.Fatalf("unexpected input domain %q in a restricted sweep", st.InDomain)
+		}
+		if st.InDomain != st.Domain {
+			t.Fatalf("transfer domain %q graded against %q", st.InDomain, st.Domain)
+		}
+	}
+	if !sawTnum || !sawStride {
+		t.Fatalf("missing stats: tnum=%t stride=%t", sawTnum, sawStride)
+	}
+}
+
+// TestVerifyDetectsTnumMulBug: the seeded mask-recurrence off-by-one in
+// the verified tnum multiply must surface with the minimal
+// width-ascending witness — mul at i1, where x · 1 comes back as the
+// constant 0.
+func TestVerifyDetectsTnumMulBug(t *testing.T) {
+	rep := Verify(Config{
+		MaxWidth: 3,
+		Domains:  []Domain{TnumsWithBugs(tnum.Bugs{MulMask: true})},
+	})
+	w := findWitness(rep, "unsound", "tnum")
+	if w == nil {
+		t.Fatalf("tnum mul bug not detected; findings: %v", rep.Findings)
+	}
+	if w.Op != "mul" || w.Width != "i1" {
+		t.Errorf("witness not minimal: op %s at %s, want mul at i1", w.Op, w.Width)
+	}
+	if len(w.ConcreteIn) != 2 || w.ConcreteOut == "" {
+		t.Errorf("witness has no concrete counterexample: %+v", *w)
+	}
+	// Only mul variants share the broken kernel; no other op may be blamed.
+	for _, f := range rep.Findings {
+		if !strings.HasPrefix(f.Op, "mul") {
+			t.Errorf("clean op %s blamed: %s", f.Op, f.String())
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"dfcheck/internal/absint"
 	"dfcheck/internal/compare"
 	"dfcheck/internal/harvest"
 	"dfcheck/internal/llvmport"
@@ -399,5 +400,63 @@ func TestCheckpointPreservesInconsistentFindings(t *testing.T) {
 	plain := New(testConfig(13, 1), testComparator())
 	if err := plain.Resume(path); err == nil || !strings.Contains(err.Error(), "configuration") {
 		t.Fatalf("resume under different consistency setting not rejected: %v", err)
+	}
+}
+
+// TestCheckpointTransferDomainFindings: n-way contradictions in the
+// transfer domains are labeled "tnum"/"stride" — names outside Table 1 —
+// and a checkpoint carrying one must resume cleanly. The extended-lint
+// domain list is part of the fingerprint, so dropping it invalidates the
+// checkpoint like any other configuration change.
+func TestCheckpointTransferDomainFindings(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	mk := func(doms []absint.Domain) *Campaign {
+		return New(testConfig(17, 1), &compare.Comparator{
+			Analyzer:    &llvmport.Analyzer{},
+			Consistency: true,
+			Domains:     doms,
+			Budget:      500,
+			Workers:     4,
+		})
+	}
+	c := mk(absint.AllInputDomains())
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// A clean analyzer contradicts nothing, so plant the finding shape
+	// the n-way cross-check emits for a broken tnum multiply.
+	c.Totals.Findings = append(c.Totals.Findings, compare.Finding{
+		ExprName: "planted",
+		Source:   "%x:i1 = var\n%0:i1 = mul %x, 1:i1\ninfer %0",
+		Kind:     compare.FindingVariant,
+		Result: compare.Result{
+			Analysis:   harvest.Tnum,
+			Outcome:    compare.VariantsContradict,
+			Var:        "exact vs domain-interp",
+			OracleFact: "{value 0 mask 1}",
+			LLVMFact:   "{value 0 mask 0}",
+		},
+	})
+	if err := c.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mk(absint.AllInputDomains())
+	if err := r.Resume(path); err != nil {
+		t.Fatalf("resume rejected tnum-labeled finding: %v", err)
+	}
+	var got *compare.Finding
+	for i := range r.Totals.Findings {
+		if r.Totals.Findings[i].Result.Analysis == harvest.Tnum {
+			got = &r.Totals.Findings[i]
+		}
+	}
+	if got == nil || got.Kind != compare.FindingVariant || got.Result.Outcome != compare.VariantsContradict {
+		t.Fatalf("tnum finding lost or reclassified: %+v", r.Totals.Findings)
+	}
+
+	plain := mk(nil)
+	if err := plain.Resume(path); err == nil || !strings.Contains(err.Error(), "configuration") {
+		t.Fatalf("resume under different domain list not rejected: %v", err)
 	}
 }

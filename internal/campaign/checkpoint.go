@@ -82,9 +82,9 @@ type wireCheckpoint struct {
 // was written with: resuming a -bug3 campaign without -bug3 would
 // silently change what the remaining batches test — and the same holds
 // for the ablation flags (-no-seed, -no-strash, -enum-cutoff,
-// -portfolio, -portfolio-after) and the n-way/reducer modes, all of
-// which change which results and findings the remaining batches can
-// produce.
+// -portfolio, -portfolio-after), the n-way/reducer modes, and the
+// extended-lint domain set (-domains), all of which change which
+// results and findings the remaining batches can produce.
 //
 // Deliberately excluded, with the tests that justify each exclusion:
 // Workers (scheduling only; TestParallelRunMatchesSequential in
@@ -114,11 +114,12 @@ func (c *Campaign) Fingerprint() string {
 	}
 	return fmt.Sprintf("seed=%d;batches=%d;n=%d;max-insts=%d;widths=%s;max-width=%d;mutants=%d;canaries=%t;"+
 		"budget=%d;expr-timeout=%s;bug-nonzero=%t;bug-sremsign=%t;bug-sremknown=%t;modern=%t;consistency=%t;"+
+		"domains=%s;"+
 		"no-seed=%t;no-strash=%t;enum-cutoff=%d;portfolio=%d;portfolio-after=%d;nway=%t;reduce=%t;"+
 		"factsvc=%t;shards=%d",
 		c.Seed, c.Batches, c.NumExprs, c.MaxInsts, widths, c.MaxCastWidth, c.Mutants, c.Canaries,
 		budget, exprTimeout, an.Bugs.NonZeroAdd, an.Bugs.SRemSignBits, an.Bugs.SRemKnownBits, an.Modern,
-		cmp.Consistency,
+		cmp.Consistency, cmp.DomainNames(),
 		cmp.NoSeed, cmp.NoStrash, cmp.EnumCutoff, cmp.Portfolio, cmp.PortfolioAfter, cmp.NWay, cmp.Reduce,
 		c.FactSvc, c.CacheShards)
 }
@@ -241,8 +242,14 @@ func (c *Campaign) Resume(path string) error {
 			return fmt.Errorf("checkpoint %s: unknown analysis %q", path, row.Analysis)
 		}
 	}
+	// Findings may additionally be labeled with the consistency lint or
+	// the transfer domains (n-way contradictions in tnum/stride carry
+	// those names); none of these ever contributes a Table 1 row.
+	valid[string(compare.ConsistencyAnalysis)] = true
+	valid[string(harvest.Tnum)] = true
+	valid[string(harvest.Stride)] = true
 	for _, f := range w.Findings {
-		if !valid[f.Analysis] && f.Analysis != string(compare.ConsistencyAnalysis) {
+		if !valid[f.Analysis] {
 			return fmt.Errorf("checkpoint %s: unknown analysis %q in finding", path, f.Analysis)
 		}
 	}

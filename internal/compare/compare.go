@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -150,6 +151,14 @@ type Comparator struct {
 	// contradictions between the compiler's own domains surface as
 	// Inconsistent findings without costing a single oracle query.
 	Consistency bool
+	// Domains widens the consistency lint's reduced product with the
+	// self-contained transfer domains listed here (absint.Tnums,
+	// absint.Strides — resolve names with absint.DomainByName): their
+	// abstract interpreters run per expression and their facts join the
+	// tnum×known-bits, tnum×range, and stride×range contradiction
+	// checks. Nil keeps the classic four-domain lint; the Table 1 oracle
+	// comparison is unaffected either way.
+	Domains []absint.Domain
 	// NWay switches on the n-way differential pre-filter (internal/nway):
 	// every registered analyzer variant computes its facts, the facts are
 	// cross-checked pairwise per domain, and the oracle runs only on
@@ -420,6 +429,19 @@ func (c *Comparator) cacheConfig() string {
 	return fmt.Sprintf("bug-nonzero=%t;bug-sremsign=%t;bug-sremknown=%t;modern=%t;timeout=%s;no-seed=%t;no-strash=%t;enum-cutoff=%d;portfolio=%d",
 		an.Bugs.NonZeroAdd, an.Bugs.SRemSignBits, an.Bugs.SRemKnownBits, an.Modern, c.ExprTimeout,
 		c.NoSeed, c.NoStrash, c.EnumCutoff, c.Portfolio)
+}
+
+// DomainNames renders the extended-lint domain list (e.g. "tnum,stride")
+// for checkpoint fingerprints and logs; empty for the classic lint.
+func (c *Comparator) DomainNames() string {
+	var sb strings.Builder
+	for i, d := range c.Domains {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(d.Name())
+	}
+	return sb.String()
 }
 
 // flightVal is what one cached-path flight computes: the analysis
@@ -695,7 +717,7 @@ func (c *Comparator) compareOne(ctx context.Context, f *ir.Function) ([]Result, 
 // sound — so findings on dead expressions are suppressed. The
 // definedness probe runs only when a contradiction was found.
 func (c *Comparator) lintExpr(f *ir.Function, fa *llvmport.Facts) ([]Result, int) {
-	incons, checks := absint.CheckFacts(f, fa)
+	incons, checks := absint.CheckFactsDomains(f, fa, absint.ExtraFactsFor(f, c.Domains))
 	if c.Metrics != nil {
 		c.Metrics.Counter("consistency_checks").Add(int64(checks))
 	}
@@ -1186,7 +1208,7 @@ func (c *Comparator) FindingProperty(ctx context.Context, fd Finding) reduce.Pro
 	switch fd.Kind {
 	case FindingInconsistent:
 		return func(g *ir.Function) bool {
-			incons, _ := absint.CheckFacts(g, c.Analyzer.Analyze(g))
+			incons, _ := absint.CheckFactsDomains(g, c.Analyzer.Analyze(g), absint.ExtraFactsFor(g, c.Domains))
 			return len(incons) > 0 && hasWellDefinedInput(g)
 		}
 	case FindingVariant:

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"dfcheck/internal/absint"
 	"dfcheck/internal/harvest"
 	"dfcheck/internal/ir"
 	"dfcheck/internal/llvmport"
@@ -188,5 +189,51 @@ func TestConsistencyCachedParity(t *testing.T) {
 	}
 	if plain.ConsistencyChecks != cached.ConsistencyChecks {
 		t.Errorf("check counts diverge: plain %d, cached %d", plain.ConsistencyChecks, cached.ConsistencyChecks)
+	}
+}
+
+// TestConsistencyDomainsWidenLint: listing transfer domains on the
+// comparator adds the tnum/stride reduced-product checks on top of the
+// classic four-domain lint — strictly more checks over the same corpus —
+// while a clean analyzer stays silent either way. Nil Domains must keep
+// the classic check count exactly, so the default path is unchanged.
+func TestConsistencyDomainsWidenLint(t *testing.T) {
+	corpus := harvest.Generate(harvest.Config{
+		Seed:     3,
+		NumExprs: 25,
+		MaxInsts: 5,
+		Widths:   []harvest.WidthWeight{{Width: 4, Weight: 1}, {Width: 8, Weight: 1}},
+	})
+	run := func(doms []absint.Domain) *Report {
+		c := &Comparator{Analyzer: &llvmport.Analyzer{}, Consistency: true, Domains: doms}
+		return c.Run(corpus)
+	}
+	classic, classicAgain := run(nil), run(nil)
+	if classic.ConsistencyChecks != classicAgain.ConsistencyChecks {
+		t.Fatalf("classic lint not deterministic: %d vs %d checks",
+			classic.ConsistencyChecks, classicAgain.ConsistencyChecks)
+	}
+	extended := run(absint.AllInputDomains())
+	if extended.ConsistencyChecks <= classic.ConsistencyChecks {
+		t.Fatalf("domain lint added no checks: classic %d, extended %d",
+			classic.ConsistencyChecks, extended.ConsistencyChecks)
+	}
+	for _, f := range extended.Findings {
+		if f.Kind == FindingInconsistent {
+			t.Fatalf("clean analyzer flagged inconsistent under domain lint: %s", f)
+		}
+	}
+}
+
+// TestDomainNames: the fingerprint rendering of the domain list — empty
+// for the classic lint, comma-joined Name() strings otherwise.
+func TestDomainNames(t *testing.T) {
+	if got := (&Comparator{}).DomainNames(); got != "" {
+		t.Errorf("nil domains rendered %q", got)
+	}
+	got := (&Comparator{Domains: absint.AllInputDomains()}).DomainNames()
+	want := "known bits,sign bits,integer range,tnum,stride"
+	if got != want {
+		t.Errorf("DomainNames() = %q, want %q", got, want)
 	}
 }

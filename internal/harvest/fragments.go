@@ -24,6 +24,15 @@ const (
 	DemandedBits Analysis = "demanded bits"
 )
 
+// The self-contained transfer domains (internal/tnum, internal/stride)
+// sit outside Table 1: they have no oracle implementation, so they never
+// contribute rows, but n-way contradictions and consistency findings are
+// labeled with them.
+const (
+	Tnum   Analysis = "tnum"
+	Stride Analysis = "stride"
+)
+
 // AllAnalyses lists the Table 1 rows in the paper's order.
 var AllAnalyses = []Analysis{
 	KnownBits, SignBits, NonZero, Negative, NonNegative,

@@ -10,11 +10,14 @@
 // exact facts — are soundness findings in their own right, established
 // without a single solver query.
 //
-// Three implementations exist per domain: the LLVM-8 port under test
-// (possibly bug-injected), the trusted Modern analyzer, and the
+// Three implementations exist per Table 1 domain: the LLVM-8 port under
+// test (possibly bug-injected), the trusted Modern analyzer, and the
 // absint-derived best transformers (exact facts by bit-sliced input
 // enumeration on small input spaces, per-instruction best transfer
-// functions under an enumeration budget above them).
+// functions under an enumeration budget above them). The self-contained
+// transfer domains (tnum, stride) add a fourth variant: their abstract
+// interpreters claim facts in those domains only, cross-checked against
+// the exact variant's α of the achievable value set.
 package nway
 
 import (
@@ -29,6 +32,8 @@ import (
 	"dfcheck/internal/ir"
 	"dfcheck/internal/knownbits"
 	"dfcheck/internal/llvmport"
+	"dfcheck/internal/stride"
+	"dfcheck/internal/tnum"
 )
 
 // Facts is one variant's view of an expression's root value across the
@@ -40,6 +45,15 @@ type Facts struct {
 	Range constrange.Range
 
 	NonZero, Negative, NonNegative, PowerOfTwo bool
+
+	// Tnum and Stride are the transfer-domain facts, claimed only when
+	// HasTnum/HasStride is set: most variants implement neither domain.
+	// Their cross-check is contradiction-only — the oracle has no tnum or
+	// stride implementation, so a mere precision gap escalates nothing.
+	Tnum      tnum.T
+	Stride    stride.S
+	HasTnum   bool
+	HasStride bool
 
 	// Exact marks facts obtained by exhaustive enumeration of the input
 	// space: the maximally precise sound facts. Any strictly stronger
@@ -74,7 +88,8 @@ type Variant struct {
 
 // Variants returns the implementations cross-checked in n-way mode: the
 // analyzer under test, the trusted Modern analyzer (skipped when it is
-// the analyzer under test), and the absint-derived best transformers.
+// the analyzer under test), the absint-derived best transformers, and
+// the transfer-domain interpreter (tnum and stride facts only).
 func Variants(under *llvmport.Analyzer) []Variant {
 	var u llvmport.Analyzer
 	if under != nil {
@@ -84,7 +99,43 @@ func Variants(under *llvmport.Analyzer) []Variant {
 	if trusted := (llvmport.Analyzer{Modern: true}); u != trusted {
 		vs = append(vs, Variant{Name: "modern", Facts: analyzerFacts(trusted)})
 	}
-	return append(vs, Variant{Name: "absint-best", Facts: Best{}.Facts})
+	return append(vs,
+		Variant{Name: "absint-best", Facts: Best{}.Facts},
+		Variant{Name: "domain-interp", Facts: DomainInterp{}.Facts})
+}
+
+// DomainInterp is the transfer-domain variant: it abstract-interprets
+// the expression under the self-contained tnum and stride suites
+// (possibly bug-seeded, for testing the tester) and claims facts in
+// those two domains only. Every Table 1 domain is abstained from, so
+// the variant adds reduced-product coverage without ever forcing an
+// oracle escalation by itself.
+type DomainInterp struct {
+	Tnum   tnum.Analysis
+	Stride stride.Analysis
+}
+
+// Facts interprets f and reports the root's tnum and stride elements. A
+// bottom root means the interpreter proved no execution of f is
+// well-defined, which makes every fact vacuous — the expression is
+// flagged dead, like the exact variant does on an empty image.
+func (di DomainInterp) Facts(f *ir.Function) Facts {
+	t := di.Tnum.Analyze(f)[f.Root]
+	s := di.Stride.Analyze(f)[f.Root]
+	if t.IsBottom() || s.Empty {
+		return Facts{Dead: true}
+	}
+	return Facts{
+		Tnum:         t,
+		Stride:       s,
+		HasTnum:      true,
+		HasStride:    true,
+		Sign:         1,
+		AbstainKnown: true,
+		AbstainSign:  true,
+		AbstainRange: true,
+		PredsPartial: true,
+	}
 }
 
 func analyzerFacts(an llvmport.Analyzer) func(*ir.Function) Facts {
@@ -207,6 +258,37 @@ func (c *Comparison) comparePair(na string, a Facts, nb string, b Facts) {
 		}
 	}
 
+	// The transfer domains are contradiction-only: there is no oracle to
+	// escalate a precision gap to, so differing-but-compatible claims
+	// neither agree nor disagree. A disjoint meet is fatal outright, and
+	// so is any claim the exact α is not below — the domains are Moore
+	// families (meets are exact), so α of the achievable set is below
+	// every sound claim.
+	if a.HasTnum && b.HasTnum {
+		c.Checks++
+		ta, tb := a.Tnum, b.Tnum
+		switch {
+		case ta.Eq(tb):
+		case ta.Intersect(tb).IsBottom(),
+			a.Exact && !ta.Leq(tb),
+			b.Exact && !tb.Leq(ta):
+			c.Disagreements++
+			contradict(harvest.Tnum, ta.String(), tb.String())
+		}
+	}
+	if a.HasStride && b.HasStride {
+		c.Checks++
+		sa, sb := a.Stride, b.Stride
+		switch {
+		case sa.Eq(sb):
+		case sa.Meet(sb).Empty,
+			a.Exact && !sa.Leq(sb),
+			b.Exact && !sb.Leq(sa):
+			c.Disagreements++
+			contradict(harvest.Stride, sa.String(), sb.String())
+		}
+	}
+
 	preds := [4]struct {
 		an     harvest.Analysis
 		av, bv bool
@@ -302,6 +384,10 @@ func exactFacts(f *ir.Function) Facts {
 		Negative:    absint.Negative.Abstract(w, vals).(bool),
 		NonNegative: absint.NonNegative.Abstract(w, vals).(bool),
 		PowerOfTwo:  absint.PowerOfTwo.Abstract(w, vals).(bool),
+		Tnum:        tnum.Abstract(w, vals),
+		Stride:      stride.Abstract(w, vals),
+		HasTnum:     true,
+		HasStride:   true,
 		Exact:       true,
 	}
 }

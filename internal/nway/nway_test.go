@@ -11,6 +11,8 @@ import (
 	"dfcheck/internal/ir"
 	"dfcheck/internal/knownbits"
 	"dfcheck/internal/llvmport"
+	"dfcheck/internal/stride"
+	"dfcheck/internal/tnum"
 )
 
 // bruteFacts computes reference facts by scalar enumeration of the whole
@@ -38,6 +40,10 @@ func bruteFacts(t *testing.T, f *ir.Function) (Facts, bool) {
 		Negative:    absint.Negative.Abstract(w, vals).(bool),
 		NonNegative: absint.NonNegative.Abstract(w, vals).(bool),
 		PowerOfTwo:  absint.PowerOfTwo.Abstract(w, vals).(bool),
+		Tnum:        tnum.Abstract(w, vals),
+		Stride:      stride.Abstract(w, vals),
+		HasTnum:     true,
+		HasStride:   true,
 		Exact:       true,
 	}, true
 }
@@ -63,7 +69,9 @@ func TestExactFactsMatchBruteForce(t *testing.T) {
 		}
 		if !got.Known.Eq(want.Known) || got.Sign != want.Sign || !got.Range.Eq(want.Range) ||
 			got.NonZero != want.NonZero || got.Negative != want.Negative ||
-			got.NonNegative != want.NonNegative || got.PowerOfTwo != want.PowerOfTwo {
+			got.NonNegative != want.NonNegative || got.PowerOfTwo != want.PowerOfTwo ||
+			!got.HasTnum || !got.Tnum.Eq(want.Tnum) ||
+			!got.HasStride || !got.Stride.Eq(want.Stride) {
 			t.Errorf("%s:\n got  %+v\n want %+v", src, got, want)
 		}
 	}
@@ -180,11 +188,59 @@ func TestCleanVariantsNeverContradict(t *testing.T) {
 }
 
 func TestVariantsSkipsModernDuplicate(t *testing.T) {
-	if n := len(Variants(&llvmport.Analyzer{Modern: true})); n != 2 {
-		t.Fatalf("modern under test: %d variants, want 2", n)
+	if n := len(Variants(&llvmport.Analyzer{Modern: true})); n != 3 {
+		t.Fatalf("modern under test: %d variants, want 3", n)
 	}
-	if n := len(Variants(&llvmport.Analyzer{})); n != 3 {
-		t.Fatalf("llvm8 under test: %d variants, want 3", n)
+	if n := len(Variants(&llvmport.Analyzer{})); n != 4 {
+		t.Fatalf("llvm8 under test: %d variants, want 4", n)
+	}
+}
+
+// TestDomainInterpCrossChecked: on a small expression the exact variant
+// claims tnum and stride facts, so the transfer-domain interpreter is
+// genuinely cross-checked — and on a clean interpreter the exact α must
+// be below the interpreted claim, never contradictory.
+func TestDomainInterpCrossChecked(t *testing.T) {
+	f := ir.MustParse("%x:i4 = var\n%0:i4 = shl %x, 1:i4\ninfer %0")
+	di := DomainInterp{}.Facts(f)
+	if !di.HasTnum || !di.HasStride {
+		t.Fatalf("domain-interp claims nothing: %+v", di)
+	}
+	// shl by 1 makes the low bit known zero and the stride even.
+	if di.Tnum.Contains(apint.New(4, 1)) {
+		t.Errorf("tnum %s admits odd value after shl 1", di.Tnum)
+	}
+	if di.Stride.Contains(apint.New(4, 1)) {
+		t.Errorf("stride %s admits odd value after shl 1", di.Stride)
+	}
+	cmp := Compare(f, Variants(&llvmport.Analyzer{}))
+	if len(cmp.Contradictions) != 0 {
+		t.Fatalf("clean transfer domains contradict: %+v", cmp.Contradictions)
+	}
+}
+
+// TestDomainInterpCatchesSeededTnumBug: the seeded mask-recurrence bug
+// makes the tnum multiply claim "constant 0" for x·1 at i1, which the
+// exact variant's α (top) refutes — a solver-free variant contradiction
+// in the tnum domain.
+func TestDomainInterpCatchesSeededTnumBug(t *testing.T) {
+	f := ir.MustParse("%x:i1 = var\n%0:i1 = mul %x, 1:i1\ninfer %0")
+	vs := []Variant{
+		{Name: "exact", Facts: (Best{}).Facts},
+		{Name: "bugged-tnum", Facts: DomainInterp{Tnum: tnum.Analysis{Bugs: tnum.Bugs{MulMask: true}}}.Facts},
+	}
+	cmp := Compare(f, vs)
+	found := false
+	for _, cd := range cmp.Contradictions {
+		if cd.Analysis == harvest.Tnum {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("seeded tnum-mul bug not contradicted: %+v", cmp)
+	}
+	if !cmp.Escalate() {
+		t.Errorf("tnum contradiction did not count as a disagreement")
 	}
 }
 

@@ -1,0 +1,271 @@
+// Package stride implements a stride/congruence abstract domain after
+// Granger: an element describes the values v ≡ R (mod M) inside the
+// width-w window [0, 2^w). The lattice join is Euclid's gcd, the meet is
+// the Chinese Remainder Theorem (exact, in particular for emptiness —
+// what the consistency lint relies on), and the arithmetic transfer
+// functions stay sound under wraparound by cutting the modulus down to
+// gcd(M, 2^w) whenever a computation can wrap.
+package stride
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+
+	"dfcheck/internal/apint"
+)
+
+// S is one congruence element at width W:
+//
+//   - Empty set:  Empty == true (the lattice bottom);
+//   - singleton:  M == 0, the set {R} with R < 2^W;
+//   - congruence: M ≥ 1, the set {v ∈ [0, 2^W) : v ≡ R (mod M)} with
+//     0 ≤ R < M and at least two members (R + M < 2^W).
+//
+// The constructors keep elements canonical, so distinct representations
+// describe distinct sets and structural equality is semantic equality.
+// Top is (R=0, M=1).
+type S struct {
+	W     uint
+	R, M  uint64
+	Empty bool
+}
+
+// Top is the full set at width w.
+func Top(w uint) S { return S{W: w, R: 0, M: 1} }
+
+// Bottom is the empty set at width w.
+func Bottom(w uint) S { return S{W: w, Empty: true} }
+
+// Const is the singleton {v}.
+func Const(v apint.Int) S { return S{W: v.Width(), R: v.Uint64()} }
+
+// limit returns 2^w - 1.
+func limit(w uint) uint64 { return ^uint64(0) >> (64 - w) }
+
+// Make canonicalizes a congruence v ≡ r (mod m) into the width-w window:
+// the residue is reduced, a progression with fewer than two members in
+// the window collapses to a singleton (or to empty when even the first
+// member is outside it).
+func Make(w uint, r, m uint64) S {
+	if m != 0 {
+		r %= m
+	}
+	if r > limit(w) {
+		return Bottom(w)
+	}
+	if m == 0 || m > limit(w)-r {
+		return S{W: w, R: r}
+	}
+	return S{W: w, R: r, M: m}
+}
+
+// IsConst reports whether the element is a singleton.
+func (s S) IsConst() bool { return !s.Empty && s.M == 0 }
+
+// IsTop reports whether the element is the full set.
+func (s S) IsTop() bool { return !s.Empty && s.M == 1 }
+
+// Contains reports v ∈ γ(s).
+func (s S) Contains(v apint.Int) bool {
+	switch {
+	case s.Empty:
+		return false
+	case s.M == 0:
+		return v.Uint64() == s.R
+	}
+	return v.Uint64()%s.M == s.R
+}
+
+// Min returns the smallest member; meaningless on empty elements.
+func (s S) Min() uint64 { return s.R }
+
+// Max returns the largest member; meaningless on empty elements.
+func (s S) Max() uint64 {
+	if s.M == 0 {
+		return s.R
+	}
+	return s.R + (limit(s.W)-s.R)/s.M*s.M
+}
+
+// Size returns the member count.
+func (s S) Size() uint64 {
+	switch {
+	case s.Empty:
+		return 0
+	case s.M == 0:
+		return 1
+	}
+	return (limit(s.W)-s.R)/s.M + 1
+}
+
+// Eq reports semantic equality (canonical elements compare structurally).
+func (s S) Eq(o S) bool { return s == o }
+
+// Leq reports γ(s) ⊆ γ(o). For canonical non-singletons inclusion
+// coincides with divisibility: the first two members of s pin both the
+// residue and the stride modulo o's.
+func (s S) Leq(o S) bool {
+	switch {
+	case s.Empty:
+		return true
+	case o.Empty:
+		return false
+	case s.M == 0:
+		return o.Contains(apint.New(s.W, s.R))
+	case o.M == 0:
+		return false // s has two members, o one
+	}
+	return s.M%o.M == 0 && s.R%o.M == o.R
+}
+
+// Join is the least upper bound: the finest congruence containing both
+// sides, via gcd over the strides and the residue difference.
+func (s S) Join(o S) S {
+	switch {
+	case s.Empty:
+		return o
+	case o.Empty:
+		return s
+	}
+	d := s.R - o.R
+	if o.R > s.R {
+		d = o.R - s.R
+	}
+	g := gcd(gcd(s.M, o.M), d)
+	if g == 0 {
+		return s // two identical singletons
+	}
+	return Make(s.W, s.R%g, g)
+}
+
+// Meet is the greatest lower bound, exact on concretizations: the
+// Chinese Remainder Theorem decides whether the two congruences share a
+// solution and what the combined modulus is.
+func (s S) Meet(o S) S {
+	switch {
+	case s.Empty || o.Empty:
+		return Bottom(s.W)
+	case s.M == 0:
+		if o.Contains(apint.New(s.W, s.R)) {
+			return s
+		}
+		return Bottom(s.W)
+	case o.M == 0:
+		if s.Contains(apint.New(s.W, o.R)) {
+			return o
+		}
+		return Bottom(s.W)
+	}
+	g := gcd(s.M, o.M)
+	d := s.R - o.R
+	if o.R > s.R {
+		d = o.R - s.R
+	}
+	if d%g != 0 {
+		return Bottom(s.W)
+	}
+	// Solve v ≡ s.R (mod s.M), v ≡ o.R (mod o.M) with big integers: the
+	// lcm can exceed 64 bits at width 64, and this is a cold path.
+	m1, m2 := new(big.Int).SetUint64(s.M), new(big.Int).SetUint64(o.M)
+	bg := new(big.Int).SetUint64(g)
+	lcm := new(big.Int).Div(new(big.Int).Mul(m1, m2), bg)
+	// v = s.R + s.M · t with t ≡ (o.R - s.R)/g · inv(s.M/g) (mod o.M/g).
+	m2g := new(big.Int).Div(m2, bg)
+	diff := new(big.Int).Sub(new(big.Int).SetUint64(o.R), new(big.Int).SetUint64(s.R))
+	diff.Div(diff, bg)
+	inv := new(big.Int).ModInverse(new(big.Int).Div(m1, bg), m2g)
+	if inv == nil { // o.M/g == 1: the first congruence already decides
+		inv = big.NewInt(0)
+	}
+	t := new(big.Int).Mul(diff, inv)
+	t.Mod(t, m2g)
+	v := new(big.Int).Mul(new(big.Int).SetUint64(s.M), t)
+	v.Add(v, new(big.Int).SetUint64(s.R))
+	v.Mod(v, lcm)
+	lim := new(big.Int).SetUint64(limit(s.W))
+	if v.Cmp(lim) > 0 {
+		return Bottom(s.W)
+	}
+	if !lcm.IsUint64() {
+		return S{W: s.W, R: v.Uint64()} // one member at most in the window
+	}
+	return Make(s.W, v.Uint64(), lcm.Uint64())
+}
+
+// Abstract returns α(vs): the finest congruence containing every value
+// (gcd of the pairwise differences), empty for the empty set.
+func Abstract(w uint, vs []apint.Int) S {
+	if len(vs) == 0 {
+		return Bottom(w)
+	}
+	v0 := vs[0].Uint64()
+	g := uint64(0)
+	for _, v := range vs[1:] {
+		d := v.Uint64() - v0
+		if v0 > v.Uint64() {
+			d = v0 - v.Uint64()
+		}
+		g = gcd(g, d)
+	}
+	if g == 0 {
+		return S{W: w, R: v0}
+	}
+	return Make(w, v0%g, g)
+}
+
+// Enum enumerates every canonical non-empty element at width w
+// (2^w singletons plus 4^(w-1) true progressions), stopping early if fn
+// returns false.
+func Enum(w uint, fn func(S) bool) {
+	lim := limit(w)
+	for r := uint64(0); ; r++ {
+		if !fn(S{W: w, R: r}) {
+			return
+		}
+		if r == lim {
+			break
+		}
+	}
+	for m := uint64(1); m <= lim; m++ {
+		for r := uint64(0); r < m && r <= lim-m; r++ {
+			if !fn(S{W: w, R: r, M: m}) {
+				return
+			}
+		}
+	}
+}
+
+// String renders the element the way reports print it.
+func (s S) String() string {
+	switch {
+	case s.Empty:
+		return "empty"
+	case s.M == 0:
+		return fmt.Sprintf("{%d}", s.R)
+	case s.M == 1:
+		return "full"
+	}
+	return fmt.Sprintf("%d (mod %d)", s.R, s.M)
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// pow2Cut returns gcd(m, 2^w) = 2^min(tz(m), w) for m ≥ 1: the modulus a
+// congruence survives reduction modulo 2^w with. Computed from trailing
+// zeros, so it never overflows even at width 64.
+func pow2Cut(m uint64, w uint) uint64 {
+	tz := uint(bits.TrailingZeros64(m))
+	if tz > w {
+		tz = w
+	}
+	if tz >= 64 {
+		tz = 63 // unreachable for m ≥ 1 at w ≤ 64, defensive
+	}
+	return uint64(1) << tz
+}

@@ -1,0 +1,257 @@
+package stride
+
+import (
+	"testing"
+
+	"dfcheck/internal/apint"
+	"dfcheck/internal/eval"
+	"dfcheck/internal/ir"
+)
+
+// gammaMask returns γ(s) as a bitset (width ≤ 6, so 2^w ≤ 64 values).
+func gammaMask(s S) uint64 {
+	var out uint64
+	for x, max := uint64(0), uint64(1)<<s.W; x < max; x++ {
+		if s.Contains(apint.New(s.W, x)) {
+			out |= 1 << x
+		}
+	}
+	return out
+}
+
+func enumAll(w uint) []S {
+	var out []S
+	Enum(w, func(s S) bool { out = append(out, s); return true })
+	return out
+}
+
+func gammaVals(s S) []apint.Int {
+	var out []apint.Int
+	for x, max := uint64(0), uint64(1)<<s.W; x < max; x++ {
+		if v := apint.New(s.W, x); s.Contains(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestEnumCanonical pins the element count (2^w singletons plus 4^(w-1)
+// true progressions) and checks the enumeration yields pairwise distinct
+// sets — the canonical-form invariant the absint law suite relies on.
+func TestEnumCanonical(t *testing.T) {
+	want := map[uint]int{1: 3, 2: 8, 3: 24, 4: 80}
+	for w := uint(1); w <= 4; w++ {
+		es := enumAll(w)
+		if len(es) != want[w] {
+			t.Errorf("w=%d: %d elements enumerated, want %d", w, len(es), want[w])
+		}
+		seen := map[uint64]S{}
+		for _, s := range es {
+			g := gammaMask(s)
+			if g == 0 {
+				t.Fatalf("w=%d: enumerated element %s is empty", w, s)
+			}
+			if prev, dup := seen[g]; dup {
+				t.Fatalf("w=%d: %s and %s denote the same set", w, prev, s)
+			}
+			seen[g] = s
+		}
+	}
+}
+
+// TestLatticeExhaustive checks Leq/Join/Meet against γ-inclusion on every
+// pair at widths up to 3: Leq is exactly inclusion, Join is sound AND
+// least among enumerated upper bounds, Meet is exact (the property the
+// reduced-product consistency lint depends on).
+func TestLatticeExhaustive(t *testing.T) {
+	for w := uint(1); w <= 3; w++ {
+		es := enumAll(w)
+		for _, a := range es {
+			ga := gammaMask(a)
+			for _, b := range es {
+				gb := gammaMask(b)
+				if got, want := a.Leq(b), ga&^gb == 0; got != want {
+					t.Fatalf("w=%d: Leq(%s, %s) = %t, γ-inclusion says %t", w, a, b, got, want)
+				}
+				j := a.Join(b)
+				gj := gammaMask(j)
+				if (ga|gb)&^gj != 0 {
+					t.Fatalf("w=%d: Join(%s, %s) = %s misses members", w, a, b, j)
+				}
+				for _, e := range es {
+					ge := gammaMask(e)
+					if ga&^ge == 0 && gb&^ge == 0 && !j.Leq(e) {
+						t.Fatalf("w=%d: Join(%s, %s) = %s is not least (%s is a smaller bound)", w, a, b, j, e)
+					}
+				}
+				m := a.Meet(b)
+				gm := gammaMask(m)
+				if gm != ga&gb {
+					t.Fatalf("w=%d: Meet(%s, %s) = %s (γ %b), want exact %b", w, a, b, m, gm, ga&gb)
+				}
+			}
+		}
+		if !Bottom(w).Empty || gammaMask(Bottom(w)) != 0 {
+			t.Fatalf("w=%d: Bottom is not empty", w)
+		}
+		if gammaMask(Top(w)) != (uint64(1)<<(1<<w))-1 {
+			t.Fatalf("w=%d: Top is not full", w)
+		}
+	}
+}
+
+// TestAbstractLeast: α of every nonempty subset contains the subset and
+// is below every enumerated element that also contains it.
+func TestAbstractLeast(t *testing.T) {
+	const w = 3
+	es := enumAll(w)
+	for set := uint64(1); set < 1<<(1<<w); set++ {
+		var vs []apint.Int
+		for x := uint64(0); x < 1<<w; x++ {
+			if set&(1<<x) != 0 {
+				vs = append(vs, apint.New(w, x))
+			}
+		}
+		al := Abstract(w, vs)
+		ga := gammaMask(al)
+		if set&^ga != 0 {
+			t.Fatalf("α(%b) = %s misses members", set, al)
+		}
+		for _, e := range es {
+			if ge := gammaMask(e); set&^ge == 0 && !al.Leq(e) {
+				t.Fatalf("α(%b) = %s is not least (%s also contains the set)", set, al, e)
+			}
+		}
+	}
+	if !Abstract(w, nil).Empty {
+		t.Fatalf("α(∅) is not bottom")
+	}
+}
+
+// TestTransferSoundnessExhaustive grades the whole transfer suite against
+// the enumerated concrete image at widths 1..3: no concrete result of a
+// well-defined execution may escape the abstract output, and a bottom
+// output is only allowed when no execution is well defined. Widths 2 and
+// 3 exercise the wraparound modulus cuts in add/sub/mul/shl.
+func TestTransferSoundnessExhaustive(t *testing.T) {
+	an := Analysis{}
+	for w := uint(1); w <= 3; w++ {
+		for _, op := range ir.AllOps() {
+			if op == ir.OpBSwap {
+				continue // byte widths only
+			}
+			valid := op.ValidFlags()
+			for flags := ir.Flags(0); flags < 8; flags++ {
+				if flags&^valid != 0 {
+					continue
+				}
+				if op.IsCast() {
+					for small := uint(1); small < w; small++ {
+						if op == ir.OpTrunc {
+							checkOp(t, an, op, flags, w, small, []uint{w})
+						} else {
+							checkOp(t, an, op, flags, small, w, []uint{small})
+						}
+					}
+					continue
+				}
+				dstW := w
+				if op.HasBoolResult() {
+					dstW = 1
+				}
+				ws := make([]uint, op.Arity())
+				for i := range ws {
+					ws[i] = w
+				}
+				if op == ir.OpSelect {
+					ws[0] = 1
+				}
+				checkOp(t, an, op, flags, w, dstW, ws)
+			}
+		}
+	}
+}
+
+func checkOp(t *testing.T, an Analysis, op ir.Op, flags ir.Flags, w, dstW uint, ws []uint) {
+	t.Helper()
+	lists := make([][]S, len(ws))
+	for i, opw := range ws {
+		lists[i] = enumAll(opw)
+	}
+	idx := make([]int, len(ws))
+	args := make([]S, len(ws))
+	vals := make([]apint.Int, len(ws))
+	for {
+		for i := range idx {
+			args[i] = lists[i][idx[i]]
+		}
+		got := an.Transfer(op, flags, dstW, args)
+		var image uint64
+		live := false
+		var walk func(i int)
+		walk = func(i int) {
+			if i == len(args) {
+				if v, ok := eval.ConstFold(op, flags, dstW, vals); ok {
+					live = true
+					image |= 1 << v.Uint64()
+				}
+				return
+			}
+			for _, v := range gammaVals(args[i]) {
+				vals[i] = v
+				walk(i + 1)
+			}
+		}
+		walk(0)
+		if live {
+			if got.Empty {
+				t.Fatalf("%s%s i%d→i%d on %v: live tuple graded bottom", op, flags, w, dstW, args)
+			}
+			if image&^gammaMask(got) != 0 {
+				t.Fatalf("%s%s i%d→i%d on %v: output %s misses image %b", op, flags, w, dstW, args, got, image)
+			}
+		}
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(lists[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// TestWideArithmetic spot-checks the wraparound cuts at width 64, where
+// the uint64 edge cases (overflowing products, full-window strides) live.
+func TestWideArithmetic(t *testing.T) {
+	an := Analysis{}
+	w := uint(64)
+	// 8·k + 3 added to 12·k + 5: residue survives modulo gcd(8,12)=4 but
+	// the sum wraps, so the modulus must cut to gcd(4, 2^64) = 4.
+	a, b := Make(w, 3, 8), Make(w, 5, 12)
+	got := an.Transfer(ir.OpAdd, 0, w, []S{a, b})
+	if got.M != 4 || got.R != 0 {
+		t.Fatalf("add = %s, want 0 (mod 4)", got)
+	}
+	// Odd stride times odd stride wraps: everything collapses to top.
+	got = an.Transfer(ir.OpMul, 0, w, []S{Make(w, 0, 3), Make(w, 0, 5)})
+	if !got.IsTop() {
+		t.Fatalf("wrapping odd mul = %s, want full", got)
+	}
+	// Even strides keep their power-of-two part through a wrapping mul.
+	got = an.Transfer(ir.OpMul, 0, w, []S{Make(w, 0, 6), Make(w, 0, 10)})
+	if got.M != 4 || got.R != 0 {
+		t.Fatalf("wrapping even mul = %s, want 0 (mod 4)", got)
+	}
+	x, y := uint64(6)<<40, uint64(10)<<30
+	for _, v := range []uint64{0, 6 * 10, x * y} { // the product wraps mod 2^64
+
+		if !got.Contains(apint.New(w, v)) {
+			t.Fatalf("wrapping even mul misses %d", v)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package tnum implements the eBPF verifier's tristate-number abstract
+// domain (Vishwanathan, Shachnai, Narayana, Nagarakatte: "Sound, Precise,
+// and Fast Abstract Interpretation with Tristate Numbers"): a value/mask
+// pair in which every bit of a width-w integer is known-zero, known-one,
+// or unknown. The concretization is
+//
+//	γ(⟨value, mask⟩) = { v : v &^ mask == value }
+//
+// for well-formed pairs (value & mask == 0); a pair with value & mask ≠ 0
+// is the synthetic bottom with empty concretization. The domain is
+// structurally the same lattice as internal/knownbits (zero = ^(value |
+// mask), one = value) but carries its own transfer-function suite — the
+// verified algorithms of the tnum paper rather than the LLVM-8
+// ValueTracking port — so the two make an ideal differential pair.
+package tnum
+
+import (
+	"strings"
+
+	"dfcheck/internal/apint"
+	"dfcheck/internal/knownbits"
+)
+
+// T is one tristate number. Value holds the known-one bits, Mask the
+// unknown bits; bits in neither are known zero. Well-formed elements
+// satisfy Value & Mask == 0; anything else is bottom.
+type T struct {
+	Value, Mask apint.Int
+}
+
+// Make builds a tnum from a value and a mask without normalization: a
+// pair with overlapping value and mask bits is bottom.
+func Make(value, mask apint.Int) T { return T{Value: value, Mask: mask} }
+
+// Const is the singleton {v}.
+func Const(v apint.Int) T { return T{Value: v, Mask: apint.Zero(v.Width())} }
+
+// Top is the unconstrained width-w tnum (every bit unknown).
+func Top(w uint) T { return T{Value: apint.Zero(w), Mask: apint.AllOnes(w)} }
+
+// Bottom is the canonical empty-concretization element at width w.
+func Bottom(w uint) T { return T{Value: apint.AllOnes(w), Mask: apint.AllOnes(w)} }
+
+// Width returns the bit width.
+func (t T) Width() uint { return t.Value.Width() }
+
+// IsBottom reports whether γ(t) is empty (value and mask overlap).
+func (t T) IsBottom() bool { return !t.Value.And(t.Mask).IsZero() }
+
+// IsTop reports whether every bit is unknown.
+func (t T) IsTop() bool { return t.Value.IsZero() && t.Mask.IsAllOnes() }
+
+// IsConst reports whether γ(t) is a singleton.
+func (t T) IsConst() bool { return t.Mask.IsZero() }
+
+// Contains reports v ∈ γ(t).
+func (t T) Contains(v apint.Int) bool {
+	return !t.IsBottom() && v.And(t.Mask.Not()).Eq(t.Value)
+}
+
+// UMin returns the smallest member of γ(t) (unknown bits all zero).
+// Meaningless on bottom.
+func (t T) UMin() apint.Int { return t.Value }
+
+// UMax returns the largest member of γ(t) (unknown bits all one).
+// Meaningless on bottom.
+func (t T) UMax() apint.Int { return t.Value.Or(t.Mask) }
+
+// Eq reports structural equality; all bottoms are identified.
+func (t T) Eq(o T) bool {
+	if t.IsBottom() || o.IsBottom() {
+		return t.IsBottom() && o.IsBottom()
+	}
+	return t.Value.Eq(o.Value) && t.Mask.Eq(o.Mask)
+}
+
+// Leq reports γ(t) ⊆ γ(o): every bit o knows, t must know with the same
+// value.
+func (t T) Leq(o T) bool {
+	switch {
+	case t.IsBottom():
+		return true
+	case o.IsBottom():
+		return false
+	}
+	// t's unknown bits must be unknown in o, and the bits known in both
+	// must agree (o's knowledge is a subset of t's).
+	return t.Mask.And(o.Mask.Not()).IsZero() &&
+		t.Value.Xor(o.Value).And(o.Mask.Not()).IsZero()
+}
+
+// Union is the lattice join: bits that disagree or are unknown on either
+// side become unknown.
+func (t T) Union(o T) T {
+	switch {
+	case t.IsBottom():
+		return o
+	case o.IsBottom():
+		return t
+	}
+	mu := t.Mask.Or(o.Mask).Or(t.Value.Xor(o.Value))
+	return T{Value: t.Value.And(mu.Not()), Mask: mu}
+}
+
+// Intersect is the lattice meet, exact on concretizations: the result
+// knows every bit either side knows, and is bottom exactly when two known
+// bits disagree (γ(t) ∩ γ(o) = ∅).
+func (t T) Intersect(o T) T {
+	switch {
+	case t.IsBottom() || o.IsBottom():
+		return Bottom(t.Width())
+	}
+	known := t.Mask.Not().Or(o.Mask.Not())
+	if !t.Value.Xor(o.Value).And(t.Mask.Not()).And(o.Mask.Not()).IsZero() {
+		return Bottom(t.Width())
+	}
+	return T{Value: t.Value.Or(o.Value), Mask: known.Not()}
+}
+
+// Abstract returns α(vs): the least tnum containing every value of vs
+// (bottom for the empty set).
+func Abstract(w uint, vs []apint.Int) T {
+	if len(vs) == 0 {
+		return Bottom(w)
+	}
+	mu := apint.Zero(w)
+	for _, v := range vs[1:] {
+		mu = mu.Or(v.Xor(vs[0]))
+	}
+	return T{Value: vs[0].And(mu.Not()), Mask: mu}
+}
+
+// FromKnownBits converts a knownbits element (conflicted elements map to
+// bottom).
+func FromKnownBits(k knownbits.Bits) T {
+	if k.HasConflict() {
+		return Bottom(k.Width())
+	}
+	return T{Value: k.One, Mask: k.Zero.Or(k.One).Not()}
+}
+
+// KnownBits converts to the structurally equivalent knownbits element.
+func (t T) KnownBits() knownbits.Bits {
+	if t.IsBottom() {
+		return knownbits.Make(apint.AllOnes(t.Width()), apint.AllOnes(t.Width()))
+	}
+	return knownbits.Make(t.Value.Or(t.Mask).Not(), t.Value)
+}
+
+// Enum enumerates every well-formed tnum at width w (3^w elements),
+// stopping early if fn returns false.
+func Enum(w uint, fn func(T) bool) {
+	// Ternary counter: each bit is known-zero, known-one, or unknown.
+	digits := make([]byte, w)
+	for {
+		var value, mask uint64
+		for i, d := range digits {
+			switch d {
+			case 1:
+				value |= 1 << uint(i)
+			case 2:
+				mask |= 1 << uint(i)
+			}
+		}
+		if !fn(T{Value: apint.New(w, value), Mask: apint.New(w, mask)}) {
+			return
+		}
+		i := 0
+		for ; i < len(digits); i++ {
+			if digits[i] < 2 {
+				digits[i]++
+				break
+			}
+			digits[i] = 0
+		}
+		if i == len(digits) {
+			return
+		}
+	}
+}
+
+// String renders the tnum msb-first with 0/1/x digits ("!" for bottom),
+// matching the knownbits notation.
+func (t T) String() string {
+	if t.IsBottom() {
+		return "!"
+	}
+	var b strings.Builder
+	for i := int(t.Width()) - 1; i >= 0; i-- {
+		switch {
+		case t.Mask.Bit(uint(i)):
+			b.WriteByte('x')
+		case t.Value.Bit(uint(i)):
+			b.WriteByte('1')
+		default:
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,431 @@
+package tnum
+
+import (
+	"math/bits"
+
+	"dfcheck/internal/apint"
+	"dfcheck/internal/eval"
+	"dfcheck/internal/ir"
+)
+
+// Bugs selects deliberately re-broken transfer functions, mirroring
+// llvmport.BugConfig: each bug is a realistic, historically shaped defect
+// the checkers must catch.
+type Bugs struct {
+	// MulMask seeds an off-by-one into the mask recurrence of the
+	// verified tnum_mul: the uncertain-LSB step accumulates the partial
+	// product's uncertainty shifted right by one, so the low bit of each
+	// partial product is claimed known when it is not. Unsound from
+	// width 1 (x · 1 comes back as the constant 0).
+	MulMask bool
+}
+
+// Analysis is the tnum abstract interpreter: a per-op transfer-function
+// suite over T plus a per-instruction DAG walk. The zero value is the
+// clean (verified) suite.
+type Analysis struct {
+	Bugs Bugs
+}
+
+// Add is the tnum paper's addition: carry uncertainty is the XOR spread
+// between the all-zeros and all-ones completions of the masks.
+func Add(a, b T) T {
+	sm := a.Mask.Add(b.Mask)
+	sv := a.Value.Add(b.Value)
+	sigma := sm.Add(sv)
+	chi := sigma.Xor(sv)
+	mu := chi.Or(a.Mask).Or(b.Mask)
+	return T{Value: sv.And(mu.Not()), Mask: mu}
+}
+
+// Sub is the tnum paper's subtraction.
+func Sub(a, b T) T {
+	dv := a.Value.Sub(b.Value)
+	alpha := dv.Add(a.Mask)
+	beta := dv.Sub(b.Mask)
+	chi := alpha.Xor(beta)
+	mu := chi.Or(a.Mask).Or(b.Mask)
+	return T{Value: dv.And(mu.Not()), Mask: mu}
+}
+
+// And is exact bitwise conjunction.
+func And(a, b T) T {
+	alpha := a.Value.Or(a.Mask)
+	beta := b.Value.Or(b.Mask)
+	v := a.Value.And(b.Value)
+	return T{Value: v, Mask: alpha.And(beta).And(v.Not())}
+}
+
+// Or is exact bitwise disjunction.
+func Or(a, b T) T {
+	v := a.Value.Or(b.Value)
+	mu := a.Mask.Or(b.Mask)
+	return T{Value: v, Mask: mu.And(v.Not())}
+}
+
+// Xor is exact bitwise exclusive or.
+func Xor(a, b T) T {
+	v := a.Value.Xor(b.Value)
+	mu := a.Mask.Or(b.Mask)
+	return T{Value: v.And(mu.Not()), Mask: mu}
+}
+
+// Mul is the verified long multiplication of the tnum paper (the
+// algorithm adopted by the kernel): the certain product of the values
+// plus, per LSB of a, a partial-product uncertainty accumulated with
+// tnum addition.
+func (an Analysis) Mul(a, b T) T {
+	w := a.Width()
+	accV := Const(a.Value.Mul(b.Value))
+	accM := Const(apint.Zero(w))
+	for !a.Value.IsZero() || !a.Mask.IsZero() {
+		if a.Value.Bit(0) {
+			// LSB of a is a certain 1: b's uncertainty enters as is.
+			accM = Add(accM, T{Value: apint.Zero(w), Mask: b.Mask})
+		} else if a.Mask.Bit(0) {
+			// LSB of a is uncertain: the whole partial product is.
+			m := b.Value.Or(b.Mask)
+			if an.Bugs.MulMask {
+				m = m.LShr(1)
+			}
+			accM = Add(accM, T{Value: apint.Zero(w), Mask: m})
+		}
+		a = T{Value: a.Value.LShr(1), Mask: a.Mask.LShr(1)}
+		b = T{Value: b.Value.Shl(1), Mask: b.Mask.Shl(1)}
+	}
+	return Add(accV, accM)
+}
+
+// shiftConst maps every member through a constant shift (exact per-value
+// maps, so shifting value and mask componentwise is the best transformer).
+func shiftConst(a T, s uint, shift func(apint.Int, uint) apint.Int) T {
+	return T{Value: shift(a.Value, s), Mask: shift(a.Mask, s)}
+}
+
+// fromURange abstracts the unsigned interval [lo, hi]: the bits above the
+// highest differing position are known, everything below is unknown.
+func fromURange(w uint, lo, hi uint64) T {
+	if lo == hi {
+		return Const(apint.New(w, lo))
+	}
+	d := uint(64 - bits.LeadingZeros64(lo^hi))
+	m := uint64(1)<<d - 1
+	return T{Value: apint.New(w, lo&^m), Mask: apint.New(w, m)}
+}
+
+// xorConst folds a constant into a tnum exactly (used to bias signed
+// comparisons into unsigned ones).
+func xorConst(a T, c apint.Int) T {
+	return T{Value: a.Value.Xor(c).And(a.Mask.Not()), Mask: a.Mask}
+}
+
+func constBool(b bool) T {
+	if b {
+		return Const(apint.One(1))
+	}
+	return Const(apint.Zero(1))
+}
+
+// Transfer is the full per-op transfer-function suite for the IR's
+// instruction set. Operand tuples that admit no well-defined execution
+// produce bottom; ops with no useful tnum transformer fall back to the
+// always-sound top.
+func (an Analysis) Transfer(op ir.Op, flags ir.Flags, dstW uint, args []T) T {
+	for _, a := range args {
+		if a.IsBottom() {
+			return Bottom(dstW)
+		}
+	}
+	// All-singleton tuples fold through the concrete semantics exactly;
+	// a fold that hits UB/poison means no execution is well defined.
+	allConst := true
+	for _, a := range args {
+		allConst = allConst && a.IsConst()
+	}
+	if allConst {
+		vals := make([]apint.Int, len(args))
+		for i, a := range args {
+			vals[i] = a.Value
+		}
+		if v, ok := eval.ConstFold(op, flags, dstW, vals); ok {
+			return Const(v)
+		}
+		return Bottom(dstW)
+	}
+
+	w := dstW
+	switch op {
+	case ir.OpAdd:
+		return Add(args[0], args[1])
+	case ir.OpSub:
+		return Sub(args[0], args[1])
+	case ir.OpMul:
+		return an.Mul(args[0], args[1])
+	case ir.OpAnd:
+		return And(args[0], args[1])
+	case ir.OpOr:
+		return Or(args[0], args[1])
+	case ir.OpXor:
+		return Xor(args[0], args[1])
+
+	case ir.OpShl:
+		return shiftUnion(args[0], args[1], apint.Int.Shl)
+	case ir.OpLShr:
+		return shiftUnion(args[0], args[1], apint.Int.LShr)
+	case ir.OpAShr:
+		return shiftUnion(args[0], args[1], apint.Int.AShr)
+
+	case ir.OpRotL:
+		return rotUnion(args[0], args[1], apint.Int.RotL)
+	case ir.OpRotR:
+		return rotUnion(args[0], args[1], apint.Int.RotR)
+
+	case ir.OpZExt:
+		return T{Value: args[0].Value.ZExt(dstW), Mask: args[0].Mask.ZExt(dstW)}
+	case ir.OpSExt:
+		// A known sign bit extends through the value, an unknown one
+		// through the mask (value's sign bit is 0 whenever the mask's is
+		// set, so extending both componentwise covers both cases).
+		return T{Value: args[0].Value.SExt(dstW), Mask: args[0].Mask.SExt(dstW)}
+	case ir.OpTrunc:
+		return T{Value: args[0].Value.Trunc(dstW), Mask: args[0].Mask.Trunc(dstW)}
+
+	case ir.OpSelect:
+		cond, tv, fv := args[0], args[1], args[2]
+		if cond.IsConst() {
+			if cond.Value.IsOne() {
+				return tv
+			}
+			return fv
+		}
+		return tv.Union(fv)
+
+	case ir.OpEq, ir.OpNe:
+		if args[0].Intersect(args[1]).IsBottom() {
+			return constBool(op == ir.OpNe)
+		}
+		return Top(1)
+	case ir.OpULT, ir.OpULE:
+		return cmpUnsigned(op, args[0], args[1])
+	case ir.OpSLT, ir.OpSLE:
+		// Bias by the sign bit: slt(a, b) = ult(a ^ SignBit, b ^ SignBit).
+		sb := apint.SignBitValue(args[0].Width())
+		if op == ir.OpSLT {
+			return cmpUnsigned(ir.OpULT, xorConst(args[0], sb), xorConst(args[1], sb))
+		}
+		return cmpUnsigned(ir.OpULE, xorConst(args[0], sb), xorConst(args[1], sb))
+
+	case ir.OpUAddO:
+		a, b := args[0], args[1]
+		switch {
+		case !a.UMax().UAddOverflow(b.UMax()):
+			return constBool(false)
+		case a.UMin().UAddOverflow(b.UMin()):
+			return constBool(true)
+		}
+		return Top(1)
+	case ir.OpUSubO:
+		a, b := args[0], args[1]
+		switch {
+		case a.UMin().UGE(b.UMax()):
+			return constBool(false)
+		case a.UMax().ULT(b.UMin()):
+			return constBool(true)
+		}
+		return Top(1)
+	case ir.OpUMulO:
+		a, b := args[0], args[1]
+		switch {
+		case !a.UMax().UMulOverflow(b.UMax()):
+			return constBool(false)
+		case a.UMin().UMulOverflow(b.UMin()):
+			return constBool(true)
+		}
+		return Top(1)
+	case ir.OpSAddO, ir.OpSSubO, ir.OpSMulO:
+		return Top(1)
+
+	case ir.OpUDiv:
+		a, b := args[0], args[1]
+		if b.UMax().IsZero() {
+			return Bottom(w) // the divisor is the constant 0: pure UB
+		}
+		bMin := b.UMin()
+		if bMin.IsZero() {
+			bMin = apint.One(b.Width())
+		}
+		return fromURange(w, a.UMin().UDiv(b.UMax()).Uint64(), a.UMax().UDiv(bMin).Uint64())
+	case ir.OpURem:
+		a, b := args[0], args[1]
+		if b.UMax().IsZero() {
+			return Bottom(w)
+		}
+		if b.IsConst() && b.Value.IsPowerOfTwo() {
+			return And(a, Const(b.Value.Sub(apint.One(w))))
+		}
+		hi := b.UMax().Sub(apint.One(w)).UMin(a.UMax())
+		return fromURange(w, 0, hi.Uint64())
+	case ir.OpSDiv, ir.OpSRem:
+		return Top(w)
+
+	case ir.OpCtPop:
+		return fromURange(w, uint64(args[0].Value.PopCount()), uint64(args[0].UMax().PopCount()))
+	case ir.OpCttz:
+		a := args[0]
+		lo := uint64(a.UMax().CountTrailingZeros())
+		hi := uint64(a.Width())
+		if !a.Value.IsZero() {
+			hi = uint64(a.Value.CountTrailingZeros())
+		}
+		return fromURange(w, lo, hi)
+	case ir.OpCtlz:
+		a := args[0]
+		lo := uint64(a.UMax().CountLeadingZeros())
+		hi := uint64(a.Width())
+		if !a.Value.IsZero() {
+			hi = uint64(a.Value.CountLeadingZeros())
+		}
+		return fromURange(w, lo, hi)
+	case ir.OpBSwap:
+		if w%8 == 0 {
+			return T{Value: args[0].Value.ByteSwap(), Mask: args[0].Mask.ByteSwap()}
+		}
+		return Top(w)
+	case ir.OpBitReverse:
+		return T{Value: args[0].Value.ReverseBits(), Mask: args[0].Mask.ReverseBits()}
+
+	case ir.OpAbs:
+		a := args[0]
+		neg := Sub(Const(apint.Zero(w)), a)
+		switch {
+		case !a.Mask.Bit(w-1) && !a.Value.Bit(w-1):
+			return a // sign known zero
+		case a.Value.Bit(w - 1):
+			return neg // sign known one
+		}
+		return a.Union(neg)
+
+	case ir.OpUMin:
+		a, b := args[0], args[1]
+		return a.Union(b).Intersect(
+			fromURange(w, a.UMin().UMin(b.UMin()).Uint64(), a.UMax().UMin(b.UMax()).Uint64()))
+	case ir.OpUMax:
+		a, b := args[0], args[1]
+		return a.Union(b).Intersect(
+			fromURange(w, a.UMin().UMax(b.UMin()).Uint64(), a.UMax().UMax(b.UMax()).Uint64()))
+	case ir.OpSMin, ir.OpSMax:
+		return args[0].Union(args[1])
+
+	case ir.OpFshl, ir.OpFshr:
+		return fshUnion(op, args[0], args[1], args[2])
+	}
+	return Top(dstW)
+}
+
+// shiftUnion is the transformer for shl/lshr/ashr: the union over every
+// feasible constant amount below the width (amounts at or above the width
+// are poison, so their executions are excluded from the image — a shift
+// whose amount tnum admits only oversized values has no defined
+// execution at all).
+func shiftUnion(a, s T, shift func(apint.Int, uint) apint.Int) T {
+	w := a.Width()
+	out := Bottom(w)
+	for c := uint(0); c < w; c++ {
+		if s.Contains(apint.New(s.Width(), uint64(c))) {
+			out = out.Union(shiftConst(a, c, shift))
+		}
+	}
+	return out
+}
+
+// rotUnion is the transformer for rotl/rotr: amounts wrap modulo the
+// width and are never poison; a non-constant amount unions all rotations.
+func rotUnion(a, s T, rot func(apint.Int, uint) apint.Int) T {
+	w := a.Width()
+	if s.IsConst() {
+		return shiftConst(a, uint(s.Value.Uint64()%uint64(w)), rot)
+	}
+	out := Bottom(w)
+	for c := uint(0); c < w; c++ {
+		out = out.Union(shiftConst(a, c, rot))
+	}
+	return out
+}
+
+// fshUnion is the transformer for the general funnel shifts: per constant
+// amount the result is an Or of two exactly shifted halves; non-constant
+// amounts union over all residues modulo the width.
+func fshUnion(op ir.Op, a, b, s T) T {
+	w := a.Width()
+	one := func(c uint) T {
+		if c == 0 {
+			if op == ir.OpFshl {
+				return a
+			}
+			return b
+		}
+		if op == ir.OpFshl {
+			return Or(shiftConst(a, c, apint.Int.Shl), shiftConst(b, w-c, apint.Int.LShr))
+		}
+		return Or(shiftConst(a, w-c, apint.Int.Shl), shiftConst(b, c, apint.Int.LShr))
+	}
+	if s.IsConst() {
+		return one(uint(s.Value.Uint64() % uint64(w)))
+	}
+	out := Bottom(w)
+	for c := uint(0); c < w; c++ {
+		out = out.Union(one(c))
+	}
+	return out
+}
+
+// cmpUnsigned decides ult/ule from the unsigned bounds when possible.
+func cmpUnsigned(op ir.Op, a, b T) T {
+	aMin, aMax := a.UMin(), a.UMax()
+	bMin, bMax := b.UMin(), b.UMax()
+	if op == ir.OpULT {
+		switch {
+		case aMax.ULT(bMin):
+			return constBool(true)
+		case aMin.UGE(bMax):
+			return constBool(false)
+		}
+		return Top(1)
+	}
+	switch {
+	case aMax.ULE(bMin):
+		return constBool(true)
+	case aMin.UGT(bMax):
+		return constBool(false)
+	}
+	return Top(1)
+}
+
+// Analyze abstract-interprets f, returning the tnum computed for every
+// instruction. Variables seed from their range metadata when it is a
+// non-wrapped interval, otherwise from top.
+func (an Analysis) Analyze(f *ir.Function) map[*ir.Inst]T {
+	out := make(map[*ir.Inst]T)
+	for _, n := range f.Insts() {
+		switch {
+		case n.IsConst():
+			out[n] = Const(n.Val)
+		case n.IsVar():
+			if n.HasRange && n.Lo.ULT(n.Hi) {
+				out[n] = fromURange(n.Width, n.Lo.Uint64(), n.Hi.Uint64()-1)
+			} else {
+				out[n] = Top(n.Width)
+			}
+		default:
+			args := make([]T, len(n.Args))
+			for i, a := range n.Args {
+				args[i] = out[a]
+			}
+			out[n] = an.Transfer(n.Op, n.Flags, n.Width, args)
+		}
+	}
+	return out
+}
+
+// Root returns the fact Analyze computes for f's root.
+func (an Analysis) Root(f *ir.Function) T { return an.Analyze(f)[f.Root] }
